@@ -1,0 +1,95 @@
+//! Chernoff–Hoeffding helpers.
+//!
+//! The paper's guarantees hold "with all but negligible probability"; the
+//! experiments translate each into a concrete tolerance using these bounds,
+//! so that a passing check corresponds to an event whose failure probability
+//! under the paper's claim is quantifiably tiny.
+
+/// Hoeffding tail for the mean of `n` samples bounded in `[lo, hi]`
+/// deviating from its expectation by at least `t`:
+/// `P(|X̄ − E| ≥ t) ≤ 2·exp(−2nt²/(hi−lo)²)`.
+pub fn hoeffding_tail(n: u64, t: f64, lo: f64, hi: f64) -> f64 {
+    assert!(hi > lo, "range must be nonempty");
+    let width = hi - lo;
+    (2.0 * (-2.0 * n as f64 * t * t / (width * width)).exp()).min(1.0)
+}
+
+/// The deviation `t` such that the Hoeffding tail is at most `delta`:
+/// `t = (hi−lo)·sqrt(ln(2/δ)/(2n))`.
+pub fn hoeffding_radius(n: u64, delta: f64, lo: f64, hi: f64) -> f64 {
+    assert!(hi > lo, "range must be nonempty");
+    assert!(delta > 0.0 && delta < 1.0, "delta must be in (0,1)");
+    (hi - lo) * ((2.0 / delta).ln() / (2.0 * n as f64)).sqrt()
+}
+
+/// Multiplicative Chernoff tail for a Binomial(n, p) exceeding `(1+δ)np`:
+/// `exp(−δ²np/3)` for `0 < δ ≤ 1`.
+pub fn chernoff_upper_tail(n: u64, p: f64, delta: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p));
+    assert!(delta > 0.0);
+    let mu = n as f64 * p;
+    let d = delta.min(1.0);
+    (-d * d * mu / 3.0).exp().min(1.0)
+}
+
+/// Multiplicative Chernoff tail for a Binomial(n, p) falling below
+/// `(1−δ)np`: `exp(−δ²np/2)`.
+pub fn chernoff_lower_tail(n: u64, p: f64, delta: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p));
+    assert!(delta > 0.0 && delta <= 1.0);
+    let mu = n as f64 * p;
+    (-delta * delta * mu / 2.0).exp().min(1.0)
+}
+
+/// Standard deviation of a Binomial(n, p) — the yardstick for "the effect of
+/// the adversary is dominated by the sampling noise" arguments (§1.3.2).
+pub fn binomial_sd(n: u64, p: f64) -> f64 {
+    (n as f64 * p * (1.0 - p)).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hoeffding_tail_decreases_in_n_and_t() {
+        assert!(hoeffding_tail(100, 0.1, 0.0, 1.0) > hoeffding_tail(1000, 0.1, 0.0, 1.0));
+        assert!(hoeffding_tail(100, 0.1, 0.0, 1.0) > hoeffding_tail(100, 0.2, 0.0, 1.0));
+        assert!(hoeffding_tail(10, 0.0, 0.0, 1.0) >= 1.0 - 1e-12);
+    }
+
+    #[test]
+    fn hoeffding_radius_inverts_tail() {
+        let n = 500;
+        let delta = 0.01;
+        let t = hoeffding_radius(n, delta, 0.0, 1.0);
+        let tail = hoeffding_tail(n, t, 0.0, 1.0);
+        assert!((tail - delta).abs() < 1e-9, "tail={tail}");
+    }
+
+    #[test]
+    fn radius_scales_with_range() {
+        let narrow = hoeffding_radius(100, 0.05, 0.0, 1.0);
+        let wide = hoeffding_radius(100, 0.05, -5.0, 5.0);
+        assert!((wide / narrow - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chernoff_tails_shrink_with_n() {
+        assert!(chernoff_upper_tail(100, 0.5, 0.2) > chernoff_upper_tail(10_000, 0.5, 0.2));
+        assert!(chernoff_lower_tail(100, 0.5, 0.2) > chernoff_lower_tail(10_000, 0.5, 0.2));
+    }
+
+    #[test]
+    fn binomial_sd_matches_hand_computation() {
+        assert!((binomial_sd(100, 0.5) - 5.0).abs() < 1e-12);
+        assert_eq!(binomial_sd(0, 0.5), 0.0);
+        assert_eq!(binomial_sd(100, 0.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "range must be nonempty")]
+    fn empty_range_panics() {
+        hoeffding_tail(10, 0.1, 1.0, 1.0);
+    }
+}

@@ -1,0 +1,350 @@
+//! The exact finite-size drift model and its equilibrium.
+//!
+//! Let `m` be the population at the start of an epoch, `s = 2^-b` the
+//! no-split probability (`s = 16/√N` by default) and `γ` the matched
+//! fraction. In the absence of an adversary:
+//!
+//! * leaders: `m/(8√N)` in expectation; every leader recruits a full
+//!   cluster of `√N` (Lemma 5), so the active fraction at evaluation is
+//!   `1/8`;
+//! * for a matched active agent whose neighbor is active, the probability
+//!   of *same color* is `p = ½ + x` with `x = 4√N/m` (same-cluster
+//!   probability `8√N/m`, independent coin otherwise);
+//! * its expected population contribution is
+//!   `p·(1−s)·(+1) + (1−p)·(−1) = 2x − s/2 − s·x`.
+//!
+//! With `γ·m` matched agents, each seeing an active neighbor with
+//! probability `1/8` and being active itself with probability `1/8` — i.e.
+//! `γ·m/64` *evaluating* agents — the expected epoch drift is
+//!
+//! `E[Δ] = γ·m/64 · (2x − s/2 − s·x)`.
+//!
+//! Substituting `x` and the default `s = 16/√N`, the drift is exactly
+//! **linear** in `m`:
+//!
+//! `E[Δ] = γ·(√N − 8)/8  −  γ·m/(8√N)`,
+//!
+//! with the unique equilibrium `m* = √N(√N − 8) = N − 8√N`
+//! (in general `m* = 8√N·(2−s)/s`). Three constants every experiment in
+//! this repository leans on:
+//!
+//! * **restoring slope** `−γ/(8√N)` per epoch → exponential approach with
+//!   time constant `8√N/γ` epochs ([`time_constant_epochs`]);
+//! * **maximum growth rate** `γ(√N−8)/8` agents/epoch as `m → 0`
+//!   ([`max_growth_rate`]) — the hard ceiling on how much sustained
+//!   deletion the protocol can absorb;
+//! * shrink rate `γ·m/(8√N) − γ(√N−8)/8`, unbounded in `m`.
+//!
+//! This is Lemma 8's restoring force with its exact finite-`N` constants.
+//! Note the paper's `Ω(√N)` drift applies at deviations `|m − m*| = Θ(N)`;
+//! near the equilibrium the force is proportionally weaker.
+
+use popstab_core::params::Params;
+
+/// The no-split probability `s = 2^-b` of `params`.
+pub fn no_split_probability(params: &Params) -> f64 {
+    0.5f64.powi(params.split_bias_exp() as i32)
+}
+
+/// The exact equilibrium population `m* = 8√N·(2−s)/s`.
+///
+/// For the paper's default `s = 16/√N` this simplifies to `N − 8√N`
+/// (e.g. 768 for `N = 1024`, 63 488 for `N = 65 536`): a `Θ(1/√N)`
+/// relative correction that vanishes asymptotically.
+///
+/// ```
+/// let p = popstab_core::params::Params::for_target(1024)?;
+/// assert_eq!(popstab_analysis::equilibrium::equilibrium_population(&p), 768.0);
+/// # Ok::<(), popstab_core::params::ParamsError>(())
+/// ```
+pub fn equilibrium_population(params: &Params) -> f64 {
+    let s = no_split_probability(params);
+    8.0 * params.sqrt_n() as f64 * (2.0 - s) / s
+}
+
+/// Expected one-epoch population drift `E[Δ]` at epoch-start population `m`
+/// with matched fraction `gamma`, per the model above.
+pub fn expected_epoch_drift(params: &Params, m: f64, gamma: f64) -> f64 {
+    assert!(m > 0.0, "population must be positive");
+    let s = no_split_probability(params);
+    let x = 4.0 * params.sqrt_n() as f64 / m;
+    gamma * m / 64.0 * (2.0 * x - s / 2.0 - s * x)
+}
+
+/// The drift normalized by `√N` — the paper states the restoring force is
+/// `Ω(√N)` per epoch once `|m − m*| = Ω(N)`.
+pub fn normalized_drift(params: &Params, m: f64, gamma: f64) -> f64 {
+    expected_epoch_drift(params, m, gamma) / (params.sqrt_n() as f64)
+}
+
+/// Maximum sustainable growth rate, `γ(√N − 8)/8` agents per epoch (for the
+/// default split bias): a sustained deletion pressure above this collapses
+/// the population no matter what.
+pub fn max_growth_rate(params: &Params, gamma: f64) -> f64 {
+    // drift(m) = γ(√N/8 − s·√N/16 − m·s/128); the limit m → 0 keeps the
+    // first two terms: γ·√N·(2−s)/16, which is γ(√N−8)/8 at s = 16/√N.
+    let s = no_split_probability(params);
+    gamma * params.sqrt_n() as f64 * (2.0 - s) / 16.0
+}
+
+/// Exponential time constant of the approach to `m*`, in epochs: the
+/// reciprocal of the restoring slope `γ·s/128` (equals `8√N/γ` for the
+/// default `s = 16/√N`).
+pub fn time_constant_epochs(params: &Params, gamma: f64) -> f64 {
+    128.0 / (gamma * no_split_probability(params))
+}
+
+/// The **exact** finite-`N` expected epoch drift, conditioning on the
+/// realized leader count.
+///
+/// The linear model above takes expectations through the nonlinearity — it
+/// is only valid when the leader count `L ~ Binomial(m, 1/(8√N))` is large.
+/// At simulable scales `λ = m/(8√N)` is single-digit (λ = 3 at `N = 1024`,
+/// `m = m*`), and Jensen effects shift the equilibrium visibly. The exact
+/// computation: given `L` leaders, there are `a = L·√N` active agents in
+/// monochromatic clusters of `√N`; a matched active agent's partner is
+/// active with probability `(a−1)/(m−1)`, same-colored with probability
+/// `p(L) = (√N−1 + (a−√N)/2)/(a−1)`, and the agent's expected contribution
+/// is `p·(1−s) − (1−p)`. Summing over the Poisson law of `L`:
+///
+/// `E[Δ] = Σ_L Pois_λ(L) · γ·a·(a−1)/(m−1) · (p(L)(2−s) − 1)`.
+///
+/// Validated against simulation to within sampling error (see the drift
+/// experiments); the measured eval-round drift at `N = 4096, m = 3584` is
+/// −1.0 vs −0.98 from this formula, where the linear model predicts 0.
+pub fn exact_epoch_drift(params: &Params, m: f64, gamma: f64) -> f64 {
+    assert!(m > 1.0, "population must exceed 1");
+    let s = no_split_probability(params);
+    let sqrt_n = params.cluster_size() as f64;
+    let lambda = m * 0.5f64.powi(params.leader_bias_exp() as i32);
+
+    // Per-leader-count drift contribution.
+    let drift_given = |l: u64| -> f64 {
+        if l == 0 {
+            return 0.0;
+        }
+        let a = (l as f64 * sqrt_n).min(m); // recruitment cannot exceed m
+        if a <= 1.0 {
+            return 0.0;
+        }
+        let same_cluster = (sqrt_n - 1.0).min(a - 1.0);
+        let p = (same_cluster + (a - sqrt_n).max(0.0) / 2.0) / (a - 1.0);
+        let evaluating = gamma * a * (a - 1.0) / (m - 1.0);
+        evaluating * (p * (2.0 - s) - 1.0)
+    };
+
+    // Poisson expectation via a mode-centered normalized recursion, which
+    // avoids the e^{-λ} underflow of the textbook recursion for large λ.
+    let mode = lambda.floor().max(0.0) as u64;
+    let halfwidth = (12.0 * lambda.sqrt() + 12.0).ceil() as u64;
+    let lo = mode.saturating_sub(halfwidth);
+    let hi = mode + halfwidth;
+    let mut weight_sum = 0.0;
+    let mut value_sum = 0.0;
+    // Upward sweep from the mode (relative weight 1 at the mode).
+    let mut w = 1.0;
+    for l in mode..=hi {
+        if l > mode {
+            w *= lambda / l as f64;
+        }
+        weight_sum += w;
+        value_sum += w * drift_given(l);
+    }
+    // Downward sweep below the mode.
+    w = 1.0;
+    for l in (lo..mode).rev() {
+        w *= (l + 1) as f64 / lambda;
+        weight_sum += w;
+        value_sum += w * drift_given(l);
+    }
+    value_sum / weight_sum
+}
+
+/// The maximum of [`exact_epoch_drift`] over `m` (grid search), returned as
+/// `(argmax_m, max_drift)`. This is a *conservative lower bound* on the
+/// per-epoch deletion tolerance: deleting inactive agents mid-epoch raises
+/// the active fraction (leaders were already chosen from the larger
+/// population), which further boosts the split rate, so the realized
+/// tolerance is typically several times higher — see experiment F3.
+pub fn max_exact_drift(params: &Params, gamma: f64) -> (f64, f64) {
+    let n = params.target() as f64;
+    let mut best = (2.0, f64::NEG_INFINITY);
+    let mut m = 2.0;
+    while m <= 2.0 * n {
+        let d = exact_epoch_drift(params, m, gamma);
+        if d > best.1 {
+            best = (m, d);
+        }
+        m *= 1.05;
+    }
+    best
+}
+
+/// The root of [`exact_epoch_drift`] in `m` — the true finite-`N`
+/// equilibrium, found by bisection. At `N = 1024` this is ≈ 0.78·m*; the
+/// ratio tends to 1 as `N → ∞`.
+pub fn exact_equilibrium(params: &Params, gamma: f64) -> f64 {
+    let mut lo = params.sqrt_n() as f64;
+    let mut hi = 4.0 * params.target() as f64;
+    debug_assert!(exact_epoch_drift(params, lo, gamma) > 0.0);
+    debug_assert!(exact_epoch_drift(params, hi, gamma) < 0.0);
+    for _ in 0..60 {
+        let mid = 0.5 * (lo + hi);
+        if exact_epoch_drift(params, mid, gamma) > 0.0 {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(n: u64) -> Params {
+        Params::for_target(n).unwrap()
+    }
+
+    #[test]
+    fn equilibrium_is_n_minus_8_sqrt_n() {
+        for log2_n in [10u32, 12, 14, 16, 20] {
+            let n = 1u64 << log2_n;
+            let p = params(n);
+            let expected = n as f64 - 8.0 * p.sqrt_n() as f64;
+            assert!(
+                (equilibrium_population(&p) - expected).abs() < 1e-6,
+                "N={n}: {} vs {expected}",
+                equilibrium_population(&p)
+            );
+        }
+    }
+
+    #[test]
+    fn drift_vanishes_at_equilibrium() {
+        for n in [1024u64, 65536] {
+            let p = params(n);
+            let m_star = equilibrium_population(&p);
+            let d = expected_epoch_drift(&p, m_star, 1.0);
+            assert!(d.abs() < 1e-9, "drift at m* = {d}");
+        }
+    }
+
+    #[test]
+    fn drift_is_restoring() {
+        let p = params(4096);
+        let m_star = equilibrium_population(&p);
+        assert!(expected_epoch_drift(&p, 0.7 * m_star, 1.0) > 0.0);
+        assert!(expected_epoch_drift(&p, 1.3 * m_star, 1.0) < 0.0);
+        // Monotone decreasing through the equilibrium.
+        let lo = expected_epoch_drift(&p, 0.9 * m_star, 1.0);
+        let mid = expected_epoch_drift(&p, m_star, 1.0);
+        let hi = expected_epoch_drift(&p, 1.1 * m_star, 1.0);
+        assert!(lo > mid && mid > hi);
+    }
+
+    #[test]
+    fn drift_magnitude_is_order_sqrt_n_at_constant_relative_deviation() {
+        // At m = c·m*, the normalized drift tends to (1−c)/8 as N grows
+        // (0.025 for c = 0.8): a Θ(1) constant independent of N.
+        let mut values = Vec::new();
+        for log2_n in [12u32, 16, 20] {
+            let p = params(1u64 << log2_n);
+            let m_star = equilibrium_population(&p);
+            values.push(normalized_drift(&p, 0.8 * m_star, 1.0));
+        }
+        for v in &values {
+            assert!(*v > 0.01 && *v < 1.0, "normalized drift {v} out of Θ(1) range");
+        }
+        // And it converges to the asymptotic constant from below/above.
+        assert!((values[2] - 0.025).abs() < 0.01, "N=2^20 drift {}", values[2]);
+    }
+
+    #[test]
+    fn drift_scales_linearly_with_gamma() {
+        let p = params(4096);
+        let d1 = expected_epoch_drift(&p, 3000.0, 1.0);
+        let d2 = expected_epoch_drift(&p, 3000.0, 0.25);
+        assert!((d1 * 0.25 - d2).abs() < 1e-9);
+    }
+
+
+    #[test]
+    fn max_growth_rate_matches_linear_model() {
+        // drift(m) = max_growth − m·γ·s/128; check at two points.
+        let p = params(1024);
+        let g = max_growth_rate(&p, 1.0);
+        assert!((g - 3.0).abs() < 1e-9, "N=1024 max growth {g}");
+        let d0 = expected_epoch_drift(&p, 1.0, 1.0);
+        assert!((d0 - (g - 1.0 / 256.0)).abs() < 1e-9);
+        let p = params(4096);
+        assert!((max_growth_rate(&p, 1.0) - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn time_constant_is_8_sqrt_n_over_gamma() {
+        let p = params(1024);
+        assert!((time_constant_epochs(&p, 1.0) - 256.0).abs() < 1e-9);
+        assert!((time_constant_epochs(&p, 0.5) - 512.0).abs() < 1e-9);
+        let p = params(65536);
+        assert!((time_constant_epochs(&p, 1.0) - 8.0 * 256.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn drift_is_linear_in_m() {
+        let p = params(4096);
+        let d1 = expected_epoch_drift(&p, 1000.0, 1.0);
+        let d2 = expected_epoch_drift(&p, 2000.0, 1.0);
+        let d3 = expected_epoch_drift(&p, 3000.0, 1.0);
+        assert!(((d1 - d2) - (d2 - d3)).abs() < 1e-9, "not linear");
+    }
+
+
+    #[test]
+    fn exact_drift_matches_hand_computation_at_n4096() {
+        // Hand-computed Poisson sum at m = 3584 gives ≈ −0.98 (and the
+        // instrumented simulation measured −1.0 over 30 trials).
+        let p = params(4096);
+        let d = exact_epoch_drift(&p, 3584.0, 1.0);
+        assert!((-1.6..=-0.5).contains(&d), "exact drift {d}");
+    }
+
+    #[test]
+    fn exact_equilibrium_sits_below_clt_equilibrium() {
+        for n in [1024u64, 4096, 16384] {
+            let p = params(n);
+            let m_star = equilibrium_population(&p);
+            let m_exact = exact_equilibrium(&p, 1.0);
+            assert!(m_exact < m_star, "N={n}: exact {m_exact} >= CLT {m_star}");
+            assert!(m_exact > 0.5 * m_star, "N={n}: exact {m_exact} implausibly low");
+        }
+    }
+
+    #[test]
+    fn exact_equilibrium_converges_to_clt_as_n_grows() {
+        let ratio = |n: u64| {
+            let p = params(n);
+            exact_equilibrium(&p, 1.0) / equilibrium_population(&p)
+        };
+        let r_small = ratio(1024);
+        let r_big = ratio(1 << 22);
+        assert!(r_big > r_small, "ratios {r_small} -> {r_big} should increase");
+        assert!(r_big > 0.95, "N=2^22 ratio {r_big} should be near 1");
+    }
+
+    #[test]
+    fn exact_drift_is_restoring_around_exact_equilibrium() {
+        let p = params(1024);
+        let m0 = exact_equilibrium(&p, 1.0);
+        assert!(exact_epoch_drift(&p, 0.8 * m0, 1.0) > 0.0);
+        assert!(exact_epoch_drift(&p, 1.2 * m0, 1.0) < 0.0);
+        assert!(exact_epoch_drift(&p, m0, 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "population must be positive")]
+    fn zero_population_panics() {
+        expected_epoch_drift(&params(1024), 0.0, 1.0);
+    }
+}

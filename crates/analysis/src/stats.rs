@@ -1,0 +1,233 @@
+//! Streaming statistics and confidence intervals.
+
+use std::fmt;
+
+/// Streaming mean/variance via Welford's algorithm, plus min/max.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Summary {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// An empty summary.
+    pub fn new() -> Summary {
+        Summary { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Builds a summary from an iterator of samples.
+    pub fn from_samples<I: IntoIterator<Item = f64>>(samples: I) -> Summary {
+        let mut s = Summary::new();
+        for x in samples {
+            s.push(x);
+        }
+        s
+    }
+
+    /// Adds one sample.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean (0 for an empty summary).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance (0 with fewer than two samples).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Standard error of the mean.
+    pub fn stderr(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.stddev() / (self.count as f64).sqrt()
+        }
+    }
+
+    /// Smallest sample (`+∞` if empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest sample (`−∞` if empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merges another summary into this one (parallel Welford).
+    pub fn merge(&mut self, other: &Summary) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.3} sd={:.3} min={:.3} max={:.3}",
+            self.count,
+            self.mean(),
+            self.stddev(),
+            self.min,
+            self.max
+        )
+    }
+}
+
+impl Extend<f64> for Summary {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+/// Wilson score interval for a binomial proportion: the interval that
+/// experiments use to report "the protocol stayed in bounds in `s` of `n`
+/// trials".
+///
+/// Returns `(lo, hi)` at `z` standard normal quantiles (e.g. `z = 1.96` for
+/// 95 %). For `n = 0` returns `(0, 1)`.
+pub fn wilson_interval(successes: u64, trials: u64, z: f64) -> (f64, f64) {
+    if trials == 0 {
+        return (0.0, 1.0);
+    }
+    let n = trials as f64;
+    let p = successes as f64 / n;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let center = (p + z2 / (2.0 * n)) / denom;
+    let half = (z / denom) * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
+    ((center - half).max(0.0), (center + half).min(1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_summary() {
+        let s = Summary::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.stderr(), 0.0);
+    }
+
+    #[test]
+    fn matches_naive_mean_and_variance() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let s = Summary::from_samples(xs.iter().copied());
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        // naive unbiased variance = 32/7
+        assert!((s.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn merge_equals_concatenation() {
+        let xs: Vec<f64> = (0..50).map(|i| (i as f64).sin() * 10.0).collect();
+        let (a, b) = xs.split_at(20);
+        let mut sa = Summary::from_samples(a.iter().copied());
+        let sb = Summary::from_samples(b.iter().copied());
+        sa.merge(&sb);
+        let sall = Summary::from_samples(xs.iter().copied());
+        assert_eq!(sa.count(), sall.count());
+        assert!((sa.mean() - sall.mean()).abs() < 1e-9);
+        assert!((sa.variance() - sall.variance()).abs() < 1e-9);
+        assert_eq!(sa.min(), sall.min());
+        assert_eq!(sa.max(), sall.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut s = Summary::from_samples([1.0, 2.0]);
+        let before = s;
+        s.merge(&Summary::new());
+        assert_eq!(s, before);
+        let mut e = Summary::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn extend_trait() {
+        let mut s = Summary::new();
+        s.extend([1.0, 3.0]);
+        assert_eq!(s.count(), 2);
+        assert!((s.mean() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let s = Summary::from_samples([1.0]);
+        assert!(s.to_string().contains("n=1"));
+    }
+
+    #[test]
+    fn wilson_basic_properties() {
+        let (lo, hi) = wilson_interval(50, 100, 1.96);
+        assert!(lo < 0.5 && 0.5 < hi);
+        assert!(hi - lo < 0.25);
+        // All successes: interval hugs 1 but stays below it.
+        let (lo, hi) = wilson_interval(100, 100, 1.96);
+        assert!(lo > 0.9);
+        assert!(hi <= 1.0);
+        // No trials.
+        assert_eq!(wilson_interval(0, 0, 1.96), (0.0, 1.0));
+    }
+
+    #[test]
+    fn wilson_narrows_with_more_trials() {
+        let (lo1, hi1) = wilson_interval(50, 100, 1.96);
+        let (lo2, hi2) = wilson_interval(500, 1000, 1.96);
+        assert!(hi2 - lo2 < hi1 - lo1);
+    }
+}

@@ -1,0 +1,88 @@
+//! Baseline protocols from the paper's discussion sections.
+//!
+//! These exist to reproduce the paper's *negative* results — each one fails
+//! in exactly the way §1.2–1.3.1 describes:
+//!
+//! * [`Attempt1`] — non-interactive leader election: sound against an
+//!   oblivious delete-only adversary, but an adaptive adversary that inserts
+//!   or deletes a **single** signal-carrying agent per epoch drives the
+//!   population to collapse or explosion ([`attempt1::SignalFlooder`],
+//!   [`attempt1::SignalSuppressor`]),
+//! * [`Attempt2`] — independent coloring: no special states to attack, but
+//!   the restoring force is `Θ(1)` per epoch, so the population random-walks
+//!   away from the target *even with no adversary at all*,
+//! * [`Empty`] — the do-nothing protocol (re-exported from `popstab-sim`):
+//!   perfectly stable without an adversary, helpless with one,
+//! * [`HighMemory`] — the unique-ID protocol of §1.2: with unbounded memory
+//!   it counts the population outright and is stable under deletions, but
+//!   adversarial *insertions* of forged ID sets break it — which is why the
+//!   paper calls the low-memory insert+delete setting the interesting one.
+//!
+//! Baselines are simulation probes, not memory-faithful artifacts: they use
+//! floating-point thresholds and (for [`HighMemory`]) unbounded sets, and
+//! document where they exceed the paper's agent model.
+
+pub mod attempt1;
+pub mod attempt2;
+pub mod highmem;
+
+pub use attempt1::Attempt1;
+pub use attempt2::Attempt2;
+pub use highmem::HighMemory;
+pub use popstab_sim::protocols::Inert as Empty;
+
+use popstab_sim::{Adversary, Alteration, RoundContext, SimRng};
+
+/// A state-blind deleter usable against any baseline: removes the first `k`
+/// slots on every `period`-th round by fixed schedule (the "oblivious"
+/// adversary of §1.3.1 — its actions never depend on agent state or coins).
+#[derive(Debug, Clone, Copy)]
+pub struct ObliviousDeleter {
+    k: usize,
+    period: u64,
+}
+
+impl ObliviousDeleter {
+    /// Deletes `k` agents every round.
+    pub fn new(k: usize) -> Self {
+        ObliviousDeleter { k, period: 1 }
+    }
+
+    /// Deletes `k` agents every `period` rounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    pub fn with_period(k: usize, period: u64) -> Self {
+        assert!(period > 0, "period must be positive");
+        ObliviousDeleter { k, period }
+    }
+}
+
+impl<S> Adversary<S> for ObliviousDeleter {
+    fn name(&self) -> &'static str {
+        "oblivious-delete"
+    }
+
+    fn act(&mut self, ctx: &RoundContext, agents: &[S], _rng: &mut SimRng) -> Vec<Alteration<S>> {
+        if ctx.round % self.period != 0 {
+            return Vec::new();
+        }
+        (0..self.k.min(agents.len())).map(Alteration::Delete).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use popstab_sim::protocols::Inert;
+    use popstab_sim::{Engine, SimConfig};
+
+    #[test]
+    fn oblivious_deleter_shrinks_inert_population() {
+        let cfg = SimConfig::builder().seed(1).adversary_budget(2).build().unwrap();
+        let mut engine = Engine::with_adversary(Inert, ObliviousDeleter::new(2), cfg, 20);
+        engine.run_rounds(5);
+        assert_eq!(engine.population(), 10);
+    }
+}

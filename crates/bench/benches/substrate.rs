@@ -1,0 +1,64 @@
+//! Criterion micro-benchmarks for the simulation substrate: matching
+//! sampling, partner tables, metrics observation and the estimator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use popstab_analysis::estimator::VarianceEstimator;
+use popstab_core::params::Params;
+use popstab_core::state::AgentState;
+use popstab_sim::matching::{sample_matching, MatchingModel};
+use popstab_sim::rng::rng_from_seed;
+use popstab_sim::RoundStats;
+
+fn bench_matching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matching");
+    for m in [1024usize, 16384, 262_144] {
+        group.throughput(Throughput::Elements(m as u64));
+        let mut rng = rng_from_seed(1);
+        group.bench_with_input(BenchmarkId::new("full", m), &m, |b, &m| {
+            b.iter(|| sample_matching(m, MatchingModel::Full, &mut rng))
+        });
+        let mut rng = rng_from_seed(2);
+        group.bench_with_input(BenchmarkId::new("quarter", m), &m, |b, &m| {
+            b.iter(|| sample_matching(m, MatchingModel::ExactFraction(0.25), &mut rng))
+        });
+    }
+    group.finish();
+}
+
+fn bench_partner_table(c: &mut Criterion) {
+    let m = 16384usize;
+    let mut rng = rng_from_seed(3);
+    let matching = sample_matching(m, MatchingModel::Full, &mut rng);
+    c.bench_function("partner_table_16k", |b| b.iter(|| matching.partner_table(m)));
+}
+
+fn bench_observe(c: &mut Criterion) {
+    let params = Params::for_target(4096).unwrap();
+    let agents: Vec<AgentState> = (0..4096)
+        .map(|i| {
+            if i % 8 == 0 {
+                AgentState::active_at(&params, 5, popstab_core::state::Color::One)
+            } else {
+                AgentState::fresh(&params)
+            }
+        })
+        .collect();
+    c.bench_function("round_stats_observe_4k", |b| b.iter(|| RoundStats::observe(0, &agents)));
+}
+
+fn bench_estimator(c: &mut Criterion) {
+    let params = Params::for_target(4096).unwrap();
+    c.bench_function("variance_estimator_100_epochs", |b| {
+        b.iter(|| {
+            let mut est = VarianceEstimator::new(&params);
+            for i in 0..100u64 {
+                est.push_counts(250 + (i % 17) as usize, 250);
+            }
+            est.estimate()
+        })
+    });
+}
+
+criterion_group!(benches, bench_matching, bench_partner_table, bench_observe, bench_estimator);
+criterion_main!(benches);

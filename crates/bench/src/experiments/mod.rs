@@ -1,0 +1,15 @@
+//! One module per experiment; see DESIGN.md §4 for the index.
+
+pub mod ablation;
+pub mod accounting;
+pub mod attack;
+pub mod baselines;
+pub mod drift;
+pub mod equilibrium;
+pub mod estimator;
+pub mod gamma;
+pub mod healing;
+pub mod ksweep;
+pub mod lemmas;
+pub mod malice;
+pub mod stability;

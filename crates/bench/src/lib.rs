@@ -1,0 +1,94 @@
+//! Experiment harness for the population-stability reproduction.
+//!
+//! The paper (PODC 2018) is a theory result with no empirical section, so
+//! each analysis claim defines one experiment (see DESIGN.md §4 for the
+//! index). The `experiments` binary regenerates every table/figure:
+//!
+//! ```sh
+//! cargo run --release -p popstab-bench --bin experiments -- all
+//! cargo run --release -p popstab-bench --bin experiments -- drift --quick
+//! ```
+//!
+//! Criterion micro-benchmarks for the hot paths live in `benches/`.
+
+pub mod experiments;
+
+use popstab_core::params::Params;
+use popstab_core::protocol::PopulationStability;
+use popstab_core::state::AgentState;
+use popstab_sim::{Adversary, Engine, MatchingModel, NoOpAdversary, SimConfig};
+
+/// Shared run configuration for experiment drivers.
+#[derive(Debug, Clone, Copy)]
+pub struct RunSpec {
+    /// RNG seed.
+    pub seed: u64,
+    /// Initial population (defaults to the target `N` if `None`).
+    pub initial: Option<usize>,
+    /// Matched fraction (1.0 = full matching).
+    pub gamma: f64,
+    /// Per-round adversary budget enforced by the engine.
+    pub budget: usize,
+    /// Number of epochs to run.
+    pub epochs: u64,
+}
+
+impl RunSpec {
+    /// A default spec: start at `N`, full matching, no adversary budget.
+    pub fn new(seed: u64, epochs: u64) -> RunSpec {
+        RunSpec { seed, initial: None, gamma: 1.0, budget: 0, epochs }
+    }
+}
+
+/// Builds and runs a protocol engine per `spec`, returning it for
+/// inspection.
+pub fn run_protocol<A: Adversary<AgentState>>(
+    params: &Params,
+    adversary: A,
+    spec: RunSpec,
+) -> Engine<PopulationStability, A> {
+    let epoch = u64::from(params.epoch_len());
+    let cfg = SimConfig::builder()
+        .seed(spec.seed)
+        .target(params.target())
+        .adversary_budget(spec.budget)
+        .matching(if spec.gamma >= 1.0 {
+            MatchingModel::Full
+        } else {
+            MatchingModel::ExactFraction(spec.gamma)
+        })
+        .max_population(64 * params.target() as usize)
+        .build()
+        .expect("valid experiment config");
+    let initial = spec.initial.unwrap_or(params.target() as usize);
+    let mut engine = Engine::with_adversary(PopulationStability::new(params.clone()), adversary, cfg, initial);
+    engine.run_rounds(spec.epochs * epoch);
+    engine
+}
+
+/// Convenience: run with no adversary.
+pub fn run_clean(params: &Params, spec: RunSpec) -> Engine<PopulationStability, NoOpAdversary> {
+    run_protocol(params, NoOpAdversary, spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_clean_executes_requested_epochs() {
+        let params = Params::for_target(1024).unwrap();
+        let engine = run_clean(&params, RunSpec::new(1, 2));
+        assert_eq!(engine.round(), 2 * u64::from(params.epoch_len()));
+        assert!(engine.population() > 0);
+    }
+
+    #[test]
+    fn run_spec_initial_override() {
+        let params = Params::for_target(1024).unwrap();
+        let mut spec = RunSpec::new(2, 0);
+        spec.initial = Some(300);
+        let engine = run_clean(&params, spec);
+        assert_eq!(engine.population(), 300);
+    }
+}

@@ -1,0 +1,94 @@
+//! The biased-coin subroutine (Algorithm 4) with its memory accounting.
+//!
+//! The paper assumes agents can flip only *unbiased* coins, and obtains bias
+//! `2^-a` by flipping `a` fair coins and reporting 1 iff all landed heads.
+//! Counting to `a` needs `⌈log₂(a+1)⌉` bits of scratch memory plus one bit
+//! for the running conjunction — memory that the protocol reuses from the
+//! `round` counter, since the coin is only tossed in the leader-selection
+//! and evaluation rounds (§4, memory discussion).
+
+use popstab_sim::SimRng;
+use rand::Rng;
+
+/// Flips a coin that is 1 with probability `2^-bias_exp`, faithfully
+/// implementing Algorithm 4 with `bias_exp` fair flips.
+///
+/// `bias_exp = 0` always returns `true` (an "all heads" conjunction over zero
+/// flips).
+///
+/// ```
+/// let mut rng = popstab_sim::rng::rng_from_seed(1);
+/// // Pr[true] = 2^-3 = 1/8.
+/// let hits = (0..8000).filter(|_| popstab_core::coin::toss_biased_coin(3, &mut rng)).count();
+/// assert!((800..1200).contains(&hits));
+/// ```
+pub fn toss_biased_coin(bias_exp: u32, rng: &mut SimRng) -> bool {
+    let mut c = true;
+    for _ in 0..bias_exp {
+        if !rng.random::<bool>() {
+            // Algorithm 4 keeps flipping after the first tail; we may stop
+            // early because the remaining flips cannot change the outcome
+            // and the distribution is identical.
+            c = false;
+            break;
+        }
+    }
+    c
+}
+
+/// Scratch memory, in bits, needed by Algorithm 4 to flip a `2^-a` coin:
+/// `1 + ⌈log₂ a⌉` (the paper's bound; one output bit plus a counter to `a`).
+pub fn scratch_bits(bias_exp: u32) -> u32 {
+    if bias_exp <= 1 {
+        1
+    } else {
+        1 + (32 - (bias_exp - 1).leading_zeros())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use popstab_sim::rng::rng_from_seed;
+
+    #[test]
+    fn zero_exp_always_true() {
+        let mut rng = rng_from_seed(0);
+        assert!((0..100).all(|_| toss_biased_coin(0, &mut rng)));
+    }
+
+    #[test]
+    fn empirical_bias_matches_for_small_exponents() {
+        let mut rng = rng_from_seed(1);
+        let trials = 40_000;
+        for a in 1..=4u32 {
+            let hits = (0..trials).filter(|_| toss_biased_coin(a, &mut rng)).count() as f64;
+            let expected = trials as f64 * 0.5f64.powi(a as i32);
+            let sd = (trials as f64 * 0.5f64.powi(a as i32)).sqrt();
+            assert!(
+                (hits - expected).abs() < 5.0 * sd,
+                "a={a}: hits={hits}, expected={expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn large_exponent_is_effectively_never() {
+        let mut rng = rng_from_seed(2);
+        let hits = (0..100_000).filter(|_| toss_biased_coin(40, &mut rng)).count();
+        assert_eq!(hits, 0);
+    }
+
+    #[test]
+    fn scratch_bits_follows_paper_bound() {
+        // 1 + ceil(log2 a), with the degenerate cases pinned at 1 bit.
+        assert_eq!(scratch_bits(0), 1);
+        assert_eq!(scratch_bits(1), 1);
+        assert_eq!(scratch_bits(2), 2);
+        assert_eq!(scratch_bits(3), 3);
+        assert_eq!(scratch_bits(4), 3);
+        assert_eq!(scratch_bits(8), 4);
+        assert_eq!(scratch_bits(9), 5);
+        assert_eq!(scratch_bits(16), 5);
+    }
+}

@@ -1,0 +1,246 @@
+//! Per-agent state (§3 of the paper).
+//!
+//! The protocol-relevant memory of an agent is: the epoch round counter
+//! `round ∈ [0, T)` plus the boolean flags `active`, `color`, `recruiting`.
+//! Everything else in [`AgentState`] is **instrumentation** — fields the
+//! simulator keeps so that experiments can check the paper's invariants
+//! (cluster sizes, recruitment trees, leader counts). Instrumentation is
+//! never read by the protocol's decision logic and is excluded from the
+//! memory accounting in [`crate::accounting`].
+
+use std::fmt;
+
+use popstab_sim::{Observable, Observation};
+
+use crate::params::Params;
+
+/// An agent's color: the value its cluster's leader drew in round 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Color {
+    /// Color 0.
+    #[default]
+    Zero,
+    /// Color 1.
+    One,
+}
+
+impl Color {
+    /// The opposite color.
+    pub fn flipped(self) -> Color {
+        match self {
+            Color::Zero => Color::One,
+            Color::One => Color::Zero,
+        }
+    }
+
+    /// Encodes as one bit.
+    pub fn as_bit(self) -> u8 {
+        match self {
+            Color::Zero => 0,
+            Color::One => 1,
+        }
+    }
+
+    /// Decodes from the low bit.
+    pub fn from_bit(bit: u8) -> Color {
+        if bit & 1 == 0 {
+            Color::Zero
+        } else {
+            Color::One
+        }
+    }
+}
+
+impl fmt::Display for Color {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Color::Zero => "0",
+            Color::One => "1",
+        })
+    }
+}
+
+/// The full simulated state of one agent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AgentState {
+    /// Round counter within the epoch, in `[0, T)`. *Protocol memory.*
+    pub round: u32,
+    /// Whether the agent has been activated (is a leader or was recruited)
+    /// this epoch. *Protocol memory.*
+    pub active: bool,
+    /// The agent's color; only meaningful while `active`. *Protocol memory.*
+    pub color: Color,
+    /// Whether the agent is still looking for a recruit in the current
+    /// subphase. *Protocol memory.*
+    pub recruiting: bool,
+    /// Number of further recruitment subphases this agent owes. The paper
+    /// notes this variable is needed only for the analysis; the protocol's
+    /// behaviour is fully determined by the round number. *Instrumentation.*
+    pub to_recruit: u32,
+    /// Whether the agent became a leader in round 0 of the current epoch.
+    /// *Instrumentation.*
+    pub is_leader: bool,
+    /// Cluster tag: the lineage id of the leader whose recruitment tree this
+    /// agent joined (0 = none). *Instrumentation.*
+    pub lineage: u64,
+    /// The epoch length `T` this agent was configured with; kept in the
+    /// state only so [`Observable`] can compute phase flags without access
+    /// to the protocol. The protocol always uses its own `Params`, so an
+    /// adversary forging this field gains nothing. *Instrumentation.*
+    pub epoch_len: u32,
+}
+
+impl AgentState {
+    /// The all-zeros onset state ("initially ... all variables are set to
+    /// zero").
+    pub fn fresh(params: &Params) -> AgentState {
+        AgentState {
+            round: 0,
+            active: false,
+            color: Color::Zero,
+            recruiting: false,
+            to_recruit: 0,
+            is_leader: false,
+            lineage: 0,
+            epoch_len: params.epoch_len(),
+        }
+    }
+
+    /// A freshly-selected leader with the given color and lineage tag, as
+    /// produced by `DetermineIfLeader` (Algorithm 3). `round` is 1 because
+    /// leader selection happens in round 0 and the counter has advanced.
+    pub fn leader(params: &Params, color: Color, lineage: u64) -> AgentState {
+        AgentState {
+            round: 1,
+            active: true,
+            color,
+            recruiting: true,
+            to_recruit: params.subphases(),
+            is_leader: true,
+            lineage,
+            epoch_len: params.epoch_len(),
+        }
+    }
+
+    /// An active (recruited) non-leader agent at the given round, as an
+    /// adversary might insert.
+    pub fn active_at(params: &Params, round: u32, color: Color) -> AgentState {
+        AgentState {
+            round,
+            active: true,
+            color,
+            recruiting: false,
+            to_recruit: params.to_recruit_at(round.max(1)),
+            is_leader: false,
+            lineage: 0,
+            epoch_len: params.epoch_len(),
+        }
+    }
+
+    /// An inactive agent whose clock reads `round` (adversarial desync
+    /// insertion).
+    pub fn desynced(params: &Params, round: u32) -> AgentState {
+        AgentState { round, ..AgentState::fresh(params) }
+    }
+
+    /// Whether the agent believes it is in the evaluation round.
+    pub fn in_eval_phase(&self) -> bool {
+        self.epoch_len > 0 && self.round == self.epoch_len - 1
+    }
+}
+
+impl Observable for AgentState {
+    fn observe(&self) -> Observation {
+        Observation {
+            round_in_epoch: Some(self.round),
+            active: self.active,
+            color: if self.active { Some(self.color == Color::One) } else { None },
+            recruiting: self.recruiting,
+            in_eval_phase: self.in_eval_phase(),
+            is_leader: self.is_leader,
+            lineage: if self.active { Some(self.lineage) } else { None },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> Params {
+        Params::for_target(1024).unwrap()
+    }
+
+    #[test]
+    fn fresh_state_is_all_zeros() {
+        let s = AgentState::fresh(&params());
+        assert_eq!(s.round, 0);
+        assert!(!s.active);
+        assert_eq!(s.color, Color::Zero);
+        assert!(!s.recruiting);
+        assert_eq!(s.to_recruit, 0);
+        assert!(!s.is_leader);
+        assert_eq!(s.lineage, 0);
+    }
+
+    #[test]
+    fn leader_state_matches_algorithm_3() {
+        let p = params();
+        let s = AgentState::leader(&p, Color::One, 42);
+        assert!(s.active && s.recruiting && s.is_leader);
+        assert_eq!(s.color, Color::One);
+        assert_eq!(s.to_recruit, p.subphases());
+        assert_eq!(s.lineage, 42);
+    }
+
+    #[test]
+    fn eval_phase_flag() {
+        let p = params();
+        let mut s = AgentState::fresh(&p);
+        assert!(!s.in_eval_phase());
+        s.round = p.eval_round();
+        assert!(s.in_eval_phase());
+    }
+
+    #[test]
+    fn color_flip_and_bits() {
+        assert_eq!(Color::Zero.flipped(), Color::One);
+        assert_eq!(Color::One.flipped(), Color::Zero);
+        assert_eq!(Color::Zero.as_bit(), 0);
+        assert_eq!(Color::One.as_bit(), 1);
+        assert_eq!(Color::from_bit(0), Color::Zero);
+        assert_eq!(Color::from_bit(1), Color::One);
+        assert_eq!(Color::from_bit(3), Color::One);
+        assert_eq!(Color::from_bit(2), Color::Zero);
+    }
+
+    #[test]
+    fn observation_hides_color_of_inactive_agents() {
+        let p = params();
+        let mut s = AgentState::fresh(&p);
+        s.color = Color::One;
+        let obs = s.observe();
+        assert_eq!(obs.color, None);
+        assert_eq!(obs.lineage, None);
+        s.active = true;
+        let obs = s.observe();
+        assert_eq!(obs.color, Some(true));
+        assert_eq!(obs.lineage, Some(0));
+    }
+
+    #[test]
+    fn desynced_state_only_differs_in_round() {
+        let p = params();
+        let s = AgentState::desynced(&p, 77);
+        assert_eq!(s.round, 77);
+        assert!(!s.active);
+    }
+
+    #[test]
+    fn active_at_uses_round_schedule() {
+        let p = params();
+        let s = AgentState::active_at(&p, 1, Color::Zero);
+        assert_eq!(s.to_recruit, p.subphases() - 1);
+        assert!(s.active && !s.recruiting);
+    }
+}

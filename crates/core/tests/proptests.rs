@@ -1,0 +1,204 @@
+//! Property-based tests for the protocol crate: the three-bit wire codec,
+//! parameter arithmetic and state-machine invariants.
+
+use proptest::prelude::*;
+
+use popstab_core::message::Message;
+use popstab_core::params::Params;
+use popstab_core::protocol::PopulationStability;
+use popstab_core::state::{AgentState, Color};
+use popstab_sim::rng::rng_from_seed;
+use popstab_sim::{Action, Protocol};
+
+fn arb_color() -> impl Strategy<Value = Color> {
+    prop_oneof![Just(Color::Zero), Just(Color::One)]
+}
+
+fn arb_params() -> impl Strategy<Value = Params> {
+    // log2 N even, in [10, 20]; T_inner in a plausible range.
+    (5u32..=10, 8u32..=200).prop_map(|(half_log, t_inner)| {
+        Params::builder(1u64 << (2 * half_log)).t_inner(t_inner).build().unwrap()
+    })
+}
+
+/// Arbitrary (possibly adversarial) agent state for given params.
+fn arb_state(params: Params) -> impl Strategy<Value = AgentState> {
+    let t = params.epoch_len();
+    (0u32..3 * t, any::<bool>(), arb_color(), any::<bool>(), 0u32..=params.subphases(), any::<bool>(), any::<u64>())
+        .prop_map(move |(round, active, color, recruiting, to_recruit, is_leader, lineage)| AgentState {
+            round,
+            active,
+            color,
+            recruiting,
+            to_recruit,
+            is_leader,
+            lineage,
+            epoch_len: params.epoch_len(),
+        })
+}
+
+proptest! {
+    #[test]
+    fn wire_always_fits_three_bits(
+        in_eval in any::<bool>(),
+        active in any::<bool>(),
+        color in arb_color(),
+        recruiting in any::<bool>(),
+        lineage in any::<u64>(),
+    ) {
+        let msg = Message { in_eval_phase: in_eval, active, color, recruiting, lineage };
+        prop_assert!(msg.to_wire().bits() < 8);
+    }
+
+    #[test]
+    fn wire_preserves_receiver_visible_fields(
+        in_eval in any::<bool>(),
+        active in any::<bool>(),
+        color in arb_color(),
+        recruiting in any::<bool>(),
+    ) {
+        // For honest states (recruiting ⇒ active), the decode must agree on
+        // every field the receiver is entitled to read.
+        let active = active || recruiting;
+        let msg = Message { in_eval_phase: in_eval, active, color, recruiting, lineage: 0 };
+        let w = msg.to_wire();
+        prop_assert_eq!(w.in_eval_phase(), in_eval);
+        prop_assert_eq!(w.active(), active);
+        if in_eval || recruiting {
+            prop_assert_eq!(w.color(), Some(color));
+        }
+        if !in_eval {
+            prop_assert_eq!(w.recruiting(), recruiting);
+        }
+    }
+
+    #[test]
+    fn params_arithmetic_is_consistent(params in arb_params()) {
+        prop_assert_eq!(params.epoch_len(), params.subphases() * params.t_inner());
+        prop_assert_eq!(params.eval_round(), params.epoch_len() - 1);
+        prop_assert_eq!(params.cluster_size(), params.sqrt_n());
+        prop_assert_eq!(u128::from(params.sqrt_n()) * u128::from(params.sqrt_n()), u128::from(params.target()));
+        // Boundaries occur exactly once every t_inner rounds.
+        let boundaries = (0..params.epoch_len()).filter(|&r| params.is_subphase_boundary(r)).count();
+        prop_assert_eq!(boundaries as u32, params.subphases());
+        // to_recruit is 0 by the last recruitment round.
+        prop_assert_eq!(params.to_recruit_at(params.epoch_len() - 2), 0);
+    }
+
+    #[test]
+    fn subphase_of_round_is_monotone_and_in_range(params in arb_params(), frac in 0.0f64..1.0) {
+        let r = 1 + (frac * f64::from(params.epoch_len() - 3)) as u32;
+        let s = params.subphase_of_round(r);
+        prop_assert!(s >= 1 && s <= params.subphases());
+        if r + 1 < params.epoch_len() - 1 {
+            prop_assert!(params.subphase_of_round(r + 1) >= s);
+        }
+    }
+
+    #[test]
+    fn step_normalizes_any_round_value(
+        seed in 0u64..1000,
+        state in arb_state(Params::for_target(1024).unwrap()),
+    ) {
+        // Whatever garbage the adversary writes into `round`, after one
+        // step the counter is a valid epoch position.
+        let params = Params::for_target(1024).unwrap();
+        let protocol = PopulationStability::new(params.clone());
+        let mut rng = rng_from_seed(seed);
+        let mut s = state;
+        let _ = protocol.step(&mut s, None, &mut rng);
+        prop_assert!(s.round < params.epoch_len());
+    }
+
+    #[test]
+    fn unmatched_agents_never_die_or_split_outside_eval(
+        seed in 0u64..1000,
+        round in 0u32..499,
+    ) {
+        // An unmatched agent in a non-evaluation round always continues.
+        let params = Params::for_target(1024).unwrap();
+        prop_assume!(round != params.eval_round());
+        let protocol = PopulationStability::new(params.clone());
+        let mut rng = rng_from_seed(seed);
+        let mut s = AgentState::desynced(&params, round);
+        prop_assert_eq!(protocol.step(&mut s, None, &mut rng), Action::Continue);
+    }
+
+    #[test]
+    fn round_consistency_is_symmetric(
+        seed in 0u64..1000,
+        ra in 0u32..500,
+        rb in 0u32..500,
+    ) {
+        // If a dies on meeting b, then b dies on meeting a (Algorithm 7 is
+        // a symmetric predicate on the one-bit eval flags).
+        let params = Params::for_target(1024).unwrap();
+        let protocol = PopulationStability::new(params.clone());
+        let mut rng = rng_from_seed(seed);
+        let a = AgentState::desynced(&params, ra);
+        let b = AgentState::desynced(&params, rb);
+        let msg_a = protocol.message(&a);
+        let msg_b = protocol.message(&b);
+        let mut a2 = a;
+        let mut b2 = b;
+        let act_a = protocol.step(&mut a2, Some(&msg_b), &mut rng);
+        let act_b = protocol.step(&mut b2, Some(&msg_a), &mut rng);
+        prop_assert_eq!(act_a == Action::Die, act_b == Action::Die);
+        // And they die iff exactly one of them is at the eval round.
+        let eval = params.eval_round();
+        prop_assert_eq!(act_a == Action::Die, (ra == eval) != (rb == eval));
+    }
+
+    #[test]
+    fn recruitment_conserves_colors(
+        seed in 0u64..1000,
+        color in arb_color(),
+        round in 1u32..498,
+    ) {
+        // A recruited agent adopts exactly the recruiter's color.
+        let params = Params::for_target(1024).unwrap();
+        prop_assume!(round != params.eval_round());
+        let protocol = PopulationStability::new(params.clone());
+        let mut rng = rng_from_seed(seed);
+        let mut recruiter = AgentState::leader(&params, color, 9);
+        recruiter.round = round;
+        let msg = protocol.message(&recruiter);
+        let mut idle = AgentState::desynced(&params, round);
+        let _ = protocol.step(&mut idle, Some(&msg), &mut rng);
+        prop_assert!(idle.active);
+        prop_assert_eq!(idle.color, color);
+        prop_assert_eq!(idle.lineage, 9);
+    }
+
+    #[test]
+    fn evaluation_always_resets_state(
+        seed in 0u64..1000,
+        active in any::<bool>(),
+        color in arb_color(),
+        partner_active in any::<bool>(),
+        partner_color in arb_color(),
+    ) {
+        let params = Params::for_target(1024).unwrap();
+        let protocol = PopulationStability::new(params.clone());
+        let mut rng = rng_from_seed(seed);
+        let eval = params.eval_round();
+        let mut s = if active {
+            AgentState::active_at(&params, eval, color)
+        } else {
+            AgentState::desynced(&params, eval)
+        };
+        let partner = if partner_active {
+            AgentState::active_at(&params, eval, partner_color)
+        } else {
+            AgentState::desynced(&params, eval)
+        };
+        let msg = protocol.message(&partner);
+        let action = protocol.step(&mut s, Some(&msg), &mut rng);
+        // Whatever the decision, the surviving state is reset.
+        prop_assert!(!s.active && !s.recruiting && !s.is_leader);
+        prop_assert_eq!(s.round, 0);
+        // Death happens exactly on an active color clash.
+        let clash = active && partner_active && color != partner_color;
+        prop_assert_eq!(action == Action::Die, clash);
+    }
+}

@@ -1,0 +1,177 @@
+//! Engine configuration.
+
+use crate::error::SimError;
+use crate::matching::MatchingModel;
+
+/// Configuration of a simulation run.
+///
+/// Construct with [`SimConfig::builder`]; all fields have sensible defaults
+/// (full matching, no adversary budget, generous safety caps).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// How the per-round random matching is sampled.
+    pub matching: MatchingModel,
+    /// Per-round adversary alteration budget `K`. The engine truncates any
+    /// excess alterations an adversary returns.
+    pub adversary_budget: usize,
+    /// Master seed; all randomness (agents, matching, adversary) derives
+    /// from it through independent streams.
+    pub seed: u64,
+    /// Safety cap: the engine halts with [`HaltReason::Exploded`] if the
+    /// population exceeds this (protects runaway baselines).
+    ///
+    /// [`HaltReason::Exploded`]: crate::engine::HaltReason::Exploded
+    pub max_population: usize,
+    /// Record metrics every this many rounds (1 = every round).
+    pub metrics_every: u64,
+    /// The population target `N` exposed to adversaries via
+    /// [`RoundContext::target`](crate::RoundContext::target).
+    pub target: u64,
+}
+
+impl SimConfig {
+    /// Starts building a configuration.
+    pub fn builder() -> SimConfigBuilder {
+        SimConfigBuilder::default()
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig::builder().build().expect("default config is valid")
+    }
+}
+
+/// Builder for [`SimConfig`].
+#[derive(Debug, Clone)]
+pub struct SimConfigBuilder {
+    matching: MatchingModel,
+    adversary_budget: usize,
+    seed: u64,
+    max_population: usize,
+    metrics_every: u64,
+    target: u64,
+}
+
+impl Default for SimConfigBuilder {
+    fn default() -> Self {
+        SimConfigBuilder {
+            matching: MatchingModel::Full,
+            adversary_budget: 0,
+            seed: 0,
+            max_population: 1 << 28,
+            metrics_every: 1,
+            target: 0,
+        }
+    }
+}
+
+impl SimConfigBuilder {
+    /// Sets the matching model.
+    pub fn matching(&mut self, model: MatchingModel) -> &mut Self {
+        self.matching = model;
+        self
+    }
+
+    /// Sets the per-round adversary budget `K`.
+    pub fn adversary_budget(&mut self, k: usize) -> &mut Self {
+        self.adversary_budget = k;
+        self
+    }
+
+    /// Sets the master seed.
+    pub fn seed(&mut self, seed: u64) -> &mut Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the runaway-population safety cap.
+    pub fn max_population(&mut self, cap: usize) -> &mut Self {
+        self.max_population = cap;
+        self
+    }
+
+    /// Records metrics every `every` rounds.
+    pub fn metrics_every(&mut self, every: u64) -> &mut Self {
+        self.metrics_every = every;
+        self
+    }
+
+    /// Sets the population target `N` exposed to adversaries.
+    pub fn target(&mut self, n: u64) -> &mut Self {
+        self.target = n;
+        self
+    }
+
+    /// Validates and produces the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if the matching fraction is out of
+    /// range, the cap is zero, or `metrics_every` is zero.
+    pub fn build(&self) -> Result<SimConfig, SimError> {
+        self.matching.validate()?;
+        if self.max_population == 0 {
+            return Err(SimError::invalid_config("max_population", "must be positive"));
+        }
+        if self.metrics_every == 0 {
+            return Err(SimError::invalid_config("metrics_every", "must be positive"));
+        }
+        Ok(SimConfig {
+            matching: self.matching,
+            adversary_budget: self.adversary_budget,
+            seed: self.seed,
+            max_population: self.max_population,
+            metrics_every: self.metrics_every,
+            target: self.target,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        let cfg = SimConfig::default();
+        assert_eq!(cfg.adversary_budget, 0);
+        assert_eq!(cfg.matching, MatchingModel::Full);
+        assert_eq!(cfg.metrics_every, 1);
+    }
+
+    #[test]
+    fn builder_sets_all_fields() {
+        let cfg = SimConfig::builder()
+            .matching(MatchingModel::ExactFraction(0.25))
+            .adversary_budget(7)
+            .seed(99)
+            .max_population(1000)
+            .metrics_every(5)
+            .target(512)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.matching, MatchingModel::ExactFraction(0.25));
+        assert_eq!(cfg.adversary_budget, 7);
+        assert_eq!(cfg.seed, 99);
+        assert_eq!(cfg.max_population, 1000);
+        assert_eq!(cfg.metrics_every, 5);
+        assert_eq!(cfg.target, 512);
+    }
+
+    #[test]
+    fn builder_rejects_invalid_gamma() {
+        let err = SimConfig::builder().matching(MatchingModel::ExactFraction(2.0)).build();
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn builder_rejects_zero_cap() {
+        assert!(SimConfig::builder().max_population(0).build().is_err());
+    }
+
+    #[test]
+    fn builder_rejects_zero_metrics_stride() {
+        assert!(SimConfig::builder().metrics_every(0).build().is_err());
+    }
+}

@@ -1,0 +1,619 @@
+//! The synchronous round engine.
+//!
+//! Round structure (matching §2 of the paper):
+//!
+//! 1. the **adversary** observes the full state of every agent and commits up
+//!    to `K` alterations (insert / delete / modify),
+//! 2. a random **matching** covering the configured fraction of the surviving
+//!    agents is sampled (the adversary cannot see it in advance),
+//! 3. matched agents simultaneously **exchange messages** composed from their
+//!    pre-round states; every agent then **steps** once,
+//! 4. **splits** and **deaths** decided during the step are applied.
+//!
+//! The engine is generic over the [`Protocol`] and the [`Adversary`], records
+//! [`RoundStats`] each round, and halts on extinction or population explosion
+//! (a safety cap for baselines that are *supposed* to diverge).
+
+use crate::adversary::{Adversary, Alteration, NoOpAdversary, RoundContext};
+use crate::agent::{Action, Protocol};
+use crate::config::SimConfig;
+use crate::matching::sample_matching;
+use crate::metrics::{MetricsRecorder, RoundStats};
+use crate::rng::{derive_stream, SimRng};
+use crate::trace::Trajectory;
+
+/// Why a run stopped early.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HaltReason {
+    /// Every agent died or was deleted.
+    Extinct,
+    /// The population exceeded [`SimConfig::max_population`].
+    Exploded,
+}
+
+/// Summary of a single executed round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RoundReport {
+    /// Global round number of this report.
+    pub round: u64,
+    /// Population before the adversary acted.
+    pub population_before: usize,
+    /// Population after splits/deaths were applied.
+    pub population_after: usize,
+    /// Adversarial insertions applied.
+    pub inserted: usize,
+    /// Adversarial deletions applied.
+    pub deleted: usize,
+    /// Adversarial modifications applied.
+    pub modified: usize,
+    /// Protocol splits this round.
+    pub splits: usize,
+    /// Protocol deaths this round.
+    pub deaths: usize,
+}
+
+/// A running simulation: population, protocol, adversary, RNG streams.
+#[derive(Debug)]
+pub struct Engine<P: Protocol, A: Adversary<P::State> = NoOpAdversary> {
+    protocol: P,
+    adversary: A,
+    cfg: SimConfig,
+    agents: Vec<P::State>,
+    round: u64,
+    agent_rng: SimRng,
+    match_rng: SimRng,
+    adv_rng: SimRng,
+    metrics: MetricsRecorder,
+    halted: Option<HaltReason>,
+}
+
+impl<P: Protocol> Engine<P, NoOpAdversary> {
+    /// Creates an engine with `population` fresh agents and no adversary.
+    pub fn with_population(protocol: P, cfg: SimConfig, population: usize) -> Self {
+        Engine::with_adversary(protocol, NoOpAdversary, cfg, population)
+    }
+}
+
+impl<P: Protocol, A: Adversary<P::State>> Engine<P, A> {
+    /// Creates an engine with `population` fresh agents and an adversary.
+    pub fn with_adversary(protocol: P, adversary: A, cfg: SimConfig, population: usize) -> Self {
+        let mut agent_rng = derive_stream(cfg.seed, "agents");
+        let match_rng = derive_stream(cfg.seed, "matching");
+        let adv_rng = derive_stream(cfg.seed, "adversary");
+        let agents = (0..population).map(|_| protocol.initial_state(&mut agent_rng)).collect();
+        Engine {
+            protocol,
+            adversary,
+            cfg,
+            agents,
+            round: 0,
+            agent_rng,
+            match_rng,
+            adv_rng,
+            metrics: MetricsRecorder::new(),
+            halted: None,
+        }
+    }
+
+    /// Current population size.
+    pub fn population(&self) -> usize {
+        self.agents.len()
+    }
+
+    /// Read access to all agent states (what the adversary sees).
+    pub fn agents(&self) -> &[P::State] {
+        &self.agents
+    }
+
+    /// The protocol being executed.
+    pub fn protocol(&self) -> &P {
+        &self.protocol
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Number of rounds executed so far.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Why the engine halted, if it did.
+    pub fn halted(&self) -> Option<HaltReason> {
+        self.halted
+    }
+
+    /// Recorded metrics.
+    pub fn metrics(&self) -> &MetricsRecorder {
+        &self.metrics
+    }
+
+    /// Trajectory view over the recorded metrics.
+    pub fn trajectory(&self) -> Trajectory<'_> {
+        Trajectory::new(self.metrics.rounds())
+    }
+
+    /// Clears recorded metrics (e.g. after warm-up).
+    pub fn reset_metrics(&mut self) {
+        self.metrics.clear();
+    }
+
+    /// Executes one round; returns its report. A halted engine is inert and
+    /// returns a report describing no activity.
+    pub fn run_round(&mut self) -> RoundReport {
+        let mut report =
+            RoundReport { round: self.round, population_before: self.agents.len(), ..RoundReport::default() };
+        if self.halted.is_some() {
+            report.population_after = self.agents.len();
+            return report;
+        }
+
+        // Phase 1: adversary (sees everything, blind to the coming matching).
+        let ctx = RoundContext {
+            round: self.round,
+            budget: self.cfg.adversary_budget,
+            target: self.cfg.target,
+        };
+        let alterations = self.adversary.act(&ctx, &self.agents, &mut self.adv_rng);
+        self.apply_alterations(alterations, &mut report);
+
+        // Phase 2: matching over survivors.
+        let matching = sample_matching(self.agents.len(), self.cfg.matching, &mut self.match_rng);
+        let partners = matching.partner_table(self.agents.len());
+
+        // Phase 3: simultaneous message exchange, then one step per agent.
+        // Messages are composed from pre-step state for every matched agent.
+        let messages: Vec<Option<P::Message>> = partners
+            .iter()
+            .map(|p| p.map(|j| self.protocol.message(&self.agents[j as usize])))
+            .collect();
+
+        let mut deaths: Vec<usize> = Vec::new();
+        let mut splits: Vec<usize> = Vec::new();
+        for (i, incoming) in messages.iter().enumerate() {
+            let action = self.protocol.step(&mut self.agents[i], incoming.as_ref(), &mut self.agent_rng);
+            match action {
+                Action::Continue => {}
+                Action::Split => splits.push(i),
+                Action::Die => deaths.push(i),
+                // Extended model (§1.2): remove the matched partner. A
+                // kill and a same-round split of the victim both take
+                // effect: the daughter survives, the victim does not.
+                Action::KillPartner => {
+                    if let Some(j) = partners[i] {
+                        deaths.push(j as usize);
+                    }
+                }
+            }
+        }
+
+        // Phase 4: apply splits (append daughters) then deaths (swap-remove,
+        // descending index order so earlier indices stay valid; kills may
+        // duplicate an own-death, so dedup first).
+        deaths.sort_unstable();
+        deaths.dedup();
+        report.splits = splits.len();
+        report.deaths = deaths.len();
+        for &i in &splits {
+            let daughter = self.agents[i].clone();
+            self.agents.push(daughter);
+        }
+        for &i in deaths.iter().rev() {
+            self.agents.swap_remove(i);
+        }
+
+        report.population_after = self.agents.len();
+        self.round += 1;
+
+        if self.round % self.cfg.metrics_every == 0 || self.agents.is_empty() {
+            let mut stats = RoundStats::observe(report.round, &self.agents);
+            stats.splits = report.splits;
+            stats.deaths = report.deaths;
+            stats.adv_inserted = report.inserted;
+            stats.adv_deleted = report.deleted;
+            stats.adv_modified = report.modified;
+            self.metrics.record(stats);
+        }
+
+        if self.agents.is_empty() {
+            self.halted = Some(HaltReason::Extinct);
+        } else if self.agents.len() > self.cfg.max_population {
+            self.halted = Some(HaltReason::Exploded);
+        }
+        report
+    }
+
+    /// Runs up to `n` rounds, stopping early if the engine halts. Returns the
+    /// number of rounds actually executed.
+    pub fn run_rounds(&mut self, n: u64) -> u64 {
+        for executed in 0..n {
+            if self.halted.is_some() {
+                return executed;
+            }
+            self.run_round();
+        }
+        n
+    }
+
+    /// Applies adversary alterations under the budget, in order. `Delete` and
+    /// `Modify` indices refer to the slice the adversary saw; deletions are
+    /// deferred to the end (swap-remove, descending) so indices stay stable,
+    /// and insertions are appended after the original slice.
+    fn apply_alterations(&mut self, alterations: Vec<Alteration<P::State>>, report: &mut RoundReport) {
+        let original_len = self.agents.len();
+        let mut to_delete: Vec<usize> = Vec::new();
+        for alt in alterations.into_iter().take(self.cfg.adversary_budget) {
+            match alt {
+                Alteration::Delete(i) => {
+                    if i < original_len && !to_delete.contains(&i) {
+                        to_delete.push(i);
+                        report.deleted += 1;
+                    }
+                }
+                Alteration::Insert(state) => {
+                    self.agents.push(state);
+                    report.inserted += 1;
+                }
+                Alteration::Modify(i, state) => {
+                    if i < original_len {
+                        self.agents[i] = state;
+                        report.modified += 1;
+                    }
+                }
+            }
+        }
+        to_delete.sort_unstable();
+        for &i in to_delete.iter().rev() {
+            self.agents.swap_remove(i);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agent::{Observable, Observation};
+    use crate::matching::MatchingModel;
+    use crate::protocols::{Inert, InertState};
+    use rand::Rng;
+
+    /// Every matched agent splits once, then goes quiet. Used to test split
+    /// application.
+    struct SplitOnce;
+
+    #[derive(Debug, Clone)]
+    struct SplitState {
+        done: bool,
+    }
+    impl Observable for SplitState {
+        fn observe(&self) -> Observation {
+            Observation { active: self.done, ..Observation::default() }
+        }
+    }
+
+    impl Protocol for SplitOnce {
+        type State = SplitState;
+        type Message = ();
+        fn initial_state(&self, _rng: &mut SimRng) -> SplitState {
+            SplitState { done: false }
+        }
+        fn message(&self, _s: &SplitState) -> () {}
+        fn step(&self, s: &mut SplitState, incoming: Option<&()>, _rng: &mut SimRng) -> Action {
+            if !s.done && incoming.is_some() {
+                s.done = true;
+                Action::Split
+            } else {
+                Action::Continue
+            }
+        }
+    }
+
+    /// Everyone dies immediately.
+    struct DieAll;
+    #[derive(Debug, Clone)]
+    struct Unit;
+    impl Observable for Unit {
+        fn observe(&self) -> Observation {
+            Observation::default()
+        }
+    }
+    impl Protocol for DieAll {
+        type State = Unit;
+        type Message = ();
+        fn initial_state(&self, _rng: &mut SimRng) -> Unit {
+            Unit
+        }
+        fn message(&self, _s: &Unit) -> () {}
+        fn step(&self, _s: &mut Unit, _m: Option<&()>, _rng: &mut SimRng) -> Action {
+            Action::Die
+        }
+    }
+
+    fn cfg(seed: u64) -> SimConfig {
+        SimConfig::builder().seed(seed).build().unwrap()
+    }
+
+    #[test]
+    fn inert_population_is_stable() {
+        let mut engine = Engine::with_population(Inert, cfg(1), 50);
+        let executed = engine.run_rounds(20);
+        assert_eq!(executed, 20);
+        assert_eq!(engine.population(), 50);
+        assert_eq!(engine.halted(), None);
+        assert_eq!(engine.metrics().len(), 20);
+    }
+
+    #[test]
+    fn splits_double_matched_agents() {
+        let mut engine = Engine::with_population(SplitOnce, cfg(2), 10);
+        let report = engine.run_round();
+        // Full matching on 10 agents: all matched, all split.
+        assert_eq!(report.splits, 10);
+        assert_eq!(engine.population(), 20);
+    }
+
+    #[test]
+    fn extinction_halts_engine() {
+        let mut engine = Engine::with_population(DieAll, cfg(3), 8);
+        let report = engine.run_round();
+        assert_eq!(report.deaths, 8);
+        assert_eq!(engine.population(), 0);
+        assert_eq!(engine.halted(), Some(HaltReason::Extinct));
+        // Further rounds are inert.
+        let executed = engine.run_rounds(5);
+        assert_eq!(executed, 0);
+    }
+
+    #[test]
+    fn explosion_cap_halts_engine() {
+        /// Splits every round forever.
+        struct Exploder;
+        impl Protocol for Exploder {
+            type State = Unit;
+            type Message = ();
+            fn initial_state(&self, _r: &mut SimRng) -> Unit {
+                Unit
+            }
+            fn message(&self, _s: &Unit) -> () {}
+            fn step(&self, _s: &mut Unit, _m: Option<&()>, _r: &mut SimRng) -> Action {
+                Action::Split
+            }
+        }
+        let cfg = SimConfig::builder().seed(4).max_population(100).build().unwrap();
+        let mut engine = Engine::with_population(Exploder, cfg, 10);
+        engine.run_rounds(10);
+        assert_eq!(engine.halted(), Some(HaltReason::Exploded));
+        assert!(engine.population() > 100);
+    }
+
+    #[test]
+    fn budget_truncates_alterations() {
+        struct GreedyDeleter;
+        impl Adversary<InertState> for GreedyDeleter {
+            fn name(&self) -> &'static str {
+                "greedy"
+            }
+            fn act(&mut self, _c: &RoundContext, agents: &[InertState], _r: &mut SimRng) -> Vec<Alteration<InertState>> {
+                (0..agents.len()).map(Alteration::Delete).collect()
+            }
+        }
+        let cfg = SimConfig::builder().seed(5).adversary_budget(3).build().unwrap();
+        let mut engine = Engine::with_adversary(Inert, GreedyDeleter, cfg, 10);
+        let report = engine.run_round();
+        assert_eq!(report.deleted, 3);
+        assert_eq!(engine.population(), 7);
+    }
+
+    #[test]
+    fn duplicate_and_out_of_range_deletes_are_ignored() {
+        struct Sloppy;
+        impl Adversary<InertState> for Sloppy {
+            fn name(&self) -> &'static str {
+                "sloppy"
+            }
+            fn act(&mut self, _c: &RoundContext, _a: &[InertState], _r: &mut SimRng) -> Vec<Alteration<InertState>> {
+                vec![Alteration::Delete(0), Alteration::Delete(0), Alteration::Delete(999)]
+            }
+        }
+        let cfg = SimConfig::builder().seed(6).adversary_budget(10).build().unwrap();
+        let mut engine = Engine::with_adversary(Inert, Sloppy, cfg, 5);
+        let report = engine.run_round();
+        assert_eq!(report.deleted, 1);
+        assert_eq!(engine.population(), 4);
+    }
+
+    #[test]
+    fn inserts_and_modifies_are_applied() {
+        struct Meddler;
+        impl Adversary<InertState> for Meddler {
+            fn name(&self) -> &'static str {
+                "meddler"
+            }
+            fn act(&mut self, _c: &RoundContext, _a: &[InertState], _r: &mut SimRng) -> Vec<Alteration<InertState>> {
+                vec![Alteration::Insert(InertState), Alteration::Insert(InertState), Alteration::Modify(0, InertState)]
+            }
+        }
+        let cfg = SimConfig::builder().seed(7).adversary_budget(10).build().unwrap();
+        let mut engine = Engine::with_adversary(Inert, Meddler, cfg, 5);
+        let report = engine.run_round();
+        assert_eq!(report.inserted, 2);
+        assert_eq!(report.modified, 1);
+        assert_eq!(engine.population(), 7);
+    }
+
+
+    #[test]
+    fn kill_partner_removes_the_matched_agent() {
+        /// Agents alternate: even seeds kill, odd do nothing. Using a state
+        /// flag: killers kill any partner.
+        struct Killer;
+        #[derive(Debug, Clone)]
+        struct KState {
+            lethal: bool,
+        }
+        impl Observable for KState {
+            fn observe(&self) -> Observation {
+                Observation { active: self.lethal, ..Observation::default() }
+            }
+        }
+        impl Protocol for Killer {
+            type State = KState;
+            type Message = bool;
+            fn initial_state(&self, _r: &mut SimRng) -> KState {
+                KState { lethal: false }
+            }
+            fn message(&self, s: &KState) -> bool {
+                s.lethal
+            }
+            fn step(&self, s: &mut KState, m: Option<&bool>, _r: &mut SimRng) -> Action {
+                match m {
+                    Some(_) if s.lethal => Action::KillPartner,
+                    _ => Action::Continue,
+                }
+            }
+        }
+        struct ArmHalf;
+        impl Adversary<KState> for ArmHalf {
+            fn name(&self) -> &'static str {
+                "arm-half"
+            }
+            fn act(&mut self, ctx: &RoundContext, agents: &[KState], _r: &mut SimRng) -> Vec<Alteration<KState>> {
+                if ctx.round == 0 {
+                    (0..agents.len() / 2).map(|i| Alteration::Modify(i, KState { lethal: true })).collect()
+                } else {
+                    Vec::new()
+                }
+            }
+        }
+        let cfg = SimConfig::builder().seed(21).adversary_budget(100).build().unwrap();
+        let mut engine = Engine::with_adversary(Killer, ArmHalf, cfg, 20);
+        let report = engine.run_round();
+        // 10 killers; each matched partner dies unless the partner is also a
+        // killer (then both die). Deaths are between 5 (all killer-killer
+        // pairs... impossible with 10/10) and 10.
+        assert!(report.deaths >= 5 && report.deaths <= 10, "deaths={}", report.deaths);
+        assert_eq!(engine.population(), 20 - report.deaths);
+        // Killers never die to non-killers: survivors include all 10 killers
+        // minus killer-killer casualties.
+        let lethal_left = engine.agents().iter().filter(|a| a.lethal).count();
+        assert!(lethal_left >= 10 - 2 * (report.deaths - (20 - 10 - (engine.population() - lethal_left))), "lethal_left={lethal_left}");
+    }
+
+    #[test]
+    fn mutual_kills_remove_both_without_double_count() {
+        /// Everyone kills their partner.
+        struct AllKill;
+        impl Protocol for AllKill {
+            type State = Unit;
+            type Message = ();
+            fn initial_state(&self, _r: &mut SimRng) -> Unit {
+                Unit
+            }
+            fn message(&self, _s: &Unit) -> () {}
+            fn step(&self, _s: &mut Unit, m: Option<&()>, _r: &mut SimRng) -> Action {
+                if m.is_some() {
+                    Action::KillPartner
+                } else {
+                    Action::Continue
+                }
+            }
+        }
+        let cfg = SimConfig::builder().seed(22).build().unwrap();
+        let mut engine = Engine::with_population(AllKill, cfg, 10);
+        let report = engine.run_round();
+        assert_eq!(report.deaths, 10);
+        assert_eq!(engine.halted(), Some(HaltReason::Extinct));
+    }
+
+    #[test]
+    fn population_accounting_identity() {
+        // end = start + inserted - deleted + splits - deaths, on every round.
+        struct Churn;
+        impl Adversary<SplitState> for Churn {
+            fn name(&self) -> &'static str {
+                "churn"
+            }
+            fn act(&mut self, ctx: &RoundContext, agents: &[SplitState], rng: &mut SimRng) -> Vec<Alteration<SplitState>> {
+                let mut out = Vec::new();
+                if !agents.is_empty() && rng.random::<bool>() {
+                    out.push(Alteration::Delete(rng.random_range(0..agents.len())));
+                }
+                if ctx.round % 2 == 0 {
+                    out.push(Alteration::Insert(SplitState { done: false }));
+                }
+                out
+            }
+        }
+        let cfg = SimConfig::builder().seed(8).adversary_budget(4).build().unwrap();
+        let mut engine = Engine::with_adversary(SplitOnce, Churn, cfg, 30);
+        for _ in 0..20 {
+            let before = engine.population();
+            let r = engine.run_round();
+            assert_eq!(r.population_before, before);
+            assert_eq!(
+                r.population_after,
+                before + r.inserted - r.deleted + r.splits - r.deaths,
+                "round {} accounting mismatch",
+                r.round
+            );
+            assert_eq!(r.population_after, engine.population());
+        }
+    }
+
+    #[test]
+    fn metrics_stride_reduces_records() {
+        let cfg = SimConfig::builder().seed(9).metrics_every(5).build().unwrap();
+        let mut engine = Engine::with_population(Inert, cfg, 10);
+        engine.run_rounds(20);
+        assert_eq!(engine.metrics().len(), 4);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed: u64| {
+            // A random matched fraction makes the trajectory seed-dependent.
+            let cfg = SimConfig::builder()
+                .seed(seed)
+                .matching(MatchingModel::RandomFraction { min_gamma: 0.25 })
+                .build()
+                .unwrap();
+            let mut e = Engine::with_population(SplitOnce, cfg, 64);
+            e.run_rounds(5);
+            e.trajectory().population_series()
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+
+    #[test]
+    fn partial_matching_leaves_agents_unmatched() {
+        let cfg = SimConfig::builder()
+            .seed(10)
+            .matching(MatchingModel::ExactFraction(0.5))
+            .build()
+            .unwrap();
+        let mut engine = Engine::with_population(SplitOnce, cfg, 100);
+        let report = engine.run_round();
+        // Exactly half are matched; only those split.
+        assert_eq!(report.splits, 50);
+    }
+
+    #[test]
+    fn zero_budget_silences_adversary() {
+        struct Deleter;
+        impl Adversary<InertState> for Deleter {
+            fn name(&self) -> &'static str {
+                "del"
+            }
+            fn act(&mut self, _c: &RoundContext, _a: &[InertState], _r: &mut SimRng) -> Vec<Alteration<InertState>> {
+                vec![Alteration::Delete(0)]
+            }
+        }
+        let mut engine = Engine::with_adversary(Inert, Deleter, cfg(11), 5);
+        let report = engine.run_round();
+        assert_eq!(report.deleted, 0);
+        assert_eq!(engine.population(), 5);
+    }
+}

@@ -1,0 +1,54 @@
+//! Error types for the simulation substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while configuring or driving a simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A configuration value was outside its legal range.
+    InvalidConfig {
+        /// Which field was invalid.
+        field: &'static str,
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+}
+
+impl SimError {
+    pub(crate) fn invalid_config(field: &'static str, reason: impl Into<String>) -> Self {
+        SimError::InvalidConfig { field, reason: reason.into() }
+    }
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidConfig { field, reason } => {
+                write!(f, "invalid configuration for `{field}`: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_field_and_reason() {
+        let err = SimError::invalid_config("gamma", "must be in (0, 1]");
+        let text = err.to_string();
+        assert!(text.contains("gamma"));
+        assert!(text.contains("(0, 1]"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimError>();
+    }
+}

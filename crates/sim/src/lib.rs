@@ -1,0 +1,52 @@
+//! Synchronous population-model simulation substrate.
+//!
+//! This crate implements the communication and execution model of
+//! *Population Stability: Regulating Size in the Presence of an Adversary*
+//! (Goldwasser, Ostrovsky, Scafuro, Sealfon — PODC 2018), which is a
+//! synchronous variant of the population model of Angluin et al.:
+//!
+//! * time proceeds in **rounds**; in each round a random matching covering at
+//!   least a `γ` fraction of the agents is sampled and matched agents exchange
+//!   one message each,
+//! * agents may **split** into two identical copies or **self-destruct**,
+//! * a worst-case **adversary** observes the complete state of every agent and
+//!   may insert, delete or modify up to `K` agents per round, *before* the
+//!   round's matching is sampled (the schedule is unknown to the adversary in
+//!   advance).
+//!
+//! The substrate is protocol-agnostic: a protocol is anything implementing
+//! [`Protocol`], and the paper's protocol as well as all baselines are
+//! expressed against this trait. The engine is deterministic given a seed.
+//!
+//! # Quick example
+//!
+//! ```
+//! use popstab_sim::{Engine, SimConfig, protocols::Inert};
+//!
+//! // An inert population: nobody splits, nobody dies.
+//! let cfg = SimConfig::builder().seed(7).build().unwrap();
+//! let mut engine = Engine::with_population(Inert, cfg, 100);
+//! engine.run_rounds(10);
+//! assert_eq!(engine.population(), 100);
+//! ```
+
+pub mod adversary;
+pub mod agent;
+pub mod config;
+pub mod engine;
+pub mod error;
+pub mod matching;
+pub mod metrics;
+pub mod protocols;
+pub mod rng;
+pub mod trace;
+
+pub use adversary::{Adversary, Alteration, NoOpAdversary, RoundContext};
+pub use agent::{Action, Observable, Observation, Protocol};
+pub use config::{SimConfig, SimConfigBuilder};
+pub use engine::{Engine, HaltReason, RoundReport};
+pub use error::SimError;
+pub use matching::{Matching, MatchingModel};
+pub use metrics::{MetricsRecorder, RoundStats};
+pub use rng::SimRng;
+pub use trace::Trajectory;

@@ -1,0 +1,237 @@
+//! Random matching schedules.
+//!
+//! The paper's communication model: *"the pairs of agents that are able to
+//! communicate in each round are selected by choosing a random matching of at
+//! least a γ fraction of surviving agents"*, independently each round, with
+//! the schedule unknown to the adversary in advance.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::error::SimError;
+use crate::rng::SimRng;
+
+/// How the per-round random matching is sampled.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MatchingModel {
+    /// Every agent is matched every round (one agent idle when the population
+    /// is odd). This is `γ = 1`.
+    Full,
+    /// Exactly `⌊γ·m/2⌋` uniformly random disjoint pairs each round.
+    ExactFraction(f64),
+    /// A fraction drawn uniformly from `[min_gamma, 1]` each round — models
+    /// the paper's *lower bound* semantics where only `γ` is guaranteed.
+    RandomFraction {
+        /// Guaranteed lower bound on the matched fraction.
+        min_gamma: f64,
+    },
+}
+
+impl MatchingModel {
+    /// The guaranteed matched fraction `γ` of this model.
+    pub fn gamma(&self) -> f64 {
+        match *self {
+            MatchingModel::Full => 1.0,
+            MatchingModel::ExactFraction(g) => g,
+            MatchingModel::RandomFraction { min_gamma } => min_gamma,
+        }
+    }
+
+    /// Validates the model parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if the fraction is outside `(0, 1]`.
+    pub fn validate(&self) -> Result<(), SimError> {
+        let g = self.gamma();
+        if !(g > 0.0 && g <= 1.0) {
+            return Err(SimError::invalid_config("matching", format!("gamma must be in (0, 1], got {g}")));
+        }
+        Ok(())
+    }
+}
+
+impl Default for MatchingModel {
+    fn default() -> Self {
+        MatchingModel::Full
+    }
+}
+
+/// A sampled matching: disjoint index pairs into the population slice.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Matching {
+    pairs: Vec<(u32, u32)>,
+}
+
+impl Matching {
+    /// The matched pairs.
+    pub fn pairs(&self) -> &[(u32, u32)] {
+        &self.pairs
+    }
+
+    /// Number of matched pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether no agent is matched.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Number of matched agents (`2 × len`).
+    pub fn matched_agents(&self) -> usize {
+        self.pairs.len() * 2
+    }
+
+    /// Builds the partner lookup: `partner[i] = Some(j)` iff `{i, j}` matched.
+    pub fn partner_table(&self, population: usize) -> Vec<Option<u32>> {
+        let mut table = vec![None; population];
+        for &(a, b) in &self.pairs {
+            table[a as usize] = Some(b);
+            table[b as usize] = Some(a);
+        }
+        table
+    }
+}
+
+/// Samples a matching over `population` agents according to `model`.
+///
+/// The result is a uniformly random set of disjoint pairs covering the
+/// model's fraction of agents. Cost is `O(m)`.
+pub fn sample_matching(population: usize, model: MatchingModel, rng: &mut SimRng) -> Matching {
+    if population < 2 {
+        return Matching::default();
+    }
+    let fraction = match model {
+        MatchingModel::Full => 1.0,
+        MatchingModel::ExactFraction(g) => g,
+        MatchingModel::RandomFraction { min_gamma } => rng.random_range(min_gamma..=1.0),
+    };
+    let target_agents = (fraction * population as f64).floor() as usize;
+    let n_pairs = (target_agents / 2).min(population / 2);
+    if n_pairs == 0 {
+        return Matching::default();
+    }
+    let mut indices: Vec<u32> = (0..population as u32).collect();
+    // Partial Fisher-Yates: we only need the first 2·n_pairs slots shuffled.
+    for i in 0..(2 * n_pairs) {
+        let j = rng.random_range(i..population);
+        indices.swap(i, j);
+    }
+    let pairs = indices[..2 * n_pairs].chunks_exact(2).map(|c| (c[0], c[1])).collect();
+    Matching { pairs }
+}
+
+/// Samples a full uniformly random permutation matching (used in tests to
+/// cross-validate the partial shuffle).
+pub fn sample_full_matching_naive(population: usize, rng: &mut SimRng) -> Matching {
+    let mut indices: Vec<u32> = (0..population as u32).collect();
+    indices.shuffle(rng);
+    let pairs = indices.chunks_exact(2).map(|c| (c[0], c[1])).collect();
+    Matching { pairs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::rng_from_seed;
+    use std::collections::HashSet;
+
+    fn assert_valid(m: &Matching, population: usize) {
+        let mut seen = HashSet::new();
+        for &(a, b) in m.pairs() {
+            assert_ne!(a, b, "self-match");
+            assert!((a as usize) < population && (b as usize) < population, "out of range");
+            assert!(seen.insert(a), "agent {a} matched twice");
+            assert!(seen.insert(b), "agent {b} matched twice");
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_populations_yield_no_pairs() {
+        let mut rng = rng_from_seed(1);
+        assert!(sample_matching(0, MatchingModel::Full, &mut rng).is_empty());
+        assert!(sample_matching(1, MatchingModel::Full, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn full_matching_covers_everyone_even() {
+        let mut rng = rng_from_seed(2);
+        let m = sample_matching(100, MatchingModel::Full, &mut rng);
+        assert_eq!(m.matched_agents(), 100);
+        assert_valid(&m, 100);
+    }
+
+    #[test]
+    fn full_matching_leaves_one_out_odd() {
+        let mut rng = rng_from_seed(3);
+        let m = sample_matching(101, MatchingModel::Full, &mut rng);
+        assert_eq!(m.matched_agents(), 100);
+        assert_valid(&m, 101);
+    }
+
+    #[test]
+    fn exact_fraction_matches_expected_count() {
+        let mut rng = rng_from_seed(4);
+        let m = sample_matching(1000, MatchingModel::ExactFraction(0.5), &mut rng);
+        assert_eq!(m.matched_agents(), 500);
+        assert_valid(&m, 1000);
+    }
+
+    #[test]
+    fn random_fraction_respects_lower_bound() {
+        let mut rng = rng_from_seed(5);
+        for _ in 0..50 {
+            let m = sample_matching(1000, MatchingModel::RandomFraction { min_gamma: 0.25 }, &mut rng);
+            assert!(m.matched_agents() >= 250 - 1, "matched {}", m.matched_agents());
+            assert_valid(&m, 1000);
+        }
+    }
+
+    #[test]
+    fn partner_table_is_symmetric() {
+        let mut rng = rng_from_seed(6);
+        let m = sample_matching(64, MatchingModel::ExactFraction(0.75), &mut rng);
+        let table = m.partner_table(64);
+        for (i, p) in table.iter().enumerate() {
+            if let Some(j) = p {
+                assert_eq!(table[*j as usize], Some(i as u32));
+            }
+        }
+    }
+
+    #[test]
+    fn matching_is_uniform_ish() {
+        // Agent 0's partner should be near-uniform over the other 63 agents.
+        let mut rng = rng_from_seed(7);
+        let mut counts = vec![0usize; 64];
+        let trials = 20_000;
+        for _ in 0..trials {
+            let m = sample_matching(64, MatchingModel::Full, &mut rng);
+            let partner = m.partner_table(64)[0].unwrap();
+            counts[partner as usize] += 1;
+        }
+        let expected = trials as f64 / 63.0;
+        for (i, &c) in counts.iter().enumerate().skip(1) {
+            let ratio = c as f64 / expected;
+            assert!((0.75..1.25).contains(&ratio), "partner {i} ratio {ratio}");
+        }
+    }
+
+    #[test]
+    fn gamma_accessor() {
+        assert_eq!(MatchingModel::Full.gamma(), 1.0);
+        assert_eq!(MatchingModel::ExactFraction(0.5).gamma(), 0.5);
+        assert_eq!(MatchingModel::RandomFraction { min_gamma: 0.25 }.gamma(), 0.25);
+    }
+
+    #[test]
+    fn validate_rejects_bad_gamma() {
+        assert!(MatchingModel::ExactFraction(0.0).validate().is_err());
+        assert!(MatchingModel::ExactFraction(1.5).validate().is_err());
+        assert!(MatchingModel::ExactFraction(-0.1).validate().is_err());
+        assert!(MatchingModel::ExactFraction(0.3).validate().is_ok());
+        assert!(MatchingModel::Full.validate().is_ok());
+    }
+}

@@ -1,0 +1,225 @@
+//! Per-round metrics derived from generic agent observations.
+
+use std::collections::HashMap;
+
+use crate::agent::{Observable, Observation};
+
+/// Aggregate statistics of one recorded round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RoundStats {
+    /// Global round number (0-based).
+    pub round: u64,
+    /// Population after the round's splits/deaths were applied.
+    pub population: usize,
+    /// Number of active (colored) agents.
+    pub active: usize,
+    /// Active agents with color 0.
+    pub color0: usize,
+    /// Active agents with color 1.
+    pub color1: usize,
+    /// Agents flagged as leaders this epoch (instrumentation).
+    pub leaders: usize,
+    /// Agents currently recruiting.
+    pub recruiting: usize,
+    /// Agents reporting they are in their evaluation round.
+    pub in_eval: usize,
+    /// The most common epoch-round value among agents, if any report one.
+    pub majority_round: Option<u32>,
+    /// Agents whose epoch-round differs from the majority value.
+    pub wrong_round: usize,
+    /// Splits executed this round.
+    pub splits: usize,
+    /// Protocol-initiated deaths this round (excludes adversarial deletion).
+    pub deaths: usize,
+    /// Agents inserted by the adversary this round.
+    pub adv_inserted: usize,
+    /// Agents deleted by the adversary this round.
+    pub adv_deleted: usize,
+    /// Agents whose memory the adversary overwrote this round.
+    pub adv_modified: usize,
+}
+
+impl RoundStats {
+    /// Builds the observation-derived part of the stats from a population.
+    pub fn observe<S: Observable>(round: u64, agents: &[S]) -> RoundStats {
+        let mut stats = RoundStats { round, population: agents.len(), ..RoundStats::default() };
+        let mut round_counts: HashMap<u32, usize> = HashMap::new();
+        for agent in agents {
+            let obs: Observation = agent.observe();
+            if obs.active {
+                stats.active += 1;
+                match obs.color {
+                    Some(false) => stats.color0 += 1,
+                    Some(true) => stats.color1 += 1,
+                    None => {}
+                }
+            }
+            if obs.recruiting {
+                stats.recruiting += 1;
+            }
+            if obs.in_eval_phase {
+                stats.in_eval += 1;
+            }
+            if obs.is_leader {
+                stats.leaders += 1;
+            }
+            if let Some(r) = obs.round_in_epoch {
+                *round_counts.entry(r).or_insert(0) += 1;
+            }
+        }
+        if let Some((&majority, &count)) = round_counts.iter().max_by_key(|&(_, c)| *c) {
+            stats.majority_round = Some(majority);
+            let total: usize = round_counts.values().sum();
+            stats.wrong_round = total - count;
+        }
+        stats
+    }
+
+    /// Signed color imbalance `c0 − c1` among active agents.
+    pub fn color_imbalance(&self) -> i64 {
+        self.color0 as i64 - self.color1 as i64
+    }
+
+    /// Fraction of the population that is active (0 if empty).
+    pub fn active_fraction(&self) -> f64 {
+        if self.population == 0 {
+            0.0
+        } else {
+            self.active as f64 / self.population as f64
+        }
+    }
+}
+
+/// Collects [`RoundStats`] over a run.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRecorder {
+    stats: Vec<RoundStats>,
+}
+
+impl MetricsRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        MetricsRecorder::default()
+    }
+
+    /// Appends one round's stats.
+    pub fn record(&mut self, stats: RoundStats) {
+        self.stats.push(stats);
+    }
+
+    /// All recorded rounds, in order.
+    pub fn rounds(&self) -> &[RoundStats] {
+        &self.stats
+    }
+
+    /// The most recent record, if any.
+    pub fn last(&self) -> Option<&RoundStats> {
+        self.stats.last()
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.stats.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.stats.is_empty()
+    }
+
+    /// Discards all records (e.g. after a warm-up phase).
+    pub fn clear(&mut self) {
+        self.stats.clear();
+    }
+
+    /// Minimum and maximum population over all records, if any.
+    pub fn population_range(&self) -> Option<(usize, usize)> {
+        let mut it = self.stats.iter().map(|s| s.population);
+        let first = it.next()?;
+        let mut lo = first;
+        let mut hi = first;
+        for p in it {
+            lo = lo.min(p);
+            hi = hi.max(p);
+        }
+        Some((lo, hi))
+    }
+
+    /// Maximum `wrong_round` over all records (Lemma 3 diagnostics).
+    pub fn max_wrong_round(&self) -> usize {
+        self.stats.iter().map(|s| s.wrong_round).max().unwrap_or(0)
+    }
+
+    /// Maximum active fraction over all records (Lemma 4 diagnostics).
+    pub fn max_active_fraction(&self) -> f64 {
+        self.stats.iter().map(|s| s.active_fraction()).fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agent::Observation;
+
+    struct Fake(Observation);
+    impl Observable for Fake {
+        fn observe(&self) -> Observation {
+            self.0
+        }
+    }
+
+    fn agent(active: bool, color: Option<bool>, round: Option<u32>) -> Fake {
+        Fake(Observation { active, color, round_in_epoch: round, ..Observation::default() })
+    }
+
+    #[test]
+    fn observe_counts_colors_and_rounds() {
+        let pop = vec![
+            agent(true, Some(false), Some(3)),
+            agent(true, Some(true), Some(3)),
+            agent(true, Some(true), Some(3)),
+            agent(false, None, Some(5)),
+        ];
+        let s = RoundStats::observe(7, &pop);
+        assert_eq!(s.round, 7);
+        assert_eq!(s.population, 4);
+        assert_eq!(s.active, 3);
+        assert_eq!(s.color0, 1);
+        assert_eq!(s.color1, 2);
+        assert_eq!(s.majority_round, Some(3));
+        assert_eq!(s.wrong_round, 1);
+        assert_eq!(s.color_imbalance(), -1);
+        assert!((s.active_fraction() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn observe_empty_population() {
+        let pop: Vec<Fake> = vec![];
+        let s = RoundStats::observe(0, &pop);
+        assert_eq!(s.population, 0);
+        assert_eq!(s.majority_round, None);
+        assert_eq!(s.active_fraction(), 0.0);
+    }
+
+    #[test]
+    fn recorder_range_and_maxima() {
+        let mut rec = MetricsRecorder::new();
+        assert!(rec.is_empty());
+        assert_eq!(rec.population_range(), None);
+        for (i, p) in [10usize, 14, 8, 12].iter().enumerate() {
+            rec.record(RoundStats {
+                round: i as u64,
+                population: *p,
+                active: *p / 2,
+                wrong_round: i,
+                ..RoundStats::default()
+            });
+        }
+        assert_eq!(rec.len(), 4);
+        assert_eq!(rec.population_range(), Some((8, 14)));
+        assert_eq!(rec.max_wrong_round(), 3);
+        assert!((rec.max_active_fraction() - 0.5).abs() < 1e-9);
+        rec.clear();
+        assert!(rec.is_empty());
+    }
+}

@@ -1,0 +1,58 @@
+//! Trivial protocols used for testing and as degenerate baselines.
+
+use crate::agent::{Action, Observable, Observation, Protocol};
+use crate::rng::SimRng;
+
+/// The inert protocol: agents never split, never die, carry no state.
+///
+/// Useful for testing the substrate and as the "empty protocol" the paper
+/// mentions when discussing Attempt 2 (§1.3.1): under no adversary it keeps
+/// the population exactly constant, and under a deleting adversary it simply
+/// shrinks — it has no corrective force at all.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Inert;
+
+/// The (empty) state of an [`Inert`] agent.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InertState;
+
+impl Observable for InertState {
+    fn observe(&self) -> Observation {
+        Observation::default()
+    }
+}
+
+impl Protocol for Inert {
+    type State = InertState;
+    type Message = ();
+
+    fn initial_state(&self, _rng: &mut SimRng) -> InertState {
+        InertState
+    }
+
+    fn message(&self, _state: &InertState) -> () {}
+
+    fn step(&self, _state: &mut InertState, _incoming: Option<&()>, _rng: &mut SimRng) -> Action {
+        Action::Continue
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+    use crate::engine::Engine;
+
+    #[test]
+    fn inert_never_changes_population() {
+        let cfg = SimConfig::builder().seed(13).build().unwrap();
+        let mut engine = Engine::with_population(Inert, cfg, 33);
+        engine.run_rounds(50);
+        assert_eq!(engine.population(), 33);
+    }
+
+    #[test]
+    fn inert_observation_is_default() {
+        assert_eq!(InertState.observe(), Observation::default());
+    }
+}

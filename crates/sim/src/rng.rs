@@ -1,0 +1,117 @@
+//! Deterministic randomness for simulations.
+//!
+//! All stochastic choices in the engine — agent coin flips, matching
+//! schedules, adversary randomness — are drawn from [`SimRng`] streams derived
+//! from a single user-provided seed, so that every run is exactly
+//! reproducible. Distinct streams are derived with [`derive_stream`] so that,
+//! e.g., the matching schedule does not perturb agent coin flips when an
+//! adversary consumes extra randomness.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The concrete RNG used throughout the simulator.
+///
+/// A concrete type (rather than `impl Rng` generics) keeps the
+/// [`Adversary`](crate::Adversary) and [`Protocol`](crate::Protocol) traits
+/// object-safe, which the engine relies on for heterogeneous experiment
+/// suites. `StdRng` is a cryptographically strong PRNG, which matters here:
+/// the model grants the adversary full knowledge of agent *state* but not of
+/// *future* coin flips, so the stream must be unpredictable from its output.
+pub type SimRng = StdRng;
+
+/// Creates a [`SimRng`] from a 64-bit seed.
+///
+/// ```
+/// use rand::Rng;
+/// let mut a = popstab_sim::rng::rng_from_seed(42);
+/// let mut b = popstab_sim::rng::rng_from_seed(42);
+/// assert_eq!(a.random::<u64>(), b.random::<u64>());
+/// ```
+pub fn rng_from_seed(seed: u64) -> SimRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Derives an independent named stream from a base seed.
+///
+/// The label is folded into the seed with an FNV-1a hash; different labels
+/// yield statistically independent streams while remaining reproducible.
+pub fn derive_stream(seed: u64, label: &str) -> SimRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in label.bytes() {
+        h ^= u64::from(byte);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    StdRng::seed_from_u64(seed ^ h)
+}
+
+/// Draws `true` with probability `2^-bias_exp` using `bias_exp` fair coin
+/// flips, mirroring the paper's `TossBiasedCoin` subroutine at the substrate
+/// level (protocol crates re-implement it with explicit memory accounting).
+pub fn biased_coin(bias_exp: u32, rng: &mut SimRng) -> bool {
+    for _ in 0..bias_exp {
+        if !rng.random::<bool>() {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = rng_from_seed(123);
+        let mut b = rng_from_seed(123);
+        for _ in 0..64 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = rng_from_seed(1);
+        let mut b = rng_from_seed(2);
+        let same = (0..64).filter(|_| a.random::<u64>() == b.random::<u64>()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn derived_streams_are_independent_of_each_other() {
+        let mut a = derive_stream(9, "matching");
+        let mut b = derive_stream(9, "agents");
+        let same = (0..64).filter(|_| a.random::<u64>() == b.random::<u64>()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn derived_stream_is_reproducible() {
+        let mut a = derive_stream(9, "x");
+        let mut b = derive_stream(9, "x");
+        assert_eq!(a.random::<u128>(), b.random::<u128>());
+    }
+
+    #[test]
+    fn biased_coin_zero_exp_is_always_true() {
+        let mut rng = rng_from_seed(5);
+        assert!((0..32).all(|_| biased_coin(0, &mut rng)));
+    }
+
+    #[test]
+    fn biased_coin_one_exp_is_roughly_half() {
+        let mut rng = rng_from_seed(5);
+        let hits = (0..10_000).filter(|_| biased_coin(1, &mut rng)).count();
+        assert!((4_500..5_500).contains(&hits), "hits={hits}");
+    }
+
+    #[test]
+    fn biased_coin_large_exp_is_rare() {
+        let mut rng = rng_from_seed(5);
+        let hits = (0..10_000).filter(|_| biased_coin(10, &mut rng)).count();
+        // expectation ~9.77
+        assert!(hits < 40, "hits={hits}");
+    }
+}

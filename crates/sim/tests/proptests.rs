@@ -1,0 +1,156 @@
+//! Property-based tests for the substrate: matching validity, engine
+//! accounting and budget enforcement.
+
+use proptest::prelude::*;
+
+use popstab_sim::matching::{sample_matching, MatchingModel};
+use popstab_sim::protocols::{Inert, InertState};
+use popstab_sim::rng::rng_from_seed;
+use popstab_sim::{
+    Action, Adversary, Alteration, Engine, Observable, Observation, Protocol, RoundContext,
+    SimConfig, SimRng,
+};
+
+proptest! {
+    #[test]
+    fn matching_is_a_valid_partial_matching(
+        population in 0usize..2000,
+        seed in 0u64..500,
+        gamma in 0.05f64..=1.0,
+    ) {
+        let mut rng = rng_from_seed(seed);
+        let m = sample_matching(population, MatchingModel::ExactFraction(gamma), &mut rng);
+        let mut seen = std::collections::HashSet::new();
+        for &(a, b) in m.pairs() {
+            prop_assert_ne!(a, b);
+            prop_assert!((a as usize) < population && (b as usize) < population);
+            prop_assert!(seen.insert(a));
+            prop_assert!(seen.insert(b));
+        }
+        // Exactly ⌊γ·m/2⌋ pairs (capped by ⌊m/2⌋).
+        let expect = (((gamma * population as f64).floor() as usize) / 2).min(population / 2);
+        prop_assert_eq!(m.len(), expect);
+    }
+
+    #[test]
+    fn random_fraction_never_undershoots(
+        population in 2usize..1000,
+        seed in 0u64..200,
+        min_gamma in 0.1f64..=0.9,
+    ) {
+        let mut rng = rng_from_seed(seed);
+        let m = sample_matching(population, MatchingModel::RandomFraction { min_gamma }, &mut rng);
+        // matched = 2·⌊fraction·m/2⌋ ≥ 2·⌊min_gamma·m/2⌋ − rounding slack.
+        let floor = ((min_gamma * population as f64).floor() as usize / 2) * 2;
+        prop_assert!(m.matched_agents() + 1 >= floor, "matched {} < floor {}", m.matched_agents(), floor);
+    }
+
+    #[test]
+    fn partner_table_roundtrips(population in 0usize..500, seed in 0u64..100) {
+        let mut rng = rng_from_seed(seed);
+        let m = sample_matching(population, MatchingModel::Full, &mut rng);
+        let table = m.partner_table(population);
+        for (i, p) in table.iter().enumerate() {
+            if let Some(j) = p {
+                prop_assert_eq!(table[*j as usize], Some(i as u32));
+            }
+        }
+        let matched = table.iter().filter(|p| p.is_some()).count();
+        prop_assert_eq!(matched, m.matched_agents());
+    }
+
+    #[test]
+    fn engine_population_identity_holds_every_round(
+        seed in 0u64..200,
+        start in 1usize..200,
+        budget in 0usize..10,
+        rounds in 1u64..30,
+    ) {
+        /// Splits when matched and a coin lands heads; dies on double tails.
+        struct Flaky;
+        #[derive(Debug, Clone)]
+        struct FState;
+        impl Observable for FState {
+            fn observe(&self) -> Observation { Observation::default() }
+        }
+        impl Protocol for Flaky {
+            type State = FState;
+            type Message = ();
+            fn initial_state(&self, _rng: &mut SimRng) -> FState { FState }
+            fn message(&self, _s: &FState) -> () {}
+            fn step(&self, _s: &mut FState, m: Option<&()>, rng: &mut SimRng) -> Action {
+                use rand::Rng;
+                if m.is_some() {
+                    match rng.random_range(0..4u8) {
+                        0 => Action::Split,
+                        1 => Action::Die,
+                        _ => Action::Continue,
+                    }
+                } else {
+                    Action::Continue
+                }
+            }
+        }
+        /// Randomly deletes/inserts within the budget.
+        struct Chaos;
+        impl Adversary<FState> for Chaos {
+            fn name(&self) -> &'static str { "chaos" }
+            fn act(&mut self, ctx: &RoundContext, agents: &[FState], rng: &mut SimRng) -> Vec<Alteration<FState>> {
+                use rand::Rng;
+                let mut out = Vec::new();
+                for _ in 0..ctx.budget {
+                    if rng.random::<bool>() && !agents.is_empty() {
+                        out.push(Alteration::Delete(rng.random_range(0..agents.len())));
+                    } else {
+                        out.push(Alteration::Insert(FState));
+                    }
+                }
+                out
+            }
+        }
+        let cfg = SimConfig::builder().seed(seed).adversary_budget(budget).build().unwrap();
+        let mut engine = Engine::with_adversary(Flaky, Chaos, cfg, start);
+        for _ in 0..rounds {
+            let before = engine.population();
+            let r = engine.run_round();
+            prop_assert_eq!(r.population_before, before);
+            prop_assert_eq!(
+                r.population_after as i64,
+                before as i64 + r.inserted as i64 - r.deleted as i64
+                    + r.splits as i64 - r.deaths as i64
+            );
+            prop_assert!(r.inserted + r.deleted + r.modified <= budget);
+            if engine.halted().is_some() { break; }
+        }
+    }
+
+    #[test]
+    fn engine_is_deterministic_per_seed(seed in 0u64..100, start in 2usize..100) {
+        let run = |s: u64| {
+            let cfg = SimConfig::builder()
+                .seed(s)
+                .matching(MatchingModel::RandomFraction { min_gamma: 0.3 })
+                .build()
+                .unwrap();
+            let mut e = Engine::with_population(Inert, cfg, start);
+            e.run_rounds(5);
+            e.metrics().rounds().to_vec()
+        };
+        prop_assert_eq!(run(seed), run(seed));
+    }
+
+    #[test]
+    fn budget_zero_means_no_alterations(seed in 0u64..100, start in 1usize..100) {
+        struct Greedy;
+        impl Adversary<InertState> for Greedy {
+            fn name(&self) -> &'static str { "greedy" }
+            fn act(&mut self, _c: &RoundContext, agents: &[InertState], _r: &mut SimRng) -> Vec<Alteration<InertState>> {
+                (0..agents.len()).map(Alteration::Delete).collect()
+            }
+        }
+        let cfg = SimConfig::builder().seed(seed).adversary_budget(0).build().unwrap();
+        let mut engine = Engine::with_adversary(Inert, Greedy, cfg, start);
+        engine.run_rounds(5);
+        prop_assert_eq!(engine.population(), start);
+    }
+}

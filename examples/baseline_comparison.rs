@@ -1,0 +1,88 @@
+//! Baseline comparison: the paper's strawmen next to the real protocol.
+//!
+//! * **Attempt 2** (independent coloring) random-walks away from the target
+//!   with *no adversary at all*;
+//! * **Attempt 1** (non-interactive leader election) holds without an
+//!   adversary but collapses under a one-insertion-per-epoch attack;
+//! * the **real protocol** holds in both settings.
+//!
+//! ```sh
+//! cargo run --release --example baseline_comparison
+//! ```
+
+use population_stability::baselines::attempt1::SignalFlooder;
+use population_stability::baselines::{Attempt1, Attempt2};
+use population_stability::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n: u64 = 1024;
+    let rounds: u64 = 12_000;
+    let params = Params::for_target(n)?;
+    let m_star = equilibrium_population(&params);
+
+    println!("N = {n}, horizon = {rounds} rounds\n");
+    println!("{:<34} {:>9} {:>9} {:>9}", "protocol / adversary", "min", "max", "final");
+
+    // Real protocol, no adversary.
+    {
+        let cfg = SimConfig::builder().seed(1).target(n).build()?;
+        let mut e = Engine::with_population(PopulationStability::new(params.clone()), cfg, n as usize);
+        e.run_rounds(rounds);
+        let (lo, hi) = e.metrics().population_range().expect("metrics");
+        println!("{:<34} {:>9} {:>9} {:>9}", "paper protocol / none", lo, hi, e.population());
+    }
+
+    // Attempt 2, no adversary: random walk.
+    {
+        let cfg = SimConfig::builder().seed(2).target(n).max_population(64 * n as usize).build()?;
+        let mut e = Engine::with_population(Attempt2::new(n), cfg, n as usize);
+        e.run_rounds(rounds);
+        let (lo, hi) = e.metrics().population_range().expect("metrics");
+        println!("{:<34} {:>9} {:>9} {:>9}", "attempt 2 (indep. colors) / none", lo, hi, e.population());
+    }
+
+    // Attempt 1, no adversary: holds (crudely).
+    let a1 = Attempt1::new(n);
+    let a1_epoch = a1.epoch_len();
+    {
+        let cfg = SimConfig::builder().seed(3).target(n).max_population(64 * n as usize).build()?;
+        let mut e = Engine::with_population(a1.clone(), cfg, n as usize);
+        e.run_rounds(rounds);
+        let (lo, hi) = e.metrics().population_range().expect("metrics");
+        println!("{:<34} {:>9} {:>9} {:>9}", "attempt 1 (leader bit) / none", lo, hi, e.population());
+    }
+
+    // Attempt 1 vs one inserted signal agent per epoch: collapse.
+    {
+        let cfg = SimConfig::builder()
+            .seed(4)
+            .target(n)
+            .adversary_budget(1)
+            .max_population(64 * n as usize)
+            .build()?;
+        let mut e = Engine::with_adversary(a1.clone(), SignalFlooder::new(a1_epoch), cfg, n as usize);
+        e.run_rounds(rounds);
+        let (lo, hi) = e.metrics().population_range().expect("metrics");
+        println!("{:<34} {:>9} {:>9} {:>9}", "attempt 1 / 1 forged signal/epoch", lo, hi, e.population());
+    }
+
+    // Real protocol under the full-budget deviation amplifier: holds.
+    {
+        let k = params.adversary_tolerance(0.05);
+        let adv = population_stability::adversary::DeviationAmplifier::new(params.clone(), k);
+        let cfg = SimConfig::builder().seed(5).target(n).adversary_budget(k).build()?;
+        let mut e = Engine::with_adversary(PopulationStability::new(params.clone()), adv, cfg, n as usize);
+        e.run_rounds(rounds);
+        let (lo, hi) = e.metrics().population_range().expect("metrics");
+        println!(
+            "{:<34} {:>9} {:>9} {:>9}",
+            format!("paper protocol / amplifier K={k}"),
+            lo,
+            hi,
+            e.population()
+        );
+    }
+
+    println!("\n(equilibrium for the paper protocol is m* = {m_star}; baselines target N = {n})");
+    Ok(())
+}

@@ -1,0 +1,66 @@
+//! # population-stability
+//!
+//! Facade crate for the reproduction of *Population Stability: Regulating
+//! Size in the Presence of an Adversary* (Goldwasser, Ostrovsky, Scafuro,
+//! Sealfon — PODC 2018).
+//!
+//! This crate re-exports the whole workspace so downstream users can depend
+//! on a single crate:
+//!
+//! * [`sim`] — the synchronous population-model substrate (rounds, random
+//!   matchings, split/die semantics, adversary interface, metrics),
+//! * [`core`] — the paper's protocol (Algorithms 1–7): coloring epochs,
+//!   three-bit messages, `polylog(N)` states,
+//! * [`adversary`] — the attack library (leader snipers, color flooders,
+//!   round desynchronizers, churn, trauma events, …),
+//! * [`baselines`] — the strawman protocols the paper discusses (Attempt 1,
+//!   Attempt 2, the empty protocol, the high-memory unique-ID protocol),
+//! * [`analysis`] — statistics, concentration bounds, invariant checkers for
+//!   the paper's lemmas, the finite-size equilibrium models and the
+//!   variance-based population estimator,
+//! * [`extensions`] — the §1.2 extended model in which agents can remove
+//!   maliciously-programmed partners they detect.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use population_stability::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // The paper's protocol with target N = 1024 agents.
+//! let params = Params::for_target(1024)?;
+//! let protocol = PopulationStability::new(params.clone());
+//! let cfg = SimConfig::builder().seed(7).target(1024).build()?;
+//! let mut engine = Engine::with_population(protocol, cfg, 1024);
+//!
+//! // Run three epochs and check the population stayed near the finite-size
+//! // equilibrium m* = N − 8√N.
+//! engine.run_rounds(3 * u64::from(params.epoch_len()));
+//! let m_star = equilibrium_population(&params);
+//! let pop = engine.population() as f64;
+//! assert!((pop - m_star).abs() < 0.5 * m_star);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use popstab_adversary as adversary;
+pub use popstab_analysis as analysis;
+pub use popstab_baselines as baselines;
+pub use popstab_core as core;
+pub use popstab_extensions as extensions;
+pub use popstab_sim as sim;
+
+/// One-stop imports for examples and downstream experiments.
+pub mod prelude {
+    pub use popstab_analysis::equilibrium::equilibrium_population;
+    pub use popstab_analysis::estimator::VarianceEstimator;
+    pub use popstab_analysis::invariants::InvariantReport;
+    pub use popstab_analysis::stats::Summary;
+    pub use popstab_core::params::Params;
+    pub use popstab_core::protocol::PopulationStability;
+    pub use popstab_core::state::{AgentState, Color};
+    pub use popstab_sim::{
+        Action, Adversary, Alteration, Engine, HaltReason, MatchingModel, Observable, Observation,
+        Protocol, RoundContext, SimConfig, SimRng, Trajectory,
+    };
+}

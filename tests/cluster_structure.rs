@@ -1,0 +1,98 @@
+//! Integration: the recruitment machinery builds exactly the structure the
+//! analysis relies on (Lemmas 4, 5, 6).
+
+use std::collections::HashMap;
+
+use population_stability::prelude::*;
+
+const N: u64 = 4096;
+
+fn run_to_pre_eval(seed: u64) -> Engine<PopulationStability> {
+    let params = Params::for_target(N).unwrap();
+    let epoch = u64::from(params.epoch_len());
+    let cfg = SimConfig::builder().seed(seed).target(N).build().unwrap();
+    let mut engine = Engine::with_population(PopulationStability::new(params), cfg, N as usize);
+    engine.run_rounds(epoch - 1);
+    engine
+}
+
+#[test]
+fn every_cluster_has_exactly_sqrt_n_members() {
+    let engine = run_to_pre_eval(42);
+    let sqrt_n = engine.protocol().params().cluster_size();
+    let mut clusters: HashMap<u64, u64> = HashMap::new();
+    for a in engine.agents() {
+        if a.active {
+            *clusters.entry(a.lineage).or_insert(0) += 1;
+        }
+    }
+    assert!(clusters.len() >= 3, "too few clusters to be meaningful");
+    for (lineage, size) in clusters {
+        assert_eq!(size, sqrt_n, "cluster {lineage}");
+    }
+}
+
+#[test]
+fn all_recruitment_quotas_are_exhausted() {
+    // Lemma 5: every active agent enters evaluation with to_recruit = 0.
+    let engine = run_to_pre_eval(43);
+    for a in engine.agents() {
+        if a.active {
+            assert_eq!(a.to_recruit, 0, "agent in cluster {} still owes recruits", a.lineage);
+        }
+    }
+}
+
+#[test]
+fn clusters_are_monochromatic() {
+    let engine = run_to_pre_eval(44);
+    let mut colors: HashMap<u64, Color> = HashMap::new();
+    for a in engine.agents() {
+        if a.active {
+            let prev = colors.insert(a.lineage, a.color);
+            if let Some(c) = prev {
+                assert_eq!(c, a.color, "cluster {} mixes colors", a.lineage);
+            }
+        }
+    }
+}
+
+#[test]
+fn active_fraction_is_about_one_eighth() {
+    // Leaders ≈ m/(8√N), clusters of √N ⇒ active ≈ m/8. The leader count
+    // is Poisson(8) at N=4096, so allow wide but meaningful bounds across
+    // several seeds.
+    let mut total_active = 0usize;
+    let mut total_pop = 0usize;
+    for seed in 50..58u64 {
+        let engine = run_to_pre_eval(seed);
+        total_active += engine.agents().iter().filter(|a| a.active).count();
+        total_pop += engine.population();
+    }
+    let frac = total_active as f64 / total_pop as f64;
+    assert!((0.07..0.19).contains(&frac), "active fraction {frac}, expected ≈ 1/8");
+}
+
+#[test]
+fn leaders_match_cluster_count() {
+    let engine = run_to_pre_eval(45);
+    let leaders = engine.agents().iter().filter(|a| a.is_leader && a.active).count();
+    let mut lineages: Vec<u64> =
+        engine.agents().iter().filter(|a| a.active).map(|a| a.lineage).collect();
+    lineages.sort_unstable();
+    lineages.dedup();
+    assert_eq!(leaders, lineages.len(), "one leader per cluster");
+}
+
+#[test]
+fn epoch_boundary_resets_all_agents() {
+    let params = Params::for_target(N).unwrap();
+    let epoch = u64::from(params.epoch_len());
+    let cfg = SimConfig::builder().seed(46).target(N).build().unwrap();
+    let mut engine = Engine::with_population(PopulationStability::new(params), cfg, N as usize);
+    engine.run_rounds(epoch);
+    for a in engine.agents() {
+        assert!(!a.active && !a.recruiting && !a.is_leader, "agent not reset: {a:?}");
+        assert_eq!(a.round, 0);
+    }
+}

@@ -1,0 +1,159 @@
+//! Integration: the variance estimator (§1.3.2) and the restoring drift
+//! (Lemma 8) measured end-to-end.
+//!
+//! Predictions use the **exact** finite-`N` Poisson model
+//! (`popstab_analysis::equilibrium::exact_epoch_drift`): at simulable `N`
+//! the leader count per epoch is single-digit and the CLT/linear model is
+//! off by whole agents per epoch. The exact equilibrium at `N = 1024` is
+//! ≈ 600 (vs the asymptotic `m* = 768`).
+
+use population_stability::analysis::drift::{drift_field, measure_drift};
+use population_stability::analysis::equilibrium::{exact_epoch_drift, exact_equilibrium};
+use population_stability::prelude::*;
+
+#[test]
+fn drift_field_is_monotone_restoring() {
+    // Sample far from the exact equilibrium where |E[Δ]| dominates noise.
+    let params = Params::for_target(1024).unwrap();
+    let points = drift_field(&params, &[0.4, 1.0, 1.6], 1.0, 48, 2024);
+    assert_eq!(points.len(), 3);
+    assert!(points[0].observed.mean() > 0.0, "drift at 0.4·m*: {}", points[0].observed.mean());
+    assert!(points[2].observed.mean() < 0.0, "drift at 1.6·m*: {}", points[2].observed.mean());
+    assert!(
+        points[0].observed.mean() > points[2].observed.mean(),
+        "restoring force not decreasing: {:?}",
+        points.iter().map(|p| p.observed.mean()).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn observed_drift_tracks_exact_model() {
+    // Check the exact Poisson model at three populations, far apart.
+    let params = Params::for_target(1024).unwrap();
+    for (frac_of_n, trials, seed) in [(0.3, 48, 31u64), (0.75, 48, 32), (1.5, 48, 33)] {
+        let m0 = (frac_of_n * 1024.0) as usize;
+        let observed = measure_drift(&params, m0, 1.0, trials, seed);
+        let predicted = exact_epoch_drift(&params, m0 as f64, 1.0);
+        let tolerance = 4.0 * observed.stderr() + 0.5;
+        assert!(
+            (observed.mean() - predicted).abs() <= tolerance,
+            "m0={m0}: observed {} vs predicted {predicted} (tolerance {tolerance})",
+            observed.mean()
+        );
+    }
+}
+
+#[test]
+fn drift_scales_with_n() {
+    // The restoring force far below equilibrium grows with N (the paper's
+    // Ω(√N) at Θ(N) deviations, with finite-N constants). Compare the
+    // measured drift at 0.3·N across two sizes.
+    let p1 = Params::for_target(1024).unwrap();
+    let p2 = Params::for_target(4096).unwrap();
+    let d1 = measure_drift(&p1, 307, 1.0, 96, 7);
+    let d2 = measure_drift(&p2, 1228, 1.0, 96, 8);
+    assert!(d1.mean() > 0.0 && d2.mean() > 0.0, "drifts must be positive: {} {}", d1.mean(), d2.mean());
+    let pred1 = exact_epoch_drift(&p1, 307.0, 1.0);
+    let pred2 = exact_epoch_drift(&p2, 1228.0, 1.0);
+    assert!(pred2 > 1.5 * pred1, "model sanity: {pred1} -> {pred2}");
+    assert!(
+        d2.mean() > d1.mean(),
+        "drift failed to grow with N: {} -> {}",
+        d1.mean(),
+        d2.mean()
+    );
+}
+
+#[test]
+fn exact_equilibrium_matches_long_run_fixed_point() {
+    // Run 200 epochs from the exact equilibrium; the time-average should
+    // stay near it (within the wide OU wander of this small system).
+    let params = Params::for_target(1024).unwrap();
+    let epoch = u64::from(params.epoch_len());
+    let m_eq = exact_equilibrium(&params, 1.0);
+    let cfg = SimConfig::builder()
+        .seed(17)
+        .target(1024)
+        .metrics_every(epoch)
+        .build()
+        .unwrap();
+    let mut engine =
+        Engine::with_population(PopulationStability::new(params.clone()), cfg, m_eq as usize);
+    engine.run_rounds(200 * epoch);
+    let pops = engine.trajectory().population_series();
+    let mean = pops.iter().sum::<usize>() as f64 / pops.len() as f64;
+    assert!(
+        (mean - m_eq).abs() < 0.35 * m_eq,
+        "time-average {mean} far from exact equilibrium {m_eq}"
+    );
+}
+
+#[test]
+fn variance_estimator_tracks_population_changes() {
+    // Run two systems of very different sizes; the estimator must order
+    // them correctly and land within a factor 2.5 of each.
+    let params = Params::for_target(1024).unwrap();
+    let epoch = u64::from(params.epoch_len());
+    let estimate_for = |pop0: usize, seed: u64| {
+        let cfg = SimConfig::builder().seed(seed).target(1024).build().unwrap();
+        let mut engine =
+            Engine::with_population(PopulationStability::new(params.clone()), cfg, pop0);
+        engine.run_rounds(50 * epoch);
+        let mut est = VarianceEstimator::new(&params);
+        est.push_trace(&params, engine.metrics().rounds());
+        (est.estimate().unwrap(), engine.population())
+    };
+    let (m_small, final_small) = estimate_for(700, 5);
+    let (m_large, final_large) = estimate_for(1500, 6);
+    assert!(m_small < m_large, "estimator ordered sizes wrongly: {m_small} vs {m_large}");
+    assert!(
+        m_small > final_small as f64 / 2.5 && m_small < final_small as f64 * 2.5,
+        "small estimate {m_small} vs final {final_small}"
+    );
+    assert!(
+        m_large > final_large as f64 / 2.5 && m_large < final_large as f64 * 2.5,
+        "large estimate {m_large} vs final {final_large}"
+    );
+}
+
+#[test]
+fn trauma_recovery_moves_toward_equilibrium() {
+    // Lose 70% of the population at N = 4096 (down to ~1230, far below the
+    // exact equilibrium ≈ 2900) and check it recovers at a rate consistent
+    // with the exact drift (≈ 3.5/epoch there). Two seeds beat the
+    // per-trajectory noise (sd ≈ √epochs·10 ≈ 100) comfortably: the model
+    // gain over 100 epochs is ≈ 300.
+    use population_stability::adversary::{Trauma, TraumaKind};
+    let params = Params::for_target(4096).unwrap();
+    let epoch = u64::from(params.epoch_len());
+    let m_eq = exact_equilibrium(&params, 1.0);
+    let seeds = 2u64;
+    let mut wounded_total = 0.0;
+    let mut healed_total = 0.0;
+    for seed in 0..seeds {
+        let adv = Trauma::new(params.clone(), TraumaKind::Injury, 0.7, 2 * epoch);
+        let cfg = SimConfig::builder()
+            .seed(seed)
+            .target(4096)
+            .adversary_budget(usize::MAX)
+            .build()
+            .unwrap();
+        let mut engine =
+            Engine::with_adversary(PopulationStability::new(params.clone()), adv, cfg, 4096);
+        engine.run_rounds(2 * epoch + 1);
+        let wounded = engine.population() as f64;
+        assert!(wounded < 0.6 * m_eq, "trauma did not wound: {wounded} vs m_eq {m_eq}");
+        engine.run_rounds(100 * epoch);
+        wounded_total += wounded;
+        healed_total += engine.population() as f64;
+    }
+    let mean_wounded = wounded_total / seeds as f64;
+    let mean_healed = healed_total / seeds as f64;
+    let rate = exact_epoch_drift(&params, mean_wounded, 1.0);
+    assert!(rate > 2.0, "model sanity: rate {rate}");
+    assert!(
+        mean_healed > mean_wounded + 100.0,
+        "no recovery: {mean_wounded} -> {mean_healed} (model rate {rate}/epoch)"
+    );
+    assert!(mean_healed < 1.3 * m_eq, "overshoot: {mean_healed} vs m_eq {m_eq}");
+}
