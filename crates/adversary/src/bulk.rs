@@ -26,8 +26,16 @@ impl Adversary<AgentState> for RandomDeleter {
         "random-delete"
     }
 
-    fn act(&mut self, _ctx: &RoundContext, agents: &[AgentState], rng: &mut SimRng) -> Vec<Alteration<AgentState>> {
-        sample_distinct(agents.len(), self.k, rng).into_iter().map(Alteration::Delete).collect()
+    fn act(
+        &mut self,
+        _ctx: &RoundContext,
+        agents: &[AgentState],
+        rng: &mut SimRng,
+    ) -> Vec<Alteration<AgentState>> {
+        sample_distinct(agents.len(), self.k, rng)
+            .into_iter()
+            .map(Alteration::Delete)
+            .collect()
     }
 }
 
@@ -52,8 +60,15 @@ impl Adversary<AgentState> for ObliviousDeleter {
         "oblivious-delete"
     }
 
-    fn act(&mut self, _ctx: &RoundContext, agents: &[AgentState], _rng: &mut SimRng) -> Vec<Alteration<AgentState>> {
-        (0..self.k.min(agents.len())).map(Alteration::Delete).collect()
+    fn act(
+        &mut self,
+        _ctx: &RoundContext,
+        agents: &[AgentState],
+        _rng: &mut SimRng,
+    ) -> Vec<Alteration<AgentState>> {
+        (0..self.k.min(agents.len()))
+            .map(Alteration::Delete)
+            .collect()
     }
 }
 
@@ -78,9 +93,16 @@ impl Adversary<AgentState> for RandomInserter {
         "random-insert"
     }
 
-    fn act(&mut self, _ctx: &RoundContext, agents: &[AgentState], _rng: &mut SimRng) -> Vec<Alteration<AgentState>> {
+    fn act(
+        &mut self,
+        _ctx: &RoundContext,
+        agents: &[AgentState],
+        _rng: &mut SimRng,
+    ) -> Vec<Alteration<AgentState>> {
         let round = majority_round(agents).unwrap_or(0);
-        (0..self.k).map(|_| Alteration::Insert(AgentState::desynced(&self.params, round))).collect()
+        (0..self.k)
+            .map(|_| Alteration::Insert(AgentState::desynced(&self.params, round)))
+            .collect()
     }
 }
 
@@ -105,13 +127,22 @@ impl Adversary<AgentState> for Churn {
         "churn"
     }
 
-    fn act(&mut self, _ctx: &RoundContext, agents: &[AgentState], rng: &mut SimRng) -> Vec<Alteration<AgentState>> {
+    fn act(
+        &mut self,
+        _ctx: &RoundContext,
+        agents: &[AgentState],
+        rng: &mut SimRng,
+    ) -> Vec<Alteration<AgentState>> {
         let deletes = self.k / 2;
         let inserts = self.k - deletes;
         let round = majority_round(agents).unwrap_or(0);
-        let mut out: Vec<Alteration<AgentState>> =
-            sample_distinct(agents.len(), deletes, rng).into_iter().map(Alteration::Delete).collect();
-        out.extend((0..inserts).map(|_| Alteration::Insert(AgentState::desynced(&self.params, round))));
+        let mut out: Vec<Alteration<AgentState>> = sample_distinct(agents.len(), deletes, rng)
+            .into_iter()
+            .map(Alteration::Delete)
+            .collect();
+        out.extend(
+            (0..inserts).map(|_| Alteration::Insert(AgentState::desynced(&self.params, round))),
+        );
         out
     }
 }
@@ -144,7 +175,11 @@ mod tests {
     }
 
     fn ctx(budget: usize) -> RoundContext {
-        RoundContext { round: 0, budget, target: 1024 }
+        RoundContext {
+            round: 0,
+            budget,
+            target: 1024,
+        }
     }
 
     #[test]
@@ -184,7 +219,14 @@ mod tests {
         let agents = vec![AgentState::fresh(&p); 10];
         let mut adv = ObliviousDeleter::new(3);
         let out = adv.act(&ctx(3), &agents, &mut rng_from_seed(4));
-        assert_eq!(out, vec![Alteration::Delete(0), Alteration::Delete(1), Alteration::Delete(2)]);
+        assert_eq!(
+            out,
+            vec![
+                Alteration::Delete(0),
+                Alteration::Delete(1),
+                Alteration::Delete(2)
+            ]
+        );
     }
 
     #[test]

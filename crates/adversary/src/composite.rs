@@ -16,7 +16,10 @@ impl std::fmt::Debug for Composite {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Composite")
             .field("name", &self.name)
-            .field("parts", &self.parts.iter().map(|p| p.name()).collect::<Vec<_>>())
+            .field(
+                "parts",
+                &self.parts.iter().map(|p| p.name()).collect::<Vec<_>>(),
+            )
             .finish()
     }
 }
@@ -43,7 +46,12 @@ impl Adversary<AgentState> for Composite {
         self.name
     }
 
-    fn act(&mut self, ctx: &RoundContext, agents: &[AgentState], rng: &mut SimRng) -> Vec<Alteration<AgentState>> {
+    fn act(
+        &mut self,
+        ctx: &RoundContext,
+        agents: &[AgentState],
+        rng: &mut SimRng,
+    ) -> Vec<Alteration<AgentState>> {
         let mut out = Vec::new();
         for part in &mut self.parts {
             out.extend(part.act(ctx, agents, rng));
@@ -64,12 +72,19 @@ mod tests {
         let p = Params::for_target(1024).unwrap();
         let mut adv = Composite::new(
             "combo",
-            vec![Box::new(ObliviousDeleter::new(2)), Box::new(RandomInserter::new(p.clone(), 1))],
+            vec![
+                Box::new(ObliviousDeleter::new(2)),
+                Box::new(RandomInserter::new(p.clone(), 1)),
+            ],
         );
         assert_eq!(adv.len(), 2);
         assert!(!adv.is_empty());
         let agents = vec![AgentState::fresh(&p); 10];
-        let ctx = RoundContext { round: 0, budget: 3, target: 1024 };
+        let ctx = RoundContext {
+            round: 0,
+            budget: 3,
+            target: 1024,
+        };
         let out = adv.act(&ctx, &agents, &mut rng_from_seed(1));
         assert_eq!(out.len(), 3);
         assert!(out[0].is_delete() && out[1].is_delete() && out[2].is_insert());
@@ -81,7 +96,13 @@ mod tests {
         let p = Params::for_target(1024).unwrap();
         let mut adv = Composite::new("empty", vec![]);
         assert!(adv.is_empty());
-        let ctx = RoundContext { round: 0, budget: 3, target: 1024 };
-        assert!(adv.act(&ctx, &[AgentState::fresh(&p)], &mut rng_from_seed(2)).is_empty());
+        let ctx = RoundContext {
+            round: 0,
+            budget: 3,
+            target: 1024,
+        };
+        assert!(adv
+            .act(&ctx, &[AgentState::fresh(&p)], &mut rng_from_seed(2))
+            .is_empty());
     }
 }

@@ -32,7 +32,9 @@ pub mod trauma;
 
 pub use bulk::{Churn, ObliviousDeleter, RandomDeleter, RandomInserter};
 pub use composite::Composite;
-pub use targeted::{ClusterPoisoner, ColorFlooder, DesyncInserter, DeviationAmplifier, LeaderSniper};
+pub use targeted::{
+    ClusterPoisoner, ColorFlooder, DesyncInserter, DeviationAmplifier, LeaderSniper,
+};
 pub use throttle::Throttle;
 pub use trauma::{Trauma, TraumaKind};
 
@@ -83,7 +85,8 @@ pub fn throttled_suite(
     attack_suite(params, k)
         .into_iter()
         .map(|inner| {
-            Box::new(Throttle::per_epoch(inner, epoch)) as Box<dyn popstab_sim::Adversary<AgentState>>
+            Box::new(Throttle::per_epoch(inner, epoch))
+                as Box<dyn popstab_sim::Adversary<AgentState>>
         })
         .collect()
 }

@@ -34,11 +34,16 @@ impl Adversary<AgentState> for LeaderSniper {
         }
     }
 
-    fn act(&mut self, _ctx: &RoundContext, agents: &[AgentState], _rng: &mut SimRng) -> Vec<Alteration<AgentState>> {
+    fn act(
+        &mut self,
+        _ctx: &RoundContext,
+        agents: &[AgentState],
+        _rng: &mut SimRng,
+    ) -> Vec<Alteration<AgentState>> {
         agents
             .iter()
             .enumerate()
-            .filter(|(_, a)| a.is_leader && a.active && self.color.map_or(true, |c| a.color == c))
+            .filter(|(_, a)| a.is_leader && a.active && self.color.is_none_or(|c| a.color == c))
             .take(self.k)
             .map(|(i, _)| Alteration::Delete(i))
             .collect()
@@ -61,7 +66,12 @@ impl ColorFlooder {
     /// Inserts up to `k` forged leaders of `color` per round.
     pub fn new(params: Params, k: usize, color: Color) -> Self {
         // Forged clusters get lineage tags disjoint from honest ones.
-        ColorFlooder { params, k, color, next_lineage: 1 << 62 }
+        ColorFlooder {
+            params,
+            k,
+            color,
+            next_lineage: 1 << 62,
+        }
     }
 }
 
@@ -70,7 +80,12 @@ impl Adversary<AgentState> for ColorFlooder {
         "color-flooder"
     }
 
-    fn act(&mut self, _ctx: &RoundContext, agents: &[AgentState], _rng: &mut SimRng) -> Vec<Alteration<AgentState>> {
+    fn act(
+        &mut self,
+        _ctx: &RoundContext,
+        agents: &[AgentState],
+        _rng: &mut SimRng,
+    ) -> Vec<Alteration<AgentState>> {
         let round = majority_round(agents).unwrap_or(0);
         // Forged leaders only help the attacker while recruitment can still
         // complete; inserting one mid-epoch yields a partial cluster, which
@@ -108,9 +123,20 @@ impl Adversary<AgentState> for ClusterPoisoner {
         "cluster-poisoner"
     }
 
-    fn act(&mut self, _ctx: &RoundContext, agents: &[AgentState], _rng: &mut SimRng) -> Vec<Alteration<AgentState>> {
-        let c0 = agents.iter().filter(|a| a.active && a.color == Color::Zero).count();
-        let c1 = agents.iter().filter(|a| a.active && a.color == Color::One).count();
+    fn act(
+        &mut self,
+        _ctx: &RoundContext,
+        agents: &[AgentState],
+        _rng: &mut SimRng,
+    ) -> Vec<Alteration<AgentState>> {
+        let c0 = agents
+            .iter()
+            .filter(|a| a.active && a.color == Color::Zero)
+            .count();
+        let c1 = agents
+            .iter()
+            .filter(|a| a.active && a.color == Color::One)
+            .count();
         let minority = if c0 <= c1 { Color::Zero } else { Color::One };
         agents
             .iter()
@@ -146,10 +172,17 @@ impl Adversary<AgentState> for DesyncInserter {
         "desync-inserter"
     }
 
-    fn act(&mut self, _ctx: &RoundContext, agents: &[AgentState], _rng: &mut SimRng) -> Vec<Alteration<AgentState>> {
+    fn act(
+        &mut self,
+        _ctx: &RoundContext,
+        agents: &[AgentState],
+        _rng: &mut SimRng,
+    ) -> Vec<Alteration<AgentState>> {
         let t = self.params.epoch_len();
         let round = (majority_round(agents).unwrap_or(0) + self.offset) % t;
-        (0..self.k).map(|_| Alteration::Insert(AgentState::desynced(&self.params, round))).collect()
+        (0..self.k)
+            .map(|_| Alteration::Insert(AgentState::desynced(&self.params, round)))
+            .collect()
     }
 }
 
@@ -175,13 +208,23 @@ impl Adversary<AgentState> for DeviationAmplifier {
         "deviation-amplifier"
     }
 
-    fn act(&mut self, ctx: &RoundContext, agents: &[AgentState], rng: &mut SimRng) -> Vec<Alteration<AgentState>> {
+    fn act(
+        &mut self,
+        ctx: &RoundContext,
+        agents: &[AgentState],
+        rng: &mut SimRng,
+    ) -> Vec<Alteration<AgentState>> {
         let target = ctx.target as usize;
         if agents.len() >= target {
             let round = majority_round(agents).unwrap_or(0);
-            (0..self.k).map(|_| Alteration::Insert(AgentState::desynced(&self.params, round))).collect()
+            (0..self.k)
+                .map(|_| Alteration::Insert(AgentState::desynced(&self.params, round)))
+                .collect()
         } else {
-            sample_distinct(agents.len(), self.k, rng).into_iter().map(Alteration::Delete).collect()
+            sample_distinct(agents.len(), self.k, rng)
+                .into_iter()
+                .map(Alteration::Delete)
+                .collect()
         }
     }
 }
@@ -196,7 +239,11 @@ mod tests {
     }
 
     fn ctx(budget: usize, target: u64) -> RoundContext {
-        RoundContext { round: 0, budget, target }
+        RoundContext {
+            round: 0,
+            budget,
+            target,
+        }
     }
 
     #[test]
@@ -208,7 +255,9 @@ mod tests {
         let mut adv = LeaderSniper::new(5, None);
         let out = adv.act(&ctx(5, 1024), &agents, &mut rng_from_seed(1));
         assert_eq!(out.len(), 2);
-        assert!(out.iter().all(|a| matches!(a, Alteration::Delete(i) if *i >= 10)));
+        assert!(out
+            .iter()
+            .all(|a| matches!(a, Alteration::Delete(i) if *i >= 10)));
     }
 
     #[test]
@@ -254,7 +303,9 @@ mod tests {
         let mut adv = ClusterPoisoner::new(10);
         let out = adv.act(&ctx(10, 1024), &agents, &mut rng_from_seed(4));
         assert_eq!(out.len(), 2);
-        assert!(out.iter().all(|a| matches!(a, Alteration::Delete(i) if *i >= 6)));
+        assert!(out
+            .iter()
+            .all(|a| matches!(a, Alteration::Delete(i) if *i >= 6)));
     }
 
     #[test]

@@ -37,7 +37,11 @@ impl<A> Throttle<A> {
     pub fn new(inner: A, period: u64, phase: u64) -> Self {
         assert!(period > 0, "period must be positive");
         assert!(phase < period, "phase must be below period");
-        Throttle { inner, period, phase }
+        Throttle {
+            inner,
+            period,
+            phase,
+        }
     }
 
     /// Fires once per epoch of length `epoch_len`, in round 1 of the epoch
@@ -75,7 +79,11 @@ mod tests {
     use popstab_sim::rng::rng_from_seed;
 
     fn ctx(round: u64) -> RoundContext {
-        RoundContext { round, budget: 10, target: 1024 }
+        RoundContext {
+            round,
+            budget: 10,
+            target: 1024,
+        }
     }
 
     #[test]

@@ -40,8 +40,17 @@ impl Trauma {
     ///
     /// Panics if `fraction` is not in `(0, 1]`.
     pub fn new(params: Params, kind: TraumaKind, fraction: f64, at_round: u64) -> Self {
-        assert!(fraction > 0.0 && fraction <= 1.0, "fraction must be in (0, 1], got {fraction}");
-        Trauma { params, kind, fraction, at_round, fired: false }
+        assert!(
+            fraction > 0.0 && fraction <= 1.0,
+            "fraction must be in (0, 1], got {fraction}"
+        );
+        Trauma {
+            params,
+            kind,
+            fraction,
+            at_round,
+            fired: false,
+        }
     }
 
     /// Whether the event has already fired.
@@ -58,19 +67,27 @@ impl Adversary<AgentState> for Trauma {
         }
     }
 
-    fn act(&mut self, ctx: &RoundContext, agents: &[AgentState], rng: &mut SimRng) -> Vec<Alteration<AgentState>> {
+    fn act(
+        &mut self,
+        ctx: &RoundContext,
+        agents: &[AgentState],
+        rng: &mut SimRng,
+    ) -> Vec<Alteration<AgentState>> {
         if self.fired || ctx.round != self.at_round {
             return Vec::new();
         }
         self.fired = true;
         let count = (self.fraction * agents.len() as f64).round() as usize;
         match self.kind {
-            TraumaKind::Injury => {
-                sample_distinct(agents.len(), count, rng).into_iter().map(Alteration::Delete).collect()
-            }
+            TraumaKind::Injury => sample_distinct(agents.len(), count, rng)
+                .into_iter()
+                .map(Alteration::Delete)
+                .collect(),
             TraumaKind::Proliferation => {
                 let round = majority_round(agents).unwrap_or(0);
-                (0..count).map(|_| Alteration::Insert(AgentState::desynced(&self.params, round))).collect()
+                (0..count)
+                    .map(|_| Alteration::Insert(AgentState::desynced(&self.params, round)))
+                    .collect()
             }
         }
     }
@@ -86,7 +103,11 @@ mod tests {
     }
 
     fn ctx(round: u64) -> RoundContext {
-        RoundContext { round, budget: usize::MAX, target: 1024 }
+        RoundContext {
+            round,
+            budget: usize::MAX,
+            target: 1024,
+        }
     }
 
     #[test]

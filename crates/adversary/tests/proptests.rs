@@ -34,7 +34,12 @@ fn arb_population() -> impl Strategy<Value = Vec<AgentState>> {
 }
 
 fn assert_well_formed(alts: &[Alteration<AgentState>], population: usize, k: usize) {
-    assert!(alts.len() <= k.max(population), "emitted {} > budget-ish {}", alts.len(), k);
+    assert!(
+        alts.len() <= k.max(population),
+        "emitted {} > budget-ish {}",
+        alts.len(),
+        k
+    );
     for alt in alts {
         match alt {
             Alteration::Delete(i) | Alteration::Modify(i, _) => {
@@ -46,6 +51,10 @@ fn assert_well_formed(alts: &[Alteration<AgentState>], population: usize, k: usi
 }
 
 proptest! {
+    // Bounded (64 cases by default, PROPTEST_CASES overrides) and
+    // deterministic (the shim seeds each property from its name), so
+    // tier-1 stays fast and failures reproduce exactly.
+
     #[test]
     fn all_strategies_emit_well_formed_alterations(
         pop in arb_population(),

@@ -255,10 +255,17 @@ mod tests {
             values.push(normalized_drift(&p, 0.8 * m_star, 1.0));
         }
         for v in &values {
-            assert!(*v > 0.01 && *v < 1.0, "normalized drift {v} out of Θ(1) range");
+            assert!(
+                *v > 0.01 && *v < 1.0,
+                "normalized drift {v} out of Θ(1) range"
+            );
         }
         // And it converges to the asymptotic constant from below/above.
-        assert!((values[2] - 0.025).abs() < 0.01, "N=2^20 drift {}", values[2]);
+        assert!(
+            (values[2] - 0.025).abs() < 0.01,
+            "N=2^20 drift {}",
+            values[2]
+        );
     }
 
     #[test]
@@ -268,7 +275,6 @@ mod tests {
         let d2 = expected_epoch_drift(&p, 3000.0, 0.25);
         assert!((d1 * 0.25 - d2).abs() < 1e-9);
     }
-
 
     #[test]
     fn max_growth_rate_matches_linear_model() {
@@ -300,7 +306,6 @@ mod tests {
         assert!(((d1 - d2) - (d2 - d3)).abs() < 1e-9, "not linear");
     }
 
-
     #[test]
     fn exact_drift_matches_hand_computation_at_n4096() {
         // Hand-computed Poisson sum at m = 3584 gives ≈ −0.98 (and the
@@ -317,7 +322,10 @@ mod tests {
             let m_star = equilibrium_population(&p);
             let m_exact = exact_equilibrium(&p, 1.0);
             assert!(m_exact < m_star, "N={n}: exact {m_exact} >= CLT {m_star}");
-            assert!(m_exact > 0.5 * m_star, "N={n}: exact {m_exact} implausibly low");
+            assert!(
+                m_exact > 0.5 * m_star,
+                "N={n}: exact {m_exact} implausibly low"
+            );
         }
     }
 
@@ -329,7 +337,10 @@ mod tests {
         };
         let r_small = ratio(1024);
         let r_big = ratio(1 << 22);
-        assert!(r_big > r_small, "ratios {r_small} -> {r_big} should increase");
+        assert!(
+            r_big > r_small,
+            "ratios {r_small} -> {r_big} should increase"
+        );
         assert!(r_big > 0.95, "N=2^22 ratio {r_big} should be near 1");
     }
 

@@ -27,7 +27,10 @@ pub struct VarianceEstimator {
 impl VarianceEstimator {
     /// Creates an estimator for the given protocol parameters.
     pub fn new(params: &Params) -> VarianceEstimator {
-        VarianceEstimator { sqrt_n: params.sqrt_n() as f64, squared_imbalance: Summary::new() }
+        VarianceEstimator {
+            sqrt_n: params.sqrt_n() as f64,
+            squared_imbalance: Summary::new(),
+        }
     }
 
     /// Adds one epoch's color counts at evaluation time.
@@ -39,7 +42,10 @@ impl VarianceEstimator {
     /// Harvests every evaluation-round record from a metrics trace.
     pub fn push_trace(&mut self, params: &Params, rounds: &[RoundStats]) {
         let eval = params.eval_round();
-        for s in rounds.iter().filter(|s| s.majority_round == Some(eval) && s.active > 0) {
+        for s in rounds
+            .iter()
+            .filter(|s| s.majority_round == Some(eval) && s.active > 0)
+        {
             self.push_counts(s.color0, s.color1);
         }
     }
@@ -112,11 +118,16 @@ mod tests {
         let params = Params::for_target(1024).unwrap();
         let epoch = u64::from(params.epoch_len());
         let cfg = SimConfig::builder().seed(31).target(1024).build().unwrap();
-        let mut engine = Engine::with_population(PopulationStability::new(params.clone()), cfg, 1024);
+        let mut engine =
+            Engine::with_population(PopulationStability::new(params.clone()), cfg, 1024);
         engine.run_rounds(40 * epoch);
         let mut est = VarianceEstimator::new(&params);
         est.push_trace(&params, engine.metrics().rounds());
-        assert!(est.samples() >= 30, "only {} eval rounds seen", est.samples());
+        assert!(
+            est.samples() >= 30,
+            "only {} eval rounds seen",
+            est.samples()
+        );
         let m_hat = est.estimate().unwrap();
         let truth = 768.0; // equilibrium for N=1024
         assert!(

@@ -21,7 +21,11 @@ pub struct Check {
 
 impl Check {
     fn new(observed: f64, bound: f64) -> Check {
-        Check { observed, bound, pass: observed <= bound }
+        Check {
+            observed,
+            bound,
+            pass: observed <= bound,
+        }
     }
 }
 
@@ -90,14 +94,20 @@ pub fn check_invariants(params: &Params, gamma: f64, rounds: &[RoundStats]) -> I
 
     // Lemma 4: active fraction ≤ 1/2 (no slack: the paper's bound already
     // has plenty — the honest active fraction is ~1/8).
-    let max_active = rounds.iter().map(|s| s.active_fraction()).fold(0.0, f64::max);
+    let max_active = rounds
+        .iter()
+        .map(|s| s.active_fraction())
+        .fold(0.0, f64::max);
     let lemma4 = Check::new(max_active, 0.5);
 
     // Lemma 6: at evaluation rounds, per-color counts within
     // m/16 ± slack·N^{3/4} (using the round's own population as m).
     let eval_round = params.eval_round();
     let mut max_color_dev = 0.0f64;
-    for s in rounds.iter().filter(|s| s.majority_round == Some(eval_round)) {
+    for s in rounds
+        .iter()
+        .filter(|s| s.majority_round == Some(eval_round))
+    {
         let m16 = s.population as f64 / 16.0;
         max_color_dev = max_color_dev
             .max((s.color0 as f64 - m16).abs())
@@ -114,8 +124,11 @@ pub fn check_invariants(params: &Params, gamma: f64, rounds: &[RoundStats]) -> I
             epoch_pops.push(s.population);
         }
     }
-    let max_epoch_dev =
-        epoch_pops.windows(2).map(|w| w[1].abs_diff(w[0])).max().unwrap_or(0) as f64;
+    let max_epoch_dev = epoch_pops
+        .windows(2)
+        .map(|w| w[1].abs_diff(w[0]))
+        .max()
+        .unwrap_or(0) as f64;
     let lemma7 = Check::new(max_epoch_dev, SLACK * sqrt_n * f64::from(params.log2_n()));
 
     InvariantReport {
@@ -137,13 +150,30 @@ mod tests {
         let params = Params::for_target(1024).unwrap();
         let epoch = u64::from(params.epoch_len());
         let cfg = SimConfig::builder().seed(21).target(1024).build().unwrap();
-        let mut engine = Engine::with_population(PopulationStability::new(params.clone()), cfg, 1024);
+        let mut engine =
+            Engine::with_population(PopulationStability::new(params.clone()), cfg, 1024);
         engine.run_rounds(4 * epoch);
         let report = check_invariants(&params, 1.0, engine.metrics().rounds());
-        assert!(report.lemma3_wrong_round.pass, "{:?}", report.lemma3_wrong_round);
-        assert!(report.lemma4_active_fraction.pass, "{:?}", report.lemma4_active_fraction);
-        assert!(report.lemma6_color_deviation.pass, "{:?}", report.lemma6_color_deviation);
-        assert!(report.lemma7_epoch_deviation.pass, "{:?}", report.lemma7_epoch_deviation);
+        assert!(
+            report.lemma3_wrong_round.pass,
+            "{:?}",
+            report.lemma3_wrong_round
+        );
+        assert!(
+            report.lemma4_active_fraction.pass,
+            "{:?}",
+            report.lemma4_active_fraction
+        );
+        assert!(
+            report.lemma6_color_deviation.pass,
+            "{:?}",
+            report.lemma6_color_deviation
+        );
+        assert!(
+            report.lemma7_epoch_deviation.pass,
+            "{:?}",
+            report.lemma7_epoch_deviation
+        );
         assert!(report.all_pass());
         // And the run actually had active agents (the checks weren't vacuous).
         assert!(engine.metrics().rounds().iter().any(|s| s.active > 0));

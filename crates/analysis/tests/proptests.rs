@@ -24,6 +24,10 @@ fn naive_mean_var(xs: &[f64]) -> (f64, f64) {
 }
 
 proptest! {
+    // Bounded (64 cases by default, PROPTEST_CASES overrides) and
+    // deterministic (the shim seeds each property from its name), so
+    // tier-1 stays fast and failures reproduce exactly.
+
     #[test]
     fn summary_matches_naive(xs in prop::collection::vec(-1e6f64..1e6, 1..200)) {
         let s = Summary::from_samples(xs.iter().copied());

@@ -27,7 +27,9 @@
 //! * [`SignalSuppressor`] deletes signal carriers the moment the coins are
 //!   flipped → every epoch looks empty → sustained growth → explosion.
 
-use popstab_sim::{Action, Adversary, Alteration, Observable, Observation, Protocol, RoundContext, SimRng};
+use popstab_sim::{
+    Action, Adversary, Alteration, Observable, Observation, Protocol, RoundContext, SimRng,
+};
 use rand::Rng;
 
 /// Baseline protocol: non-interactive leader election.
@@ -46,11 +48,16 @@ impl Attempt1 {
     /// docs).
     pub fn new(n: u64) -> Attempt1 {
         assert!(n >= 8, "target must be at least 8");
-        let log2n = 64 - (n - 1).leading_zeros() as u32;
+        let log2n = 64 - (n - 1).leading_zeros();
         let p_split: f64 = 0.1;
         let q = (-2.0f64).exp(); // P(no leader | m = N), Pr[leader] = 2/N
         let p_die = 1.0 - (-(q / (1.0 - q)) * (1.0 + p_split).ln()).exp();
-        Attempt1 { target: n, epoch_len: 4 * log2n + 2, p_split, p_die }
+        Attempt1 {
+            target: n,
+            epoch_len: 4 * log2n + 2,
+            p_split,
+            p_die,
+        }
     }
 
     /// The epoch length in rounds.
@@ -98,7 +105,10 @@ impl Protocol for Attempt1 {
     type Message = bool;
 
     fn initial_state(&self, _rng: &mut SimRng) -> A1State {
-        A1State { round: 0, signal: false }
+        A1State {
+            round: 0,
+            signal: false,
+        }
     }
 
     fn message(&self, state: &A1State) -> bool {
@@ -157,9 +167,17 @@ impl Adversary<A1State> for SignalFlooder {
         "signal-flooder"
     }
 
-    fn act(&mut self, ctx: &RoundContext, _agents: &[A1State], _rng: &mut SimRng) -> Vec<Alteration<A1State>> {
+    fn act(
+        &mut self,
+        ctx: &RoundContext,
+        _agents: &[A1State],
+        _rng: &mut SimRng,
+    ) -> Vec<Alteration<A1State>> {
         if ctx.round % u64::from(self.epoch_len) == 1 {
-            vec![Alteration::Insert(A1State { round: 1, signal: true })]
+            vec![Alteration::Insert(A1State {
+                round: 1,
+                signal: true,
+            })]
         } else {
             Vec::new()
         }
@@ -178,7 +196,12 @@ impl Adversary<A1State> for SignalSuppressor {
         "signal-suppressor"
     }
 
-    fn act(&mut self, _ctx: &RoundContext, agents: &[A1State], _rng: &mut SimRng) -> Vec<Alteration<A1State>> {
+    fn act(
+        &mut self,
+        _ctx: &RoundContext,
+        agents: &[A1State],
+        _rng: &mut SimRng,
+    ) -> Vec<Alteration<A1State>> {
         agents
             .iter()
             .enumerate()
@@ -211,7 +234,11 @@ mod tests {
         let q = (-2.0f64).exp();
         let growth = q * (1.0 + p.p_split()).ln();
         let shrink = (1.0 - q) * (1.0 - p.p_die()).ln();
-        assert!((growth + shrink).abs() < 1e-12, "log drift {}", growth + shrink);
+        assert!(
+            (growth + shrink).abs() < 1e-12,
+            "log drift {}",
+            growth + shrink
+        );
     }
 
     #[test]
@@ -278,7 +305,10 @@ mod tests {
 
     #[test]
     fn observation_maps_signal_to_active() {
-        let s = A1State { round: 3, signal: true };
+        let s = A1State {
+            round: 3,
+            signal: true,
+        };
         let obs = s.observe();
         assert!(obs.active);
         assert_eq!(obs.round_in_epoch, Some(3));

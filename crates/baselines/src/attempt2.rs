@@ -68,7 +68,11 @@ impl Protocol for Attempt2 {
     type Message = bool;
 
     fn initial_state(&self, rng: &mut SimRng) -> A2State {
-        A2State { round: 0, color: rng.random(), first: None }
+        A2State {
+            round: 0,
+            color: rng.random(),
+            first: None,
+        }
     }
 
     fn message(&self, state: &A2State) -> bool {
@@ -123,7 +127,12 @@ mod tests {
     const N: u64 = 1024;
 
     fn cfg(seed: u64) -> SimConfig {
-        SimConfig::builder().seed(seed).target(N).max_population(64 * N as usize).build().unwrap()
+        SimConfig::builder()
+            .seed(seed)
+            .target(N)
+            .max_population(64 * N as usize)
+            .build()
+            .unwrap()
     }
 
     #[test]
@@ -162,7 +171,11 @@ mod tests {
     fn unmatched_agents_abstain() {
         let proto = Attempt2::new(N);
         let mut rng = popstab_sim::rng::rng_from_seed(5);
-        let mut s = A2State { round: 2, color: true, first: Some(true) };
+        let mut s = A2State {
+            round: 2,
+            color: true,
+            first: Some(true),
+        };
         // No second observation: must continue and reset.
         assert_eq!(proto.step(&mut s, None, &mut rng), Action::Continue);
         assert_eq!(s.round, 0);
@@ -173,7 +186,11 @@ mod tests {
     fn unequal_observations_kill() {
         let proto = Attempt2::new(N);
         let mut rng = popstab_sim::rng::rng_from_seed(6);
-        let mut s = A2State { round: 2, color: true, first: Some(true) };
+        let mut s = A2State {
+            round: 2,
+            color: true,
+            first: Some(true),
+        };
         assert_eq!(proto.step(&mut s, Some(&false), &mut rng), Action::Die);
     }
 
@@ -183,7 +200,11 @@ mod tests {
         let mut rng = popstab_sim::rng::rng_from_seed(7);
         let mut splits = 0;
         for _ in 0..1000 {
-            let mut s = A2State { round: 2, color: false, first: Some(true) };
+            let mut s = A2State {
+                round: 2,
+                color: false,
+                first: Some(true),
+            };
             if proto.step(&mut s, Some(&true), &mut rng) == Action::Split {
                 splits += 1;
             }

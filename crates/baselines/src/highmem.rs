@@ -32,8 +32,11 @@ impl HighMemory {
     /// rounds (enough for epidemic spreading under full matching).
     pub fn new(n: u64) -> HighMemory {
         assert!(n >= 2, "target must be at least 2");
-        let log2n = 64 - (n - 1).leading_zeros() as u32;
-        HighMemory { target: n, epoch_len: 2 * log2n + 4 }
+        let log2n = 64 - (n - 1).leading_zeros();
+        HighMemory {
+            target: n,
+            epoch_len: 2 * log2n + 4,
+        }
     }
 
     /// The epoch length in rounds.
@@ -61,7 +64,11 @@ pub struct HmState {
 
 impl Observable for HmState {
     fn observe(&self) -> Observation {
-        Observation { round_in_epoch: Some(self.round), active: true, ..Observation::default() }
+        Observation {
+            round_in_epoch: Some(self.round),
+            active: true,
+            ..Observation::default()
+        }
     }
 }
 
@@ -71,7 +78,11 @@ impl Protocol for HighMemory {
 
     fn initial_state(&self, rng: &mut SimRng) -> HmState {
         let id = rng.random();
-        HmState { round: 0, id, ids: HashSet::from([id]) }
+        HmState {
+            round: 0,
+            id,
+            ids: HashSet::from([id]),
+        }
     }
 
     fn message(&self, state: &HmState) -> HashSet<u64> {
@@ -134,7 +145,11 @@ impl popstab_sim::Adversary<HmState> for IdFlooder {
     ) -> Vec<popstab_sim::Alteration<HmState>> {
         let round = agents.first().map_or(0, |a| a.round);
         let forged: HashSet<u64> = (0..4 * ctx.target).map(|i| u64::MAX - i).collect();
-        vec![popstab_sim::Alteration::Insert(HmState { round, id: 0, ids: forged })]
+        vec![popstab_sim::Alteration::Insert(HmState {
+            round,
+            id: 0,
+            ids: forged,
+        })]
     }
 }
 
@@ -202,6 +217,9 @@ mod tests {
         let proto = HighMemory::new(N);
         // An agent knowing all N identifiers would hold N² bits — vastly
         // more than the real protocol's Θ(log log N).
-        assert_eq!(proto.faithful_memory_bits(N as usize), u128::from(N) * u128::from(N));
+        assert_eq!(
+            proto.faithful_memory_bits(N as usize),
+            u128::from(N) * u128::from(N)
+        );
     }
 }

@@ -65,10 +65,12 @@ impl<S> Adversary<S> for ObliviousDeleter {
     }
 
     fn act(&mut self, ctx: &RoundContext, agents: &[S], _rng: &mut SimRng) -> Vec<Alteration<S>> {
-        if ctx.round % self.period != 0 {
+        if !ctx.round.is_multiple_of(self.period) {
             return Vec::new();
         }
-        (0..self.k.min(agents.len())).map(Alteration::Delete).collect()
+        (0..self.k.min(agents.len()))
+            .map(Alteration::Delete)
+            .collect()
     }
 }
 
@@ -80,7 +82,11 @@ mod tests {
 
     #[test]
     fn oblivious_deleter_shrinks_inert_population() {
-        let cfg = SimConfig::builder().seed(1).adversary_budget(2).build().unwrap();
+        let cfg = SimConfig::builder()
+            .seed(1)
+            .adversary_budget(2)
+            .build()
+            .unwrap();
         let mut engine = Engine::with_adversary(Inert, ObliviousDeleter::new(2), cfg, 20);
         engine.run_rounds(5);
         assert_eq!(engine.population(), 10);

@@ -18,7 +18,12 @@ fn bench_round_throughput(c: &mut Criterion) {
         let params = Params::for_target(n).unwrap();
         group.throughput(Throughput::Elements(n));
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            let cfg = SimConfig::builder().seed(1).target(n).metrics_every(u64::MAX / 2).build().unwrap();
+            let cfg = SimConfig::builder()
+                .seed(1)
+                .target(n)
+                .metrics_every(u64::MAX / 2)
+                .build()
+                .unwrap();
             let mut engine =
                 Engine::with_population(PopulationStability::new(params.clone()), cfg, n as usize);
             b.iter(|| engine.run_round());
@@ -35,7 +40,12 @@ fn bench_epoch(c: &mut Criterion) {
     let epoch = u64::from(params.epoch_len());
     group.throughput(Throughput::Elements(epoch * n));
     group.bench_function("n1024", |b| {
-        let cfg = SimConfig::builder().seed(2).target(n).metrics_every(u64::MAX / 2).build().unwrap();
+        let cfg = SimConfig::builder()
+            .seed(2)
+            .target(n)
+            .metrics_every(u64::MAX / 2)
+            .build()
+            .unwrap();
         let mut engine =
             Engine::with_population(PopulationStability::new(params.clone()), cfg, n as usize);
         b.iter(|| engine.run_rounds(epoch));
@@ -71,7 +81,9 @@ fn bench_agent_step(c: &mut Criterion) {
 
 fn bench_coin_and_codec(c: &mut Criterion) {
     let mut rng = rng_from_seed(4);
-    c.bench_function("biased_coin_exp8", |b| b.iter(|| toss_biased_coin(8, &mut rng)));
+    c.bench_function("biased_coin_exp8", |b| {
+        b.iter(|| toss_biased_coin(8, &mut rng))
+    });
     let params = Params::for_target(4096).unwrap();
     let state = AgentState::leader(&params, Color::One, 7);
     let msg = Message::compose(&state, false);
@@ -83,5 +95,11 @@ fn bench_coin_and_codec(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_round_throughput, bench_epoch, bench_agent_step, bench_coin_and_codec);
+criterion_group!(
+    benches,
+    bench_round_throughput,
+    bench_epoch,
+    bench_agent_step,
+    bench_coin_and_codec
+);
 criterion_main!(benches);

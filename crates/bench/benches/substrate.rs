@@ -30,7 +30,9 @@ fn bench_partner_table(c: &mut Criterion) {
     let m = 16384usize;
     let mut rng = rng_from_seed(3);
     let matching = sample_matching(m, MatchingModel::Full, &mut rng);
-    c.bench_function("partner_table_16k", |b| b.iter(|| matching.partner_table(m)));
+    c.bench_function("partner_table_16k", |b| {
+        b.iter(|| matching.partner_table(m))
+    });
 }
 
 fn bench_observe(c: &mut Criterion) {
@@ -44,7 +46,9 @@ fn bench_observe(c: &mut Criterion) {
             }
         })
         .collect();
-    c.bench_function("round_stats_observe_4k", |b| b.iter(|| RoundStats::observe(0, &agents)));
+    c.bench_function("round_stats_observe_4k", |b| {
+        b.iter(|| RoundStats::observe(0, &agents))
+    });
 }
 
 fn bench_estimator(c: &mut Criterion) {
@@ -60,5 +64,11 @@ fn bench_estimator(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_matching, bench_partner_table, bench_observe, bench_estimator);
+criterion_group!(
+    benches,
+    bench_matching,
+    bench_partner_table,
+    bench_observe,
+    bench_estimator
+);
 criterion_main!(benches);

@@ -15,20 +15,71 @@ use std::time::Instant;
 
 use popstab_bench::experiments;
 
-const IDS: &[(&str, &str, fn(bool))] = &[
-    ("stability", "T1: stability with no adversary", experiments::stability::run),
-    ("lemmas", "T2-T6: bookkeeping lemmas 3-7", experiments::lemmas::run),
-    ("drift", "F1: restoring drift field (Lemma 8)", experiments::drift::run),
-    ("attack", "F2: stability under the attack suite", experiments::attack::run),
-    ("ksweep", "F3: adversary tolerance threshold", experiments::ksweep::run),
-    ("baselines", "F4/T8: baseline failure modes", experiments::baselines::run),
-    ("gamma", "F5: matching-fraction robustness", experiments::gamma::run),
-    ("accounting", "T7: states/memory/message accounting", experiments::accounting::run),
+/// (id, description, runner) — the runner receives the `--quick` flag.
+type Experiment = (&'static str, &'static str, fn(bool));
+
+const IDS: &[Experiment] = &[
+    (
+        "stability",
+        "T1: stability with no adversary",
+        experiments::stability::run,
+    ),
+    (
+        "lemmas",
+        "T2-T6: bookkeeping lemmas 3-7",
+        experiments::lemmas::run,
+    ),
+    (
+        "drift",
+        "F1: restoring drift field (Lemma 8)",
+        experiments::drift::run,
+    ),
+    (
+        "attack",
+        "F2: stability under the attack suite",
+        experiments::attack::run,
+    ),
+    (
+        "ksweep",
+        "F3: adversary tolerance threshold",
+        experiments::ksweep::run,
+    ),
+    (
+        "baselines",
+        "F4/T8: baseline failure modes",
+        experiments::baselines::run,
+    ),
+    (
+        "gamma",
+        "F5: matching-fraction robustness",
+        experiments::gamma::run,
+    ),
+    (
+        "accounting",
+        "T7: states/memory/message accounting",
+        experiments::accounting::run,
+    ),
     ("healing", "F6: trauma recovery", experiments::healing::run),
-    ("estimator", "F7: variance-based size estimation", experiments::estimator::run),
-    ("equilibrium", "F7b: finite-size equilibrium", experiments::equilibrium::run),
-    ("malice", "F8: malicious agents (extended model)", experiments::malice::run),
-    ("ablation", "F9: constant ablations", experiments::ablation::run),
+    (
+        "estimator",
+        "F7: variance-based size estimation",
+        experiments::estimator::run,
+    ),
+    (
+        "equilibrium",
+        "F7b: finite-size equilibrium",
+        experiments::equilibrium::run,
+    ),
+    (
+        "malice",
+        "F8: malicious agents (extended model)",
+        experiments::malice::run,
+    ),
+    (
+        "ablation",
+        "F9: constant ablations",
+        experiments::ablation::run,
+    ),
 ];
 
 fn usage() {
@@ -68,7 +119,10 @@ fn main() -> ExitCode {
         println!("================================================================");
         let start = Instant::now();
         runner(quick);
-        println!("[{want} finished in {:.1}s]\n", start.elapsed().as_secs_f64());
+        println!(
+            "[{want} finished in {:.1}s]\n",
+            start.elapsed().as_secs_f64()
+        );
     }
     ExitCode::SUCCESS
 }

@@ -22,19 +22,29 @@ pub fn run(quick: bool) {
     let epochs: u64 = if quick { 40 } else { 120 };
     println!("F9: constant ablations at N = {n} ({epochs} epochs, started at m° of each config)\n");
     let mut table = Table::new([
-        "leader exp", "split exp", "Pr[leader]", "Pr[split]", "m* (CLT)", "m° (exact)", "measured tail-mean",
+        "leader exp",
+        "split exp",
+        "Pr[leader]",
+        "Pr[split]",
+        "m* (CLT)",
+        "m° (exact)",
+        "measured tail-mean",
     ]);
     // (leader_bias_exp override, split_bias_exp override)
     let base = Params::for_target(n).unwrap();
     let configs: Vec<(u32, u32)> = vec![
-        (base.leader_bias_exp(), base.split_bias_exp()),     // paper defaults (9, 2)
+        (base.leader_bias_exp(), base.split_bias_exp()), // paper defaults (9, 2)
         (base.leader_bias_exp(), base.split_bias_exp() + 1), // rarer no-split -> larger m*
         (base.leader_bias_exp(), base.split_bias_exp() - 1), // more frequent no-split -> smaller m*
         (base.leader_bias_exp() - 1, base.split_bias_exp()), // 2x leaders: same m*, smaller finite-N gap
         (base.leader_bias_exp() + 1, base.split_bias_exp()), // 0.5x leaders: same m*, larger gap & noise
     ];
     for (le, se) in configs {
-        let params = Params::builder(n).leader_bias_exp(le).split_bias_exp(se).build().unwrap();
+        let params = Params::builder(n)
+            .leader_bias_exp(le)
+            .split_bias_exp(se)
+            .build()
+            .unwrap();
         let m_star = equilibrium_population(&params);
         let m_eq = exact_equilibrium(&params, 1.0);
         let mut spec = RunSpec::new(3141, epochs);

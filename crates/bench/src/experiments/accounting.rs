@@ -13,7 +13,13 @@ pub fn run(_quick: bool) {
     println!("T7: resource accounting (paper: ω(log²N) states, Θ(log log N) memory bits,");
     println!("    3-bit messages; default T_inner = log²N gives Θ(log³N) states)\n");
     let mut table = Table::new([
-        "N", "states", "4·log³N", "log²N", "memory bits", "msg bits", "coin scratch bits",
+        "N",
+        "states",
+        "4·log³N",
+        "log²N",
+        "memory bits",
+        "msg bits",
+        "coin scratch bits",
     ]);
     for log2_n in [10u32, 12, 14, 16, 20, 24, 30] {
         let params = Params::for_target(1u64 << log2_n).unwrap();
@@ -34,7 +40,10 @@ pub fn run(_quick: bool) {
     println!("minimum admissible configuration (T_inner = 4·log N, still ω(log N)):");
     let mut table = Table::new(["N", "states", "log²N", "ratio"]);
     for log2_n in [10u32, 16, 24] {
-        let params = Params::builder(1u64 << log2_n).t_inner(4 * log2_n).build().unwrap();
+        let params = Params::builder(1u64 << log2_n)
+            .t_inner(4 * log2_n)
+            .build()
+            .unwrap();
         let r = resources(&params);
         table.row([
             format!("2^{log2_n}"),

@@ -30,7 +30,13 @@ enum HmAdv {
     Flooder,
 }
 
-fn run_baseline<P, A>(proto: P, adv: A, budget: usize, rounds: u64, seed: u64) -> (usize, usize, usize, bool)
+fn run_baseline<P, A>(
+    proto: P,
+    adv: A,
+    budget: usize,
+    rounds: u64,
+    seed: u64,
+) -> (usize, usize, usize, bool)
 where
     P: Protocol,
     A: Adversary<P::State>,
@@ -53,7 +59,15 @@ where
 pub fn run(quick: bool) {
     let horizon: u64 = if quick { 8_000 } else { 25_000 };
     println!("F4/T8: baseline comparison at N = {N}, horizon {horizon} rounds\n");
-    let mut table = Table::new(["protocol", "adversary", "min", "max", "final", "halted", "verdict"]);
+    let mut table = Table::new([
+        "protocol",
+        "adversary",
+        "min",
+        "max",
+        "final",
+        "halted",
+        "verdict",
+    ]);
 
     let a1 = Attempt1::new(N);
     let a1_epoch = a1.epoch_len();
@@ -72,13 +86,55 @@ pub fn run(quick: bool) {
 
     // Attempt 1.
     let r = run_baseline(a1.clone(), NoOpAdversary, 0, horizon, 1);
-    push("attempt1", "none", r, if r.2 > N as usize / 3 && r.2 < 3 * N as usize { "holds (crudely)" } else { "UNEXPECTED" });
-    let r = run_baseline(a1.clone(), ObliviousDeleter::with_period(1, 4), 1, horizon, 2);
-    push("attempt1", "oblivious-delete", r, if r.2 > N as usize / 3 { "holds (weak adversary)" } else { "UNEXPECTED" });
+    push(
+        "attempt1",
+        "none",
+        r,
+        if r.2 > N as usize / 3 && r.2 < 3 * N as usize {
+            "holds (crudely)"
+        } else {
+            "UNEXPECTED"
+        },
+    );
+    let r = run_baseline(
+        a1.clone(),
+        ObliviousDeleter::with_period(1, 4),
+        1,
+        horizon,
+        2,
+    );
+    push(
+        "attempt1",
+        "oblivious-delete",
+        r,
+        if r.2 > N as usize / 3 {
+            "holds (weak adversary)"
+        } else {
+            "UNEXPECTED"
+        },
+    );
     let r = run_baseline(a1.clone(), SignalFlooder::new(a1_epoch), 1, horizon, 3);
-    push("attempt1", "1 forged signal/epoch", r, if r.2 < N as usize / 2 { "COLLAPSES (as predicted)" } else { "UNEXPECTED" });
+    push(
+        "attempt1",
+        "1 forged signal/epoch",
+        r,
+        if r.2 < N as usize / 2 {
+            "COLLAPSES (as predicted)"
+        } else {
+            "UNEXPECTED"
+        },
+    );
     let r = run_baseline(a1.clone(), SignalSuppressor, 64, horizon, 4);
-    push("attempt1", "signal-suppressor", r, if r.2 > 2 * N as usize || r.3 { "EXPLODES (as predicted)" } else { "UNEXPECTED" });
+    push(
+        "attempt1",
+        "signal-suppressor",
+        r,
+        if r.2 > 2 * N as usize || r.3 {
+            "EXPLODES (as predicted)"
+        } else {
+            "UNEXPECTED"
+        },
+    );
 
     // Attempt 2: no adversary, long horizon — random walk.
     let r = run_baseline(Attempt2::new(N), NoOpAdversary, 0, horizon, 5);
@@ -87,19 +143,36 @@ pub fn run(quick: bool) {
         "attempt2",
         "none",
         r,
-        if dev > 0.2 { "RANDOM-WALKS (as predicted)" } else { "walk too slow at this horizon" },
+        if dev > 0.2 {
+            "RANDOM-WALKS (as predicted)"
+        } else {
+            "walk too slow at this horizon"
+        },
     );
 
     // Empty protocol: loses exactly the scheduled deletions, no correction.
     let r = run_baseline(Empty, NoOpAdversary, 0, horizon, 6);
-    push("empty", "none", r, if r.2 == N as usize { "constant" } else { "UNEXPECTED" });
+    push(
+        "empty",
+        "none",
+        r,
+        if r.2 == N as usize {
+            "constant"
+        } else {
+            "UNEXPECTED"
+        },
+    );
     let r = run_baseline(Empty, ObliviousDeleter::with_period(1, 16), 1, horizon, 7);
     let scheduled = (horizon / 16) as usize;
     push(
         "empty",
         "oblivious-delete",
         r,
-        if r.3 || r.2 + scheduled / 2 <= N as usize { "decays (no correction)" } else { "UNEXPECTED" },
+        if r.3 || r.2 + scheduled / 2 <= N as usize {
+            "decays (no correction)"
+        } else {
+            "UNEXPECTED"
+        },
     );
 
     // High-memory unique-ID protocol (T8). Gossiping whole ID sets is
@@ -124,7 +197,8 @@ pub fn run(quick: bool) {
                 (lo, hi, e.population(), e.halted().is_some())
             }
             HmAdv::Deleter(k) => {
-                let mut e = Engine::with_adversary(hm, ObliviousDeleter::new(k), cfg, n_hm as usize);
+                let mut e =
+                    Engine::with_adversary(hm, ObliviousDeleter::new(k), cfg, n_hm as usize);
                 e.run_rounds(hm_horizon);
                 let (lo, hi) = e.metrics().population_range().unwrap_or((0, 0));
                 (lo, hi, e.population(), e.halted().is_some())
@@ -138,18 +212,50 @@ pub fn run(quick: bool) {
         }
     };
     let r = run_hm(0, 8, HmAdv::None);
-    push("high-memory (n=256)", "none", r, if r.2 > (n_hm as usize * 9) / 10 { "counts & holds" } else { "UNEXPECTED" });
+    push(
+        "high-memory (n=256)",
+        "none",
+        r,
+        if r.2 > (n_hm as usize * 9) / 10 {
+            "counts & holds"
+        } else {
+            "UNEXPECTED"
+        },
+    );
     let r = run_hm(2, 9, HmAdv::Deleter(2));
-    push("high-memory (n=256)", "oblivious-delete x2", r, if r.2 > (n_hm as usize * 6) / 10 { "holds (delete-only)" } else { "UNEXPECTED" });
+    push(
+        "high-memory (n=256)",
+        "oblivious-delete x2",
+        r,
+        if r.2 > (n_hm as usize * 6) / 10 {
+            "holds (delete-only)"
+        } else {
+            "UNEXPECTED"
+        },
+    );
     let r = run_hm(1, 10, HmAdv::Flooder);
-    push("high-memory (n=256)", "forged-id insert", r, if r.2 < n_hm as usize / 2 { "COLLAPSES (as predicted)" } else { "UNEXPECTED" });
+    push(
+        "high-memory (n=256)",
+        "forged-id insert",
+        r,
+        if r.2 < n_hm as usize / 2 {
+            "COLLAPSES (as predicted)"
+        } else {
+            "UNEXPECTED"
+        },
+    );
 
     // The paper's protocol in the same arenas.
     let params = Params::for_target(N).unwrap();
     let epochs = horizon / u64::from(params.epoch_len());
     let engine = run_protocol(&params, NoOpAdversary, RunSpec::new(11, epochs));
     let (lo, hi) = engine.metrics().population_range().unwrap();
-    push("paper protocol", "none", (lo, hi, engine.population(), false), "holds");
+    push(
+        "paper protocol",
+        "none",
+        (lo, hi, engine.population(), false),
+        "holds",
+    );
     let adv = popstab_adversary::Throttle::per_epoch(
         popstab_adversary::RandomDeleter::new(1),
         params.epoch_len(),
@@ -158,7 +264,12 @@ pub fn run(quick: bool) {
     spec.budget = 1;
     let engine = run_protocol(&params, adv, spec);
     let (lo, hi) = engine.metrics().population_range().unwrap();
-    push("paper protocol", "delete 1/epoch", (lo, hi, engine.population(), false), "holds");
+    push(
+        "paper protocol",
+        "delete 1/epoch",
+        (lo, hi, engine.population(), false),
+        "holds",
+    );
 
     println!("{table}");
 }

@@ -13,15 +13,25 @@ use popstab_core::params::Params;
 
 /// Runs the experiment and prints its table.
 pub fn run(quick: bool) {
-    let configs: &[(u64, u32)] = if quick { &[(1024, 24)] } else { &[(1024, 64), (4096, 32)] };
+    let configs: &[(u64, u32)] = if quick {
+        &[(1024, 24)]
+    } else {
+        &[(1024, 64), (4096, 32)]
+    };
     let fractions = [0.3, 0.5, 0.7, 0.85, 1.0, 1.15, 1.3, 1.6];
 
     println!("F1: restoring drift field (fractions of N; trials per point shown per size)\n");
     for &(n, trials) in configs {
         let params = Params::for_target(n).unwrap();
         println!("N = {n} ({trials} single-epoch trials per point)");
-        let mut table =
-            Table::new(["m0/N", "m0", "observed E[Δ]", "± stderr", "exact model", "CLT model"]);
+        let mut table = Table::new([
+            "m0/N",
+            "m0",
+            "observed E[Δ]",
+            "± stderr",
+            "exact model",
+            "CLT model",
+        ]);
         for (i, f) in fractions.iter().enumerate() {
             let m0 = (f * n as f64).round() as usize;
             let obs = measure_drift(&params, m0, 1.0, trials, 4242 + i as u64 * 97);

@@ -13,8 +13,14 @@ use crate::{run_clean, RunSpec};
 /// Runs the experiment and prints its table.
 pub fn run(quick: bool) {
     println!("F7b: equilibrium population — models vs long-run simulation\n");
-    let mut table =
-        Table::new(["N", "m* (CLT)", "m° (exact)", "m°/m*", "measured (time-avg)", "epochs"]);
+    let mut table = Table::new([
+        "N",
+        "m* (CLT)",
+        "m° (exact)",
+        "m°/m*",
+        "measured (time-avg)",
+        "epochs",
+    ]);
     let measured_ns: &[u64] = if quick { &[1024] } else { &[1024, 4096] };
     for log2_n in [10u32, 12, 14, 16, 20, 24] {
         let n = 1u64 << log2_n;

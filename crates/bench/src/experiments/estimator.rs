@@ -16,7 +16,12 @@ pub fn run(quick: bool) {
     let epochs: u64 = if quick { 30 } else { 80 };
     println!("F7: variance-based size estimation over {epochs} epochs\n");
     let mut table = Table::new([
-        "N", "true mean pop", "estimate", "rel err", "expected ±", "epochs sampled",
+        "N",
+        "true mean pop",
+        "estimate",
+        "rel err",
+        "expected ±",
+        "epochs sampled",
     ]);
     for &n in ns {
         let params = Params::for_target(n).unwrap();

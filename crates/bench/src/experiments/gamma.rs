@@ -18,8 +18,7 @@ pub fn run(quick: bool) {
     let params = Params::for_target(n).unwrap();
     let epochs: u64 = if quick { 15 } else { 40 };
     println!("F5: matching-fraction sweep at N = {n}, {epochs} epochs\n");
-    let mut table =
-        Table::new(["gamma", "model", "min", "max", "final", "m°(γ)", "in band"]);
+    let mut table = Table::new(["gamma", "model", "min", "max", "final", "m°(γ)", "in band"]);
     for (gamma, model) in [
         (0.25, MatchingModel::ExactFraction(0.25)),
         (0.5, MatchingModel::ExactFraction(0.5)),

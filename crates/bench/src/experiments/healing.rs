@@ -40,11 +40,7 @@ pub fn run(quick: bool) {
         let stride = (post_epochs / 10).max(1) as usize;
         for (e, p) in pops.iter().enumerate() {
             if e >= 2 && (e - 2) % stride == 0 {
-                table.row([
-                    e.to_string(),
-                    p.to_string(),
-                    fmt_f64(*p as f64 - m_eq, 0),
-                ]);
+                table.row([e.to_string(), p.to_string(), fmt_f64(*p as f64 - m_eq, 0)]);
             }
         }
         println!("{table}");

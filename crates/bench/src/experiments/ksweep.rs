@@ -55,7 +55,11 @@ pub fn run(quick: bool) {
             Some(k) => println!(
                 "observed collapse threshold: between {}/epoch and {k}/epoch \
                  (model floor {capacity:.1}/epoch)\n",
-                budgets[budgets.iter().position(|&b| b == k).unwrap().saturating_sub(1)]
+                budgets[budgets
+                    .iter()
+                    .position(|&b| b == k)
+                    .unwrap()
+                    .saturating_sub(1)]
             ),
             None => println!("no collapse within the swept budgets\n"),
         }

@@ -19,6 +19,12 @@ use popstab_sim::NoOpAdversary;
 
 use crate::{run_protocol, RunSpec};
 
+/// A named, deferred protocol run producing its recorded metrics.
+type Scenario = (
+    &'static str,
+    Box<dyn FnOnce() -> popstab_sim::MetricsRecorder>,
+);
+
 /// Runs the experiment and prints its tables.
 pub fn run(quick: bool) {
     let n: u64 = 1024;
@@ -28,12 +34,16 @@ pub fn run(quick: bool) {
 
     println!("T2-T6: bookkeeping lemmas at N = {n} over {epochs} epochs (budget {k}/epoch)\n");
 
-    let scenarios: Vec<(&str, Box<dyn FnOnce() -> popstab_sim::MetricsRecorder>)> = vec![
+    let scenarios: Vec<Scenario> = vec![
         (
             "no adversary",
             Box::new({
                 let params = params.clone();
-                move || run_protocol(&params, NoOpAdversary, RunSpec::new(5, epochs)).metrics().clone()
+                move || {
+                    run_protocol(&params, NoOpAdversary, RunSpec::new(5, epochs))
+                        .metrics()
+                        .clone()
+                }
             }),
         ),
         (
@@ -96,7 +106,11 @@ pub fn run(quick: bool) {
     let mut active_total = 0u64;
     let trials = if quick { 4 } else { 10 };
     for seed in 0..trials {
-        let cfg = popstab_sim::SimConfig::builder().seed(900 + seed).target(n).build().unwrap();
+        let cfg = popstab_sim::SimConfig::builder()
+            .seed(900 + seed)
+            .target(n)
+            .build()
+            .unwrap();
         let mut engine = popstab_sim::Engine::with_population(
             popstab_core::protocol::PopulationStability::new(params.clone()),
             cfg,

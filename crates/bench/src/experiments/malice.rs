@@ -26,16 +26,33 @@ pub fn run(quick: bool) {
     println!("    'bound on how frequently malicious agents can replicate' is exactly this.\n");
 
     let mut table = Table::new([
-        "rho", "gamma", "malicious left", "population", "halted", "contained", "model says",
+        "rho",
+        "gamma",
+        "malicious left",
+        "population",
+        "halted",
+        "contained",
+        "model says",
     ]);
-    for &(rho, gamma) in &[(1u32, 0.25f64), (2, 0.25), (1, 1.0), (2, 1.0), (4, 1.0), (16, 1.0)] {
+    for &(rho, gamma) in &[
+        (1u32, 0.25f64),
+        (2, 0.25),
+        (1, 1.0),
+        (2, 1.0),
+        (4, 1.0),
+        (16, 1.0),
+    ] {
         let proto = WithMalice::new(PopulationStability::new(params.clone()));
         let adv = MaliciousInserter::new(1, rho);
         let cfg = SimConfig::builder()
             .seed(47)
             .target(n)
             .adversary_budget(1)
-            .matching(if gamma >= 1.0 { MatchingModel::Full } else { MatchingModel::ExactFraction(gamma) })
+            .matching(if gamma >= 1.0 {
+                MatchingModel::Full
+            } else {
+                MatchingModel::ExactFraction(gamma)
+            })
             .max_population(16 * n as usize)
             .build()
             .unwrap();
@@ -49,9 +66,19 @@ pub fn run(quick: bool) {
             format!("{gamma:.2}"),
             mal.to_string(),
             engine.population().to_string(),
-            if engine.halted().is_some() { "yes" } else { "no" }.to_string(),
+            if engine.halted().is_some() {
+                "yes"
+            } else {
+                "no"
+            }
+            .to_string(),
             fmt_pass(contained),
-            if predicted_contained { "contained" } else { "explodes" }.to_string(),
+            if predicted_contained {
+                "contained"
+            } else {
+                "explodes"
+            }
+            .to_string(),
         ]);
     }
     println!("{table}");

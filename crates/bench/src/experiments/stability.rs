@@ -14,14 +14,27 @@ use crate::{run_clean, RunSpec};
 
 /// Runs the experiment and prints its table.
 pub fn run(quick: bool) {
-    let ns: &[u64] = if quick { &[1024, 4096] } else { &[1024, 4096, 16384] };
+    let ns: &[u64] = if quick {
+        &[1024, 4096]
+    } else {
+        &[1024, 4096, 16384]
+    };
     let seeds: u64 = if quick { 2 } else { 4 };
     let epochs: u64 = if quick { 15 } else { 40 };
 
     println!("T1: stability with no adversary ({epochs} epochs, {seeds} seeds)");
     println!("    band: [0.6, 1.4]·m° where m° is the exact finite-N equilibrium\n");
     let mut table = Table::new([
-        "N", "seed", "m*", "m_exact", "min", "max", "final", "max|Δ|/epoch", "√N·logN", "in band",
+        "N",
+        "seed",
+        "m*",
+        "m_exact",
+        "min",
+        "max",
+        "final",
+        "max|Δ|/epoch",
+        "√N·logN",
+        "in band",
     ]);
     for &n in ns {
         let params = Params::for_target(n).unwrap();

@@ -36,7 +36,13 @@ pub struct RunSpec {
 impl RunSpec {
     /// A default spec: start at `N`, full matching, no adversary budget.
     pub fn new(seed: u64, epochs: u64) -> RunSpec {
-        RunSpec { seed, initial: None, gamma: 1.0, budget: 0, epochs }
+        RunSpec {
+            seed,
+            initial: None,
+            gamma: 1.0,
+            budget: 0,
+            epochs,
+        }
     }
 }
 
@@ -61,7 +67,12 @@ pub fn run_protocol<A: Adversary<AgentState>>(
         .build()
         .expect("valid experiment config");
     let initial = spec.initial.unwrap_or(params.target() as usize);
-    let mut engine = Engine::with_adversary(PopulationStability::new(params.clone()), adversary, cfg, initial);
+    let mut engine = Engine::with_adversary(
+        PopulationStability::new(params.clone()),
+        adversary,
+        cfg,
+        initial,
+    );
     engine.run_rounds(spec.epochs * epoch);
     engine
 }

@@ -51,8 +51,14 @@ pub struct Resources {
 pub fn resources(params: &Params) -> Resources {
     let states = u128::from(params.epoch_len()) << FLAG_BITS;
     let memory_bits = 128 - (states - 1).leading_zeros();
-    let coin_scratch = scratch_bits(params.leader_bias_exp()).max(scratch_bits(params.split_bias_exp()));
-    Resources { states, memory_bits, message_bits: MESSAGE_BITS, coin_scratch_bits: coin_scratch }
+    let coin_scratch =
+        scratch_bits(params.leader_bias_exp()).max(scratch_bits(params.split_bias_exp()));
+    Resources {
+        states,
+        memory_bits,
+        message_bits: MESSAGE_BITS,
+        coin_scratch_bits: coin_scratch,
+    }
 }
 
 /// `log₂² N`, the paper's lower-bound yardstick: the protocol must use
@@ -111,10 +117,16 @@ mod tests {
         // With T_inner = c·log N (the smallest admissible order), states are
         // Θ(log² N): the paper's ω(log² N) bound is tight in this direction.
         let log2_n = 16u32;
-        let p = Params::builder(1u64 << log2_n).t_inner(4 * log2_n).build().unwrap();
+        let p = Params::builder(1u64 << log2_n)
+            .t_inner(4 * log2_n)
+            .build()
+            .unwrap();
         let r = resources(&p);
         assert_eq!(r.states, u128::from(p.epoch_len()) * 8);
-        assert!(r.states < 4 * log2_cubed(&p), "shortened config should use fewer states");
+        assert!(
+            r.states < 4 * log2_cubed(&p),
+            "shortened config should use fewer states"
+        );
         assert!(r.states >= log2_squared(&p), "must stay above log² N");
     }
 

@@ -62,7 +62,9 @@ mod tests {
         let mut rng = rng_from_seed(1);
         let trials = 40_000;
         for a in 1..=4u32 {
-            let hits = (0..trials).filter(|_| toss_biased_coin(a, &mut rng)).count() as f64;
+            let hits = (0..trials)
+                .filter(|_| toss_biased_coin(a, &mut rng))
+                .count() as f64;
             let expected = trials as f64 * 0.5f64.powi(a as i32);
             let sd = (trials as f64 * 0.5f64.powi(a as i32)).sqrt();
             assert!(
@@ -75,7 +77,9 @@ mod tests {
     #[test]
     fn large_exponent_is_effectively_never() {
         let mut rng = rng_from_seed(2);
-        let hits = (0..100_000).filter(|_| toss_biased_coin(40, &mut rng)).count();
+        let hits = (0..100_000)
+            .filter(|_| toss_biased_coin(40, &mut rng))
+            .count();
         assert_eq!(hits, 0);
     }
 

@@ -129,7 +129,13 @@ mod tests {
     use crate::state::AgentState;
 
     fn msg(in_eval: bool, active: bool, color: Color, recruiting: bool) -> Message {
-        Message { in_eval_phase: in_eval, active, color, recruiting, lineage: 0 }
+        Message {
+            in_eval_phase: in_eval,
+            active,
+            color,
+            recruiting,
+            lineage: 0,
+        }
     }
 
     #[test]

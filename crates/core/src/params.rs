@@ -29,10 +29,16 @@ impl fmt::Display for ParamsError {
                 write!(f, "target population {n} is not a power of four")
             }
             ParamsError::TooSmall(n) => {
-                write!(f, "target population {n} is below the minimum 1024 (log N must be at least 10)")
+                write!(
+                    f,
+                    "target population {n} is below the minimum 1024 (log N must be at least 10)"
+                )
             }
             ParamsError::SubphaseTooShort(t) => {
-                write!(f, "subphase length {t} is too short; T_inner must be at least 2")
+                write!(
+                    f,
+                    "subphase length {t} is too short; T_inner must be at least 2"
+                )
             }
         }
     }
@@ -75,7 +81,12 @@ impl Params {
     /// Starts a builder for target `n`, allowing overrides of `T_inner` and
     /// the coin biases (used by the ablation experiments).
     pub fn builder(n: u64) -> ParamsBuilder {
-        ParamsBuilder { target: n, t_inner: None, leader_bias_exp: None, split_bias_exp: None }
+        ParamsBuilder {
+            target: n,
+            t_inner: None,
+            leader_bias_exp: None,
+            split_bias_exp: None,
+        }
     }
 
     /// The population target `N`.
@@ -140,7 +151,7 @@ impl Params {
     /// Whether `round` is the last round of a subphase (`≡ −1 mod T_inner`),
     /// after which active agents arm `recruiting` again.
     pub fn is_subphase_boundary(&self, round: u32) -> bool {
-        (round + 1) % self.t_inner == 0
+        (round + 1).is_multiple_of(self.t_inner)
     }
 
     /// The subphase (1-based) containing recruitment round `round`,
@@ -217,7 +228,7 @@ impl ParamsBuilder {
     /// See [`ParamsError`].
     pub fn build(self) -> Result<Params, ParamsError> {
         let n = self.target;
-        if !n.is_power_of_two() || (n.trailing_zeros() % 2 != 0) {
+        if !n.is_power_of_two() || !n.trailing_zeros().is_multiple_of(2) {
             return Err(ParamsError::NotPowerOfFour(n));
         }
         let log2_n = n.trailing_zeros();
@@ -270,8 +281,14 @@ mod tests {
 
     #[test]
     fn rejects_non_power_of_four() {
-        assert_eq!(Params::for_target(2048), Err(ParamsError::NotPowerOfFour(2048)));
-        assert_eq!(Params::for_target(1000), Err(ParamsError::NotPowerOfFour(1000)));
+        assert_eq!(
+            Params::for_target(2048),
+            Err(ParamsError::NotPowerOfFour(2048))
+        );
+        assert_eq!(
+            Params::for_target(1000),
+            Err(ParamsError::NotPowerOfFour(1000))
+        );
         assert_eq!(Params::for_target(0), Err(ParamsError::NotPowerOfFour(0)));
     }
 
@@ -286,7 +303,11 @@ mod tests {
         let p = Params::builder(4096).t_inner(24).build().unwrap();
         assert_eq!(p.t_inner(), 24);
         assert_eq!(p.epoch_len(), 6 * 24);
-        let p = Params::builder(4096).split_bias_exp(5).leader_bias_exp(7).build().unwrap();
+        let p = Params::builder(4096)
+            .split_bias_exp(5)
+            .leader_bias_exp(7)
+            .build()
+            .unwrap();
         assert_eq!(p.split_bias_exp(), 5);
         assert_eq!(p.leader_bias_exp(), 7);
     }
@@ -344,8 +365,12 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(ParamsError::NotPowerOfFour(7).to_string().contains("power of four"));
+        assert!(ParamsError::NotPowerOfFour(7)
+            .to_string()
+            .contains("power of four"));
         assert!(ParamsError::TooSmall(4).to_string().contains("minimum"));
-        assert!(ParamsError::SubphaseTooShort(1).to_string().contains("at least 2"));
+        assert!(ParamsError::SubphaseTooShort(1)
+            .to_string()
+            .contains("at least 2"));
     }
 }

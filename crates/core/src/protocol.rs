@@ -48,7 +48,10 @@ impl PopulationStability {
     /// Creates the protocol for the given parameters.
     pub fn new(params: Params) -> PopulationStability {
         // Lineage 0 means "no cluster"; start tags at 1.
-        PopulationStability { params, next_lineage: AtomicU64::new(1) }
+        PopulationStability {
+            params,
+            next_lineage: AtomicU64::new(1),
+        }
     }
 
     /// The protocol parameters.
@@ -60,7 +63,11 @@ impl PopulationStability {
     fn determine_if_leader(&self, s: &mut AgentState, rng: &mut SimRng) {
         s.active = toss_biased_coin(self.params.leader_bias_exp(), rng);
         if s.active {
-            s.color = if rng.random::<bool>() { Color::One } else { Color::Zero };
+            s.color = if rng.random::<bool>() {
+                Color::One
+            } else {
+                Color::Zero
+            };
             s.recruiting = true;
             s.to_recruit = self.params.subphases();
             s.is_leader = true;
@@ -96,7 +103,12 @@ impl PopulationStability {
 
     /// Algorithm 6: `EvaluationPhase`, run in round `T−1`. Returns the
     /// split/die decision and resets the coloring state for the next epoch.
-    fn evaluation_phase(&self, s: &mut AgentState, incoming: Option<&Message>, rng: &mut SimRng) -> Action {
+    fn evaluation_phase(
+        &self,
+        s: &mut AgentState,
+        incoming: Option<&Message>,
+        rng: &mut SimRng,
+    ) -> Action {
         let mut action = Action::Continue;
         if s.active {
             if let Some(msg) = incoming {
@@ -246,8 +258,14 @@ mod tests {
         let to_leader = msg_from(&p, &idle);
         let to_idle = msg_from(&p, &leader);
 
-        assert_eq!(p.step(&mut leader, Some(&to_leader), &mut rng), Action::Continue);
-        assert_eq!(p.step(&mut idle, Some(&to_idle), &mut rng), Action::Continue);
+        assert_eq!(
+            p.step(&mut leader, Some(&to_leader), &mut rng),
+            Action::Continue
+        );
+        assert_eq!(
+            p.step(&mut idle, Some(&to_idle), &mut rng),
+            Action::Continue
+        );
 
         // Leader stood down for this subphase and decremented its quota.
         assert!(!leader.recruiting);
@@ -270,7 +288,10 @@ mod tests {
         let mb = msg_from(&p, &b);
         p.step(&mut a, Some(&mb), &mut rng);
         p.step(&mut b, Some(&ma), &mut rng);
-        assert!(a.recruiting && b.recruiting, "recruiters must not consume each other");
+        assert!(
+            a.recruiting && b.recruiting,
+            "recruiters must not consume each other"
+        );
         assert_eq!(a.to_recruit, p.params().subphases());
         assert_eq!(a.color, Color::Zero);
         assert_eq!(b.color, Color::One);
@@ -287,7 +308,11 @@ mod tests {
         p.step(&mut recruiter, Some(&to_recruiter), &mut rng);
         p.step(&mut colored, Some(&to_colored), &mut rng);
         assert!(recruiter.recruiting, "active neighbor is not a recruit");
-        assert_eq!(colored.color, Color::One, "already-active agent keeps its color");
+        assert_eq!(
+            colored.color,
+            Color::One,
+            "already-active agent keeps its color"
+        );
     }
 
     #[test]
@@ -304,7 +329,10 @@ mod tests {
 
         let mut active = AgentState::active_at(p.params(), boundary, Color::One);
         p.step(&mut active, None, &mut rng);
-        assert!(active.recruiting, "active agent failed to re-arm at boundary");
+        assert!(
+            active.recruiting,
+            "active agent failed to re-arm at boundary"
+        );
     }
 
     #[test]
@@ -434,7 +462,10 @@ mod tests {
         }
         assert!(!clusters.is_empty(), "no clusters formed");
         for (lineage, size) in &clusters {
-            assert_eq!(*size, sqrt_n, "cluster {lineage} has size {size}, want {sqrt_n}");
+            assert_eq!(
+                *size, sqrt_n,
+                "cluster {lineage} has size {size}, want {sqrt_n}"
+            );
         }
         // Leaders should also all have finished their quota (Lemma 5).
         for agent in engine.agents() {

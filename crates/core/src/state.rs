@@ -140,7 +140,10 @@ impl AgentState {
     /// An inactive agent whose clock reads `round` (adversarial desync
     /// insertion).
     pub fn desynced(params: &Params, round: u32) -> AgentState {
-        AgentState { round, ..AgentState::fresh(params) }
+        AgentState {
+            round,
+            ..AgentState::fresh(params)
+        }
     }
 
     /// Whether the agent believes it is in the evaluation round.
@@ -154,11 +157,19 @@ impl Observable for AgentState {
         Observation {
             round_in_epoch: Some(self.round),
             active: self.active,
-            color: if self.active { Some(self.color == Color::One) } else { None },
+            color: if self.active {
+                Some(self.color == Color::One)
+            } else {
+                None
+            },
             recruiting: self.recruiting,
             in_eval_phase: self.in_eval_phase(),
             is_leader: self.is_leader,
-            lineage: if self.active { Some(self.lineage) } else { None },
+            lineage: if self.active {
+                Some(self.lineage)
+            } else {
+                None
+            },
         }
     }
 }

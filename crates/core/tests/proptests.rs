@@ -17,24 +17,37 @@ fn arb_color() -> impl Strategy<Value = Color> {
 fn arb_params() -> impl Strategy<Value = Params> {
     // log2 N even, in [10, 20]; T_inner in a plausible range.
     (5u32..=10, 8u32..=200).prop_map(|(half_log, t_inner)| {
-        Params::builder(1u64 << (2 * half_log)).t_inner(t_inner).build().unwrap()
+        Params::builder(1u64 << (2 * half_log))
+            .t_inner(t_inner)
+            .build()
+            .unwrap()
     })
 }
 
 /// Arbitrary (possibly adversarial) agent state for given params.
 fn arb_state(params: Params) -> impl Strategy<Value = AgentState> {
     let t = params.epoch_len();
-    (0u32..3 * t, any::<bool>(), arb_color(), any::<bool>(), 0u32..=params.subphases(), any::<bool>(), any::<u64>())
-        .prop_map(move |(round, active, color, recruiting, to_recruit, is_leader, lineage)| AgentState {
-            round,
-            active,
-            color,
-            recruiting,
-            to_recruit,
-            is_leader,
-            lineage,
-            epoch_len: params.epoch_len(),
-        })
+    (
+        0u32..3 * t,
+        any::<bool>(),
+        arb_color(),
+        any::<bool>(),
+        0u32..=params.subphases(),
+        any::<bool>(),
+        any::<u64>(),
+    )
+        .prop_map(
+            move |(round, active, color, recruiting, to_recruit, is_leader, lineage)| AgentState {
+                round,
+                active,
+                color,
+                recruiting,
+                to_recruit,
+                is_leader,
+                lineage,
+                epoch_len: params.epoch_len(),
+            },
+        )
 }
 
 proptest! {

@@ -34,7 +34,9 @@
 
 use std::fmt;
 
-use popstab_sim::{Action, Adversary, Alteration, Observable, Observation, Protocol, RoundContext, SimRng};
+use popstab_sim::{
+    Action, Adversary, Alteration, Observable, Observation, Protocol, RoundContext, SimRng,
+};
 
 /// State of an agent in the extended model: honest or malicious.
 #[derive(Debug, Clone, PartialEq)]
@@ -106,7 +108,12 @@ impl<P: Protocol> Protocol for WithMalice<P> {
         }
     }
 
-    fn step(&self, state: &mut Self::State, incoming: Option<&Self::Message>, rng: &mut SimRng) -> Action {
+    fn step(
+        &self,
+        state: &mut Self::State,
+        incoming: Option<&Self::Message>,
+        rng: &mut SimRng,
+    ) -> Action {
         match state {
             MaliceState::Honest(s) => match incoming {
                 // Detected a foreign program: remove it. The honest agent
@@ -119,7 +126,10 @@ impl<P: Protocol> Protocol for WithMalice<P> {
                 Some(MaliceMessage::Honest(m)) => self.inner.step(s, Some(m), rng),
                 None => self.inner.step(s, None, rng),
             },
-            MaliceState::Malicious { replicate_period, age } => {
+            MaliceState::Malicious {
+                replicate_period,
+                age,
+            } => {
                 // Ignores everyone; replicates on its timer.
                 let split = *age % *replicate_period == *replicate_period - 1;
                 *age = age.wrapping_add(1);
@@ -151,13 +161,20 @@ impl MaliciousInserter {
     /// Panics if `replicate_period` is zero.
     pub fn new(k: usize, replicate_period: u32) -> Self {
         assert!(replicate_period > 0, "replicate_period must be positive");
-        MaliciousInserter { k, replicate_period }
+        MaliciousInserter {
+            k,
+            replicate_period,
+        }
     }
 }
 
 impl fmt::Display for MaliciousInserter {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "malicious inserter (k={}, rho={})", self.k, self.replicate_period)
+        write!(
+            f,
+            "malicious inserter (k={}, rho={})",
+            self.k, self.replicate_period
+        )
     }
 }
 
@@ -185,7 +202,10 @@ impl<S> Adversary<MaliceState<S>> for MaliciousInserter {
 
 /// Counts the malicious agents in a population slice.
 pub fn malicious_count<S>(agents: &[MaliceState<S>]) -> usize {
-    agents.iter().filter(|a| matches!(a, MaliceState::Malicious { .. })).count()
+    agents
+        .iter()
+        .filter(|a| matches!(a, MaliceState::Malicious { .. }))
+        .count()
 }
 
 #[cfg(test)]
@@ -220,8 +240,10 @@ mod tests {
     fn malicious_agents_split_on_their_timer() {
         let proto = extended();
         let mut rng = rng_from_seed(2);
-        let mut mal: MaliceState<popstab_core::state::AgentState> =
-            MaliceState::Malicious { replicate_period: 3, age: 0 };
+        let mut mal: MaliceState<popstab_core::state::AgentState> = MaliceState::Malicious {
+            replicate_period: 3,
+            age: 0,
+        };
         let mut splits = 0;
         for _ in 0..9 {
             if proto.step(&mut mal, None, &mut rng) == Action::Split {
@@ -253,7 +275,10 @@ mod tests {
         let mal = malicious_count(engine.agents());
         assert!(mal < 50, "malicious cohort grew to {mal}");
         let pop = engine.population();
-        assert!(pop > N as usize / 2 && pop < 2 * N as usize, "population {pop}");
+        assert!(
+            pop > N as usize / 2 && pop < 2 * N as usize,
+            "population {pop}"
+        );
     }
 
     #[test]
@@ -274,7 +299,12 @@ mod tests {
             fn message(&self, s: &Self::State) -> Self::Message {
                 self.0.message(s)
             }
-            fn step(&self, s: &mut Self::State, m: Option<&Self::Message>, rng: &mut SimRng) -> Action {
+            fn step(
+                &self,
+                s: &mut Self::State,
+                m: Option<&Self::Message>,
+                rng: &mut SimRng,
+            ) -> Action {
                 match (s, m) {
                     // Honest agents cannot detect: ignore the malicious partner.
                     (MaliceState::Honest(inner), Some(MaliceMessage::Malicious)) => {
@@ -338,8 +368,10 @@ mod tests {
         let mut rng = rng_from_seed(6);
         let honest = proto.initial_state(&mut rng);
         assert_eq!(honest.observe().round_in_epoch, Some(0));
-        let mal: MaliceState<popstab_core::state::AgentState> =
-            MaliceState::Malicious { replicate_period: 2, age: 0 };
+        let mal: MaliceState<popstab_core::state::AgentState> = MaliceState::Malicious {
+            replicate_period: 2,
+            age: 0,
+        };
         assert_eq!(mal.observe(), Observation::default());
     }
 

@@ -102,7 +102,11 @@ mod tests {
     #[test]
     fn noop_returns_nothing() {
         let mut adv = NoOpAdversary;
-        let ctx = RoundContext { round: 0, budget: 10, target: 100 };
+        let ctx = RoundContext {
+            round: 0,
+            budget: 10,
+            target: 100,
+        };
         let out: Vec<Alteration<u8>> = adv.act(&ctx, &[1, 2, 3], &mut rng_from_seed(0));
         assert!(out.is_empty());
         assert_eq!(Adversary::<u8>::name(&adv), "none");
@@ -111,7 +115,11 @@ mod tests {
     #[test]
     fn boxed_adversary_delegates() {
         let mut adv: Box<dyn Adversary<u8>> = Box::new(NoOpAdversary);
-        let ctx = RoundContext { round: 3, budget: 1, target: 8 };
+        let ctx = RoundContext {
+            round: 3,
+            budget: 1,
+            target: 8,
+        };
         assert!(adv.act(&ctx, &[], &mut rng_from_seed(0)).is_empty());
         assert_eq!(adv.name(), "none");
     }

@@ -38,7 +38,9 @@ impl SimConfig {
 
 impl Default for SimConfig {
     fn default() -> Self {
-        SimConfig::builder().build().expect("default config is valid")
+        SimConfig::builder()
+            .build()
+            .expect("default config is valid")
     }
 }
 
@@ -112,10 +114,16 @@ impl SimConfigBuilder {
     pub fn build(&self) -> Result<SimConfig, SimError> {
         self.matching.validate()?;
         if self.max_population == 0 {
-            return Err(SimError::invalid_config("max_population", "must be positive"));
+            return Err(SimError::invalid_config(
+                "max_population",
+                "must be positive",
+            ));
         }
         if self.metrics_every == 0 {
-            return Err(SimError::invalid_config("metrics_every", "must be positive"));
+            return Err(SimError::invalid_config(
+                "metrics_every",
+                "must be positive",
+            ));
         }
         Ok(SimConfig {
             matching: self.matching,
@@ -161,7 +169,9 @@ mod tests {
 
     #[test]
     fn builder_rejects_invalid_gamma() {
-        let err = SimConfig::builder().matching(MatchingModel::ExactFraction(2.0)).build();
+        let err = SimConfig::builder()
+            .matching(MatchingModel::ExactFraction(2.0))
+            .build();
         assert!(err.is_err());
     }
 

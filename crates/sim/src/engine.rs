@@ -80,7 +80,9 @@ impl<P: Protocol, A: Adversary<P::State>> Engine<P, A> {
         let mut agent_rng = derive_stream(cfg.seed, "agents");
         let match_rng = derive_stream(cfg.seed, "matching");
         let adv_rng = derive_stream(cfg.seed, "adversary");
-        let agents = (0..population).map(|_| protocol.initial_state(&mut agent_rng)).collect();
+        let agents = (0..population)
+            .map(|_| protocol.initial_state(&mut agent_rng))
+            .collect();
         Engine {
             protocol,
             adversary,
@@ -143,8 +145,11 @@ impl<P: Protocol, A: Adversary<P::State>> Engine<P, A> {
     /// Executes one round; returns its report. A halted engine is inert and
     /// returns a report describing no activity.
     pub fn run_round(&mut self) -> RoundReport {
-        let mut report =
-            RoundReport { round: self.round, population_before: self.agents.len(), ..RoundReport::default() };
+        let mut report = RoundReport {
+            round: self.round,
+            population_before: self.agents.len(),
+            ..RoundReport::default()
+        };
         if self.halted.is_some() {
             report.population_after = self.agents.len();
             return report;
@@ -173,7 +178,9 @@ impl<P: Protocol, A: Adversary<P::State>> Engine<P, A> {
         let mut deaths: Vec<usize> = Vec::new();
         let mut splits: Vec<usize> = Vec::new();
         for (i, incoming) in messages.iter().enumerate() {
-            let action = self.protocol.step(&mut self.agents[i], incoming.as_ref(), &mut self.agent_rng);
+            let action =
+                self.protocol
+                    .step(&mut self.agents[i], incoming.as_ref(), &mut self.agent_rng);
             match action {
                 Action::Continue => {}
                 Action::Split => splits.push(i),
@@ -207,7 +214,7 @@ impl<P: Protocol, A: Adversary<P::State>> Engine<P, A> {
         report.population_after = self.agents.len();
         self.round += 1;
 
-        if self.round % self.cfg.metrics_every == 0 || self.agents.is_empty() {
+        if self.round.is_multiple_of(self.cfg.metrics_every) || self.agents.is_empty() {
             let mut stats = RoundStats::observe(report.round, &self.agents);
             stats.splits = report.splits;
             stats.deaths = report.deaths;
@@ -241,7 +248,11 @@ impl<P: Protocol, A: Adversary<P::State>> Engine<P, A> {
     /// `Modify` indices refer to the slice the adversary saw; deletions are
     /// deferred to the end (swap-remove, descending) so indices stay stable,
     /// and insertions are appended after the original slice.
-    fn apply_alterations(&mut self, alterations: Vec<Alteration<P::State>>, report: &mut RoundReport) {
+    fn apply_alterations(
+        &mut self,
+        alterations: Vec<Alteration<P::State>>,
+        report: &mut RoundReport,
+    ) {
         let original_len = self.agents.len();
         let mut to_delete: Vec<usize> = Vec::new();
         for alt in alterations.into_iter().take(self.cfg.adversary_budget) {
@@ -289,7 +300,10 @@ mod tests {
     }
     impl Observable for SplitState {
         fn observe(&self) -> Observation {
-            Observation { active: self.done, ..Observation::default() }
+            Observation {
+                active: self.done,
+                ..Observation::default()
+            }
         }
     }
 
@@ -299,7 +313,7 @@ mod tests {
         fn initial_state(&self, _rng: &mut SimRng) -> SplitState {
             SplitState { done: false }
         }
-        fn message(&self, _s: &SplitState) -> () {}
+        fn message(&self, _s: &SplitState) {}
         fn step(&self, s: &mut SplitState, incoming: Option<&()>, _rng: &mut SimRng) -> Action {
             if !s.done && incoming.is_some() {
                 s.done = true;
@@ -325,7 +339,7 @@ mod tests {
         fn initial_state(&self, _rng: &mut SimRng) -> Unit {
             Unit
         }
-        fn message(&self, _s: &Unit) -> () {}
+        fn message(&self, _s: &Unit) {}
         fn step(&self, _s: &mut Unit, _m: Option<&()>, _rng: &mut SimRng) -> Action {
             Action::Die
         }
@@ -376,12 +390,16 @@ mod tests {
             fn initial_state(&self, _r: &mut SimRng) -> Unit {
                 Unit
             }
-            fn message(&self, _s: &Unit) -> () {}
+            fn message(&self, _s: &Unit) {}
             fn step(&self, _s: &mut Unit, _m: Option<&()>, _r: &mut SimRng) -> Action {
                 Action::Split
             }
         }
-        let cfg = SimConfig::builder().seed(4).max_population(100).build().unwrap();
+        let cfg = SimConfig::builder()
+            .seed(4)
+            .max_population(100)
+            .build()
+            .unwrap();
         let mut engine = Engine::with_population(Exploder, cfg, 10);
         engine.run_rounds(10);
         assert_eq!(engine.halted(), Some(HaltReason::Exploded));
@@ -395,11 +413,20 @@ mod tests {
             fn name(&self) -> &'static str {
                 "greedy"
             }
-            fn act(&mut self, _c: &RoundContext, agents: &[InertState], _r: &mut SimRng) -> Vec<Alteration<InertState>> {
+            fn act(
+                &mut self,
+                _c: &RoundContext,
+                agents: &[InertState],
+                _r: &mut SimRng,
+            ) -> Vec<Alteration<InertState>> {
                 (0..agents.len()).map(Alteration::Delete).collect()
             }
         }
-        let cfg = SimConfig::builder().seed(5).adversary_budget(3).build().unwrap();
+        let cfg = SimConfig::builder()
+            .seed(5)
+            .adversary_budget(3)
+            .build()
+            .unwrap();
         let mut engine = Engine::with_adversary(Inert, GreedyDeleter, cfg, 10);
         let report = engine.run_round();
         assert_eq!(report.deleted, 3);
@@ -413,11 +440,24 @@ mod tests {
             fn name(&self) -> &'static str {
                 "sloppy"
             }
-            fn act(&mut self, _c: &RoundContext, _a: &[InertState], _r: &mut SimRng) -> Vec<Alteration<InertState>> {
-                vec![Alteration::Delete(0), Alteration::Delete(0), Alteration::Delete(999)]
+            fn act(
+                &mut self,
+                _c: &RoundContext,
+                _a: &[InertState],
+                _r: &mut SimRng,
+            ) -> Vec<Alteration<InertState>> {
+                vec![
+                    Alteration::Delete(0),
+                    Alteration::Delete(0),
+                    Alteration::Delete(999),
+                ]
             }
         }
-        let cfg = SimConfig::builder().seed(6).adversary_budget(10).build().unwrap();
+        let cfg = SimConfig::builder()
+            .seed(6)
+            .adversary_budget(10)
+            .build()
+            .unwrap();
         let mut engine = Engine::with_adversary(Inert, Sloppy, cfg, 5);
         let report = engine.run_round();
         assert_eq!(report.deleted, 1);
@@ -431,18 +471,30 @@ mod tests {
             fn name(&self) -> &'static str {
                 "meddler"
             }
-            fn act(&mut self, _c: &RoundContext, _a: &[InertState], _r: &mut SimRng) -> Vec<Alteration<InertState>> {
-                vec![Alteration::Insert(InertState), Alteration::Insert(InertState), Alteration::Modify(0, InertState)]
+            fn act(
+                &mut self,
+                _c: &RoundContext,
+                _a: &[InertState],
+                _r: &mut SimRng,
+            ) -> Vec<Alteration<InertState>> {
+                vec![
+                    Alteration::Insert(InertState),
+                    Alteration::Insert(InertState),
+                    Alteration::Modify(0, InertState),
+                ]
             }
         }
-        let cfg = SimConfig::builder().seed(7).adversary_budget(10).build().unwrap();
+        let cfg = SimConfig::builder()
+            .seed(7)
+            .adversary_budget(10)
+            .build()
+            .unwrap();
         let mut engine = Engine::with_adversary(Inert, Meddler, cfg, 5);
         let report = engine.run_round();
         assert_eq!(report.inserted, 2);
         assert_eq!(report.modified, 1);
         assert_eq!(engine.population(), 7);
     }
-
 
     #[test]
     fn kill_partner_removes_the_matched_agent() {
@@ -455,7 +507,10 @@ mod tests {
         }
         impl Observable for KState {
             fn observe(&self) -> Observation {
-                Observation { active: self.lethal, ..Observation::default() }
+                Observation {
+                    active: self.lethal,
+                    ..Observation::default()
+                }
             }
         }
         impl Protocol for Killer {
@@ -479,26 +534,42 @@ mod tests {
             fn name(&self) -> &'static str {
                 "arm-half"
             }
-            fn act(&mut self, ctx: &RoundContext, agents: &[KState], _r: &mut SimRng) -> Vec<Alteration<KState>> {
+            fn act(
+                &mut self,
+                ctx: &RoundContext,
+                agents: &[KState],
+                _r: &mut SimRng,
+            ) -> Vec<Alteration<KState>> {
                 if ctx.round == 0 {
-                    (0..agents.len() / 2).map(|i| Alteration::Modify(i, KState { lethal: true })).collect()
+                    (0..agents.len() / 2)
+                        .map(|i| Alteration::Modify(i, KState { lethal: true }))
+                        .collect()
                 } else {
                     Vec::new()
                 }
             }
         }
-        let cfg = SimConfig::builder().seed(21).adversary_budget(100).build().unwrap();
+        let cfg = SimConfig::builder()
+            .seed(21)
+            .adversary_budget(100)
+            .build()
+            .unwrap();
         let mut engine = Engine::with_adversary(Killer, ArmHalf, cfg, 20);
         let report = engine.run_round();
-        // 10 killers; each matched partner dies unless the partner is also a
-        // killer (then both die). Deaths are between 5 (all killer-killer
-        // pairs... impossible with 10/10) and 10.
-        assert!(report.deaths >= 5 && report.deaths <= 10, "deaths={}", report.deaths);
+        // Full matching pairs all 20 agents: with k killer-killer pairs there
+        // are also k victim-victim pairs (no deaths) and 10 − 2k mixed pairs
+        // (victim dies), so exactly 2k + (10 − 2k) = 10 agents die whatever
+        // the matching.
+        assert_eq!(report.deaths, 10, "deaths={}", report.deaths);
         assert_eq!(engine.population(), 20 - report.deaths);
-        // Killers never die to non-killers: survivors include all 10 killers
-        // minus killer-killer casualties.
+        // Killers never die to non-killers, so the missing killers come in
+        // killer-killer pairs: an even number is gone.
         let lethal_left = engine.agents().iter().filter(|a| a.lethal).count();
-        assert!(lethal_left >= 10 - 2 * (report.deaths - (20 - 10 - (engine.population() - lethal_left))), "lethal_left={lethal_left}");
+        assert_eq!(
+            (10 - lethal_left) % 2,
+            0,
+            "killers died singly: lethal_left={lethal_left}"
+        );
     }
 
     #[test]
@@ -511,7 +582,7 @@ mod tests {
             fn initial_state(&self, _r: &mut SimRng) -> Unit {
                 Unit
             }
-            fn message(&self, _s: &Unit) -> () {}
+            fn message(&self, _s: &Unit) {}
             fn step(&self, _s: &mut Unit, m: Option<&()>, _r: &mut SimRng) -> Action {
                 if m.is_some() {
                     Action::KillPartner
@@ -535,18 +606,27 @@ mod tests {
             fn name(&self) -> &'static str {
                 "churn"
             }
-            fn act(&mut self, ctx: &RoundContext, agents: &[SplitState], rng: &mut SimRng) -> Vec<Alteration<SplitState>> {
+            fn act(
+                &mut self,
+                ctx: &RoundContext,
+                agents: &[SplitState],
+                rng: &mut SimRng,
+            ) -> Vec<Alteration<SplitState>> {
                 let mut out = Vec::new();
                 if !agents.is_empty() && rng.random::<bool>() {
                     out.push(Alteration::Delete(rng.random_range(0..agents.len())));
                 }
-                if ctx.round % 2 == 0 {
+                if ctx.round.is_multiple_of(2) {
                     out.push(Alteration::Insert(SplitState { done: false }));
                 }
                 out
             }
         }
-        let cfg = SimConfig::builder().seed(8).adversary_budget(4).build().unwrap();
+        let cfg = SimConfig::builder()
+            .seed(8)
+            .adversary_budget(4)
+            .build()
+            .unwrap();
         let mut engine = Engine::with_adversary(SplitOnce, Churn, cfg, 30);
         for _ in 0..20 {
             let before = engine.population();
@@ -564,7 +644,11 @@ mod tests {
 
     #[test]
     fn metrics_stride_reduces_records() {
-        let cfg = SimConfig::builder().seed(9).metrics_every(5).build().unwrap();
+        let cfg = SimConfig::builder()
+            .seed(9)
+            .metrics_every(5)
+            .build()
+            .unwrap();
         let mut engine = Engine::with_population(Inert, cfg, 10);
         engine.run_rounds(20);
         assert_eq!(engine.metrics().len(), 4);
@@ -607,7 +691,12 @@ mod tests {
             fn name(&self) -> &'static str {
                 "del"
             }
-            fn act(&mut self, _c: &RoundContext, _a: &[InertState], _r: &mut SimRng) -> Vec<Alteration<InertState>> {
+            fn act(
+                &mut self,
+                _c: &RoundContext,
+                _a: &[InertState],
+                _r: &mut SimRng,
+            ) -> Vec<Alteration<InertState>> {
                 vec![Alteration::Delete(0)]
             }
         }

@@ -18,7 +18,10 @@ pub enum SimError {
 
 impl SimError {
     pub(crate) fn invalid_config(field: &'static str, reason: impl Into<String>) -> Self {
-        SimError::InvalidConfig { field, reason: reason.into() }
+        SimError::InvalidConfig {
+            field,
+            reason: reason.into(),
+        }
     }
 }
 

@@ -12,10 +12,11 @@ use crate::error::SimError;
 use crate::rng::SimRng;
 
 /// How the per-round random matching is sampled.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum MatchingModel {
     /// Every agent is matched every round (one agent idle when the population
     /// is odd). This is `γ = 1`.
+    #[default]
     Full,
     /// Exactly `⌊γ·m/2⌋` uniformly random disjoint pairs each round.
     ExactFraction(f64),
@@ -45,15 +46,12 @@ impl MatchingModel {
     pub fn validate(&self) -> Result<(), SimError> {
         let g = self.gamma();
         if !(g > 0.0 && g <= 1.0) {
-            return Err(SimError::invalid_config("matching", format!("gamma must be in (0, 1], got {g}")));
+            return Err(SimError::invalid_config(
+                "matching",
+                format!("gamma must be in (0, 1], got {g}"),
+            ));
         }
         Ok(())
-    }
-}
-
-impl Default for MatchingModel {
-    fn default() -> Self {
-        MatchingModel::Full
     }
 }
 
@@ -119,7 +117,10 @@ pub fn sample_matching(population: usize, model: MatchingModel, rng: &mut SimRng
         let j = rng.random_range(i..population);
         indices.swap(i, j);
     }
-    let pairs = indices[..2 * n_pairs].chunks_exact(2).map(|c| (c[0], c[1])).collect();
+    let pairs = indices[..2 * n_pairs]
+        .chunks_exact(2)
+        .map(|c| (c[0], c[1]))
+        .collect();
     Matching { pairs }
 }
 
@@ -142,7 +143,10 @@ mod tests {
         let mut seen = HashSet::new();
         for &(a, b) in m.pairs() {
             assert_ne!(a, b, "self-match");
-            assert!((a as usize) < population && (b as usize) < population, "out of range");
+            assert!(
+                (a as usize) < population && (b as usize) < population,
+                "out of range"
+            );
             assert!(seen.insert(a), "agent {a} matched twice");
             assert!(seen.insert(b), "agent {b} matched twice");
         }
@@ -183,8 +187,16 @@ mod tests {
     fn random_fraction_respects_lower_bound() {
         let mut rng = rng_from_seed(5);
         for _ in 0..50 {
-            let m = sample_matching(1000, MatchingModel::RandomFraction { min_gamma: 0.25 }, &mut rng);
-            assert!(m.matched_agents() >= 250 - 1, "matched {}", m.matched_agents());
+            let m = sample_matching(
+                1000,
+                MatchingModel::RandomFraction { min_gamma: 0.25 },
+                &mut rng,
+            );
+            assert!(
+                m.matched_agents() >= 250 - 1,
+                "matched {}",
+                m.matched_agents()
+            );
             assert_valid(&m, 1000);
         }
     }
@@ -223,7 +235,10 @@ mod tests {
     fn gamma_accessor() {
         assert_eq!(MatchingModel::Full.gamma(), 1.0);
         assert_eq!(MatchingModel::ExactFraction(0.5).gamma(), 0.5);
-        assert_eq!(MatchingModel::RandomFraction { min_gamma: 0.25 }.gamma(), 0.25);
+        assert_eq!(
+            MatchingModel::RandomFraction { min_gamma: 0.25 }.gamma(),
+            0.25
+        );
     }
 
     #[test]

@@ -42,7 +42,11 @@ pub struct RoundStats {
 impl RoundStats {
     /// Builds the observation-derived part of the stats from a population.
     pub fn observe<S: Observable>(round: u64, agents: &[S]) -> RoundStats {
-        let mut stats = RoundStats { round, population: agents.len(), ..RoundStats::default() };
+        let mut stats = RoundStats {
+            round,
+            population: agents.len(),
+            ..RoundStats::default()
+        };
         let mut round_counts: HashMap<u32, usize> = HashMap::new();
         for agent in agents {
             let obs: Observation = agent.observe();
@@ -152,7 +156,10 @@ impl MetricsRecorder {
 
     /// Maximum active fraction over all records (Lemma 4 diagnostics).
     pub fn max_active_fraction(&self) -> f64 {
-        self.stats.iter().map(|s| s.active_fraction()).fold(0.0, f64::max)
+        self.stats
+            .iter()
+            .map(|s| s.active_fraction())
+            .fold(0.0, f64::max)
     }
 }
 
@@ -169,7 +176,12 @@ mod tests {
     }
 
     fn agent(active: bool, color: Option<bool>, round: Option<u32>) -> Fake {
-        Fake(Observation { active, color, round_in_epoch: round, ..Observation::default() })
+        Fake(Observation {
+            active,
+            color,
+            round_in_epoch: round,
+            ..Observation::default()
+        })
     }
 
     #[test]

@@ -30,7 +30,7 @@ impl Protocol for Inert {
         InertState
     }
 
-    fn message(&self, _state: &InertState) -> () {}
+    fn message(&self, _state: &InertState) {}
 
     fn step(&self, _state: &mut InertState, _incoming: Option<&()>, _rng: &mut SimRng) -> Action {
         Action::Continue

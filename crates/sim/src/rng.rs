@@ -75,7 +75,9 @@ mod tests {
     fn different_seeds_differ() {
         let mut a = rng_from_seed(1);
         let mut b = rng_from_seed(2);
-        let same = (0..64).filter(|_| a.random::<u64>() == b.random::<u64>()).count();
+        let same = (0..64)
+            .filter(|_| a.random::<u64>() == b.random::<u64>())
+            .count();
         assert_eq!(same, 0);
     }
 
@@ -83,7 +85,9 @@ mod tests {
     fn derived_streams_are_independent_of_each_other() {
         let mut a = derive_stream(9, "matching");
         let mut b = derive_stream(9, "agents");
-        let same = (0..64).filter(|_| a.random::<u64>() == b.random::<u64>()).count();
+        let same = (0..64)
+            .filter(|_| a.random::<u64>() == b.random::<u64>())
+            .count();
         assert_eq!(same, 0);
     }
 

@@ -50,7 +50,10 @@ impl<'a> Trajectory<'a> {
 
     /// First recorded round whose population leaves `[lo, hi]`, if any.
     pub fn first_violation(&self, lo: usize, hi: usize) -> Option<u64> {
-        self.stats.iter().find(|s| !(lo..=hi).contains(&s.population)).map(|s| s.round)
+        self.stats
+            .iter()
+            .find(|s| !(lo..=hi).contains(&s.population))
+            .map(|s| s.round)
     }
 
     /// Writes the trajectory as CSV (header + one row per record).
@@ -93,7 +96,11 @@ mod tests {
     use super::*;
 
     fn stats_with(round: u64, population: usize) -> RoundStats {
-        RoundStats { round, population, ..RoundStats::default() }
+        RoundStats {
+            round,
+            population,
+            ..RoundStats::default()
+        }
     }
 
     #[test]
@@ -109,7 +116,9 @@ mod tests {
 
     #[test]
     fn epoch_sampling() {
-        let rounds: Vec<_> = (0..20).map(|r| stats_with(r, (r as usize + 1) * 10)).collect();
+        let rounds: Vec<_> = (0..20)
+            .map(|r| stats_with(r, (r as usize + 1) * 10))
+            .collect();
         let t = Trajectory::new(&rounds);
         // epoch_len 5 -> rounds 4, 9, 14, 19
         assert_eq!(t.epoch_end_populations(5), vec![50, 100, 150, 200]);

@@ -77,7 +77,7 @@ proptest! {
             type State = FState;
             type Message = ();
             fn initial_state(&self, _rng: &mut SimRng) -> FState { FState }
-            fn message(&self, _s: &FState) -> () {}
+            fn message(&self, _s: &FState) {}
             fn step(&self, _s: &mut FState, m: Option<&()>, rng: &mut SimRng) -> Action {
                 use rand::Rng;
                 if m.is_some() {

@@ -1,12 +1,17 @@
 //! Adversarial attack demo: the protocol holds its population while a
 //! worst-case adversary inserts forged leaders, desynchronized clocks and
-//! deletes leaders, at the paper's budget `K = N^{1/4−ε}`.
+//! deletes leaders, at the paper's budget `K = N^{1/4−ε}` — metered per
+//! epoch, the scale-faithful translation of the paper's per-round budget
+//! (see `popstab_adversary::throttle` for why raw per-round budgets
+//! overwhelm any simulable `N`).
 //!
 //! ```sh
 //! cargo run --release --example adversarial_attack
 //! ```
 
-use population_stability::adversary::{attack_suite, Composite, ColorFlooder, DesyncInserter, LeaderSniper};
+use population_stability::adversary::{
+    throttled_suite, ColorFlooder, Composite, DesyncInserter, LeaderSniper, Throttle,
+};
 use population_stability::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -16,15 +21,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let k = params.adversary_tolerance(0.05); // K = N^{0.20}
     let m_star = equilibrium_population(&params);
 
-    println!("N = {n}, adversary budget K = {k} alterations/round, m* = {m_star}");
+    println!("N = {n}, adversary budget K = {k} alterations/epoch, m* = {m_star}");
     println!();
 
-    // Individual attacks from the suite.
-    println!("{:<22} {:>10} {:>10} {:>10} {:>8}", "adversary", "min pop", "max pop", "final", "in band");
-    for adversary in attack_suite(&params, k) {
+    // Individual attacks from the suite, each throttled to K per epoch.
+    println!(
+        "{:<22} {:>10} {:>10} {:>10} {:>8}",
+        "adversary", "min pop", "max pop", "final", "in band"
+    );
+    for adversary in throttled_suite(&params, k) {
         let name = adversary.name();
         let protocol = PopulationStability::new(params.clone());
-        let cfg = SimConfig::builder().seed(7).target(n).adversary_budget(k).build()?;
+        let cfg = SimConfig::builder()
+            .seed(7)
+            .target(n)
+            .adversary_budget(k)
+            .build()?;
         let mut engine = Engine::with_adversary(protocol, adversary, cfg, n as usize);
         engine.run_rounds(12 * epoch);
         let (lo, hi) = engine.metrics().population_range().expect("metrics");
@@ -40,17 +52,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // A combined assault: snipe leaders of one color, flood the other,
-    // desynchronize clocks — all at once, sharing the budget.
-    let combo = Composite::new(
-        "combined-assault",
-        vec![
-            Box::new(LeaderSniper::new(k / 3, Some(Color::One))),
-            Box::new(ColorFlooder::new(params.clone(), k / 3, Color::Zero)),
-            Box::new(DesyncInserter::new(params.clone(), k / 3, 11)),
-        ],
+    // desynchronize clocks — all at once, sharing the per-epoch budget.
+    let combo = Throttle::per_epoch(
+        Composite::new(
+            "combined-assault",
+            vec![
+                Box::new(LeaderSniper::new(k / 3, Some(Color::One))),
+                Box::new(ColorFlooder::new(params.clone(), k / 3, Color::Zero)),
+                Box::new(DesyncInserter::new(params.clone(), k / 3, 11)),
+            ],
+        ),
+        params.epoch_len(),
     );
     let protocol = PopulationStability::new(params.clone());
-    let cfg = SimConfig::builder().seed(8).target(n).adversary_budget(k).build()?;
+    let cfg = SimConfig::builder()
+        .seed(8)
+        .target(n)
+        .adversary_budget(k)
+        .build()?;
     let mut engine = Engine::with_adversary(protocol, combo, cfg, n as usize);
     engine.run_rounds(12 * epoch);
     let (lo, hi) = engine.metrics().population_range().expect("metrics");
@@ -60,7 +79,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         lo,
         hi,
         engine.population(),
-        if lo as f64 > 0.5 * m_star && (hi as f64) < 1.5 * m_star { "yes" } else { "NO" }
+        if lo as f64 > 0.5 * m_star && (hi as f64) < 1.5 * m_star {
+            "yes"
+        } else {
+            "NO"
+        }
     );
     Ok(())
 }

@@ -21,35 +21,65 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let m_star = equilibrium_population(&params);
 
     println!("N = {n}, horizon = {rounds} rounds\n");
-    println!("{:<34} {:>9} {:>9} {:>9}", "protocol / adversary", "min", "max", "final");
+    println!(
+        "{:<36} {:>9} {:>9} {:>9}",
+        "protocol / adversary", "min", "max", "final"
+    );
 
     // Real protocol, no adversary.
     {
         let cfg = SimConfig::builder().seed(1).target(n).build()?;
-        let mut e = Engine::with_population(PopulationStability::new(params.clone()), cfg, n as usize);
+        let mut e =
+            Engine::with_population(PopulationStability::new(params.clone()), cfg, n as usize);
         e.run_rounds(rounds);
         let (lo, hi) = e.metrics().population_range().expect("metrics");
-        println!("{:<34} {:>9} {:>9} {:>9}", "paper protocol / none", lo, hi, e.population());
+        println!(
+            "{:<36} {:>9} {:>9} {:>9}",
+            "paper protocol / none",
+            lo,
+            hi,
+            e.population()
+        );
     }
 
     // Attempt 2, no adversary: random walk.
     {
-        let cfg = SimConfig::builder().seed(2).target(n).max_population(64 * n as usize).build()?;
+        let cfg = SimConfig::builder()
+            .seed(2)
+            .target(n)
+            .max_population(64 * n as usize)
+            .build()?;
         let mut e = Engine::with_population(Attempt2::new(n), cfg, n as usize);
         e.run_rounds(rounds);
         let (lo, hi) = e.metrics().population_range().expect("metrics");
-        println!("{:<34} {:>9} {:>9} {:>9}", "attempt 2 (indep. colors) / none", lo, hi, e.population());
+        println!(
+            "{:<36} {:>9} {:>9} {:>9}",
+            "attempt 2 (indep. colors) / none",
+            lo,
+            hi,
+            e.population()
+        );
     }
 
     // Attempt 1, no adversary: holds (crudely).
     let a1 = Attempt1::new(n);
     let a1_epoch = a1.epoch_len();
     {
-        let cfg = SimConfig::builder().seed(3).target(n).max_population(64 * n as usize).build()?;
+        let cfg = SimConfig::builder()
+            .seed(3)
+            .target(n)
+            .max_population(64 * n as usize)
+            .build()?;
         let mut e = Engine::with_population(a1.clone(), cfg, n as usize);
         e.run_rounds(rounds);
         let (lo, hi) = e.metrics().population_range().expect("metrics");
-        println!("{:<34} {:>9} {:>9} {:>9}", "attempt 1 (leader bit) / none", lo, hi, e.population());
+        println!(
+            "{:<36} {:>9} {:>9} {:>9}",
+            "attempt 1 (leader bit) / none",
+            lo,
+            hi,
+            e.population()
+        );
     }
 
     // Attempt 1 vs one inserted signal agent per epoch: collapse.
@@ -60,23 +90,44 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .adversary_budget(1)
             .max_population(64 * n as usize)
             .build()?;
-        let mut e = Engine::with_adversary(a1.clone(), SignalFlooder::new(a1_epoch), cfg, n as usize);
-        e.run_rounds(rounds);
-        let (lo, hi) = e.metrics().population_range().expect("metrics");
-        println!("{:<34} {:>9} {:>9} {:>9}", "attempt 1 / 1 forged signal/epoch", lo, hi, e.population());
-    }
-
-    // Real protocol under the full-budget deviation amplifier: holds.
-    {
-        let k = params.adversary_tolerance(0.05);
-        let adv = population_stability::adversary::DeviationAmplifier::new(params.clone(), k);
-        let cfg = SimConfig::builder().seed(5).target(n).adversary_budget(k).build()?;
-        let mut e = Engine::with_adversary(PopulationStability::new(params.clone()), adv, cfg, n as usize);
+        let mut e =
+            Engine::with_adversary(a1.clone(), SignalFlooder::new(a1_epoch), cfg, n as usize);
         e.run_rounds(rounds);
         let (lo, hi) = e.metrics().population_range().expect("metrics");
         println!(
-            "{:<34} {:>9} {:>9} {:>9}",
-            format!("paper protocol / amplifier K={k}"),
+            "{:<36} {:>9} {:>9} {:>9}",
+            "attempt 1 / 1 forged signal/epoch",
+            lo,
+            hi,
+            e.population()
+        );
+    }
+
+    // Real protocol under the full-budget deviation amplifier (metered per
+    // epoch — see `popstab_adversary::throttle` for the budget translation):
+    // holds.
+    {
+        let k = params.adversary_tolerance(0.05);
+        let adv = population_stability::adversary::Throttle::per_epoch(
+            population_stability::adversary::DeviationAmplifier::new(params.clone(), k),
+            params.epoch_len(),
+        );
+        let cfg = SimConfig::builder()
+            .seed(5)
+            .target(n)
+            .adversary_budget(k)
+            .build()?;
+        let mut e = Engine::with_adversary(
+            PopulationStability::new(params.clone()),
+            adv,
+            cfg,
+            n as usize,
+        );
+        e.run_rounds(rounds);
+        let (lo, hi) = e.metrics().population_range().expect("metrics");
+        println!(
+            "{:<36} {:>9} {:>9} {:>9}",
+            format!("paper protocol / amplifier K={k}/epoch"),
             lo,
             hi,
             e.population()

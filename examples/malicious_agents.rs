@@ -22,7 +22,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("extended model: honest agents kill detected-foreign partners");
     println!("1 malicious insertion per round; replication period ρ; full matching\n");
-    println!("{:<6} {:>16} {:>12} {:>10}", "rho", "malicious alive", "population", "outcome");
+    println!(
+        "{:<6} {:>16} {:>12} {:>10}",
+        "rho", "malicious alive", "population", "outcome"
+    );
     for rho in [1u32, 2, 4, 16] {
         let protocol = WithMalice::new(PopulationStability::new(params.clone()));
         let adversary = MaliciousInserter::new(1, rho);
@@ -42,7 +45,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         } else {
             "growing"
         };
-        println!("{rho:<6} {mal:>16} {:>12} {outcome:>10}", engine.population());
+        println!(
+            "{rho:<6} {mal:>16} {:>12} {outcome:>10}",
+            engine.population()
+        );
     }
     println!();
     println!("ρ = 1 is the paper's impossibility argument: splitting every round outruns");

@@ -15,8 +15,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("population stability protocol, N = {n}");
     println!("  epoch length        T = {epoch} rounds");
-    println!("  Pr[leader]            = 1/{}", (1.0 / params.leader_probability()).round());
-    println!("  Pr[split | same color] = {:.4}", params.split_probability());
+    println!(
+        "  Pr[leader]            = 1/{}",
+        (1.0 / params.leader_probability()).round()
+    );
+    println!(
+        "  Pr[split | same color] = {:.4}",
+        params.split_probability()
+    );
     println!("  predicted equilibrium m* = N − 8·√N = {m_star}");
     println!();
 
@@ -42,9 +48,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     let traj = engine.trajectory();
-    let (lo, hi) = engine.metrics().population_range().expect("metrics recorded");
+    let (lo, hi) = engine
+        .metrics()
+        .population_range()
+        .expect("metrics recorded");
     println!();
-    println!("population range over {} rounds: [{lo}, {hi}]", engine.round());
+    println!(
+        "population range over {} rounds: [{lo}, {hi}]",
+        engine.round()
+    );
     println!(
         "max per-epoch deviation: {} (Õ(√N) = {} per Lemma 7)",
         traj.max_epoch_deviation(epoch).unwrap_or(0),

@@ -26,7 +26,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("N = {n}, exact equilibrium m° = {m_eq:.0}, shock at epoch 3\n");
     for (label, kind, fraction) in [
         ("injury: lose 60% of cells", TraumaKind::Injury, 0.6),
-        ("inflammation: +60% blank cells", TraumaKind::Proliferation, 0.6),
+        (
+            "inflammation: +60% blank cells",
+            TraumaKind::Proliferation,
+            0.6,
+        ),
     ] {
         println!("== {label} ==");
         let trauma = Trauma::new(params.clone(), kind, fraction, 3 * epoch);
@@ -53,7 +57,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             println!("{e:>5}  {:>10.0}  {:>13.0}%", pop, 100.0 * healed);
         }
         let tc = population_stability::analysis::equilibrium::time_constant_epochs(&params, 1.0);
-        println!("(asymptotic healing time constant ≈ {tc:.0} epochs — recovery is slow by design)\n");
+        println!(
+            "(asymptotic healing time constant ≈ {tc:.0} epochs — recovery is slow by design)\n"
+        );
     }
     Ok(())
 }

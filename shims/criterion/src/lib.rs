@@ -1,0 +1,238 @@
+//! Offline stand-in for the subset of `criterion` this workspace uses.
+//!
+//! The statistical machinery of the real crate is replaced by a plain
+//! measure-and-print harness: each benchmark runs a fixed warm-up, then a
+//! timed batch, and reports the mean time per iteration (plus throughput
+//! when declared). That keeps `cargo bench` functional and `cargo bench
+//! --no-run` meaningful while the build environment has no crates.io
+//! access.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+const WARMUP_ITERS: u32 = 3;
+const MEASURE_ITERS: u32 = 30;
+
+/// The benchmark driver handed to `criterion_group!` target functions.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.into().label, None, f);
+        self
+    }
+}
+
+/// A named group; carries the group's throughput declaration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim's iteration count is fixed.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Declares how much work one iteration performs, enabling per-element
+    /// rates in the report.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks `f`, which receives `input` alongside the [`Bencher`].
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into().label);
+        run_one(&label, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks `f` under this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into().label);
+        run_one(&label, self.throughput, f);
+        self
+    }
+
+    /// Ends the group (a no-op here; the report is printed as it runs).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, throughput: Option<Throughput>, mut f: F) {
+    let mut bencher = Bencher {
+        iters: WARMUP_ITERS,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    bencher.iters = MEASURE_ITERS;
+    bencher.elapsed = Duration::ZERO;
+    f(&mut bencher);
+    let per_iter = bencher.elapsed.as_secs_f64() / f64::from(MEASURE_ITERS);
+    match throughput {
+        Some(Throughput::Elements(n)) => {
+            let rate = n as f64 / per_iter;
+            println!(
+                "bench {label:<40} {:>12.3} us/iter {rate:>14.0} elem/s",
+                per_iter * 1e6
+            );
+        }
+        Some(Throughput::Bytes(n)) => {
+            let rate = n as f64 / per_iter / (1 << 20) as f64;
+            println!(
+                "bench {label:<40} {:>12.3} us/iter {rate:>11.1} MiB/s",
+                per_iter * 1e6
+            );
+        }
+        None => println!("bench {label:<40} {:>12.3} us/iter", per_iter * 1e6),
+    }
+}
+
+/// Times the routine handed to [`Bencher::iter`].
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u32,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly, accumulating wall-clock time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+    }
+}
+
+/// Work performed per iteration, for rate reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark's display label.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A label of the form `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{parameter}", name.into()),
+        }
+    }
+
+    /// A label that is just the parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(label: &str) -> Self {
+        BenchmarkId {
+            label: label.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        BenchmarkId { label }
+    }
+}
+
+/// Bundles benchmark functions into a group runner, as in the real crate.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running the given groups (benches use `harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes harness flags such as `--bench`; the shim
+            // runs everything unconditionally and ignores them.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut c = Criterion::default();
+        let mut count = 0u32;
+        c.bench_function("counter", |b| b.iter(|| count += 1));
+        assert_eq!(count, WARMUP_ITERS + MEASURE_ITERS);
+    }
+
+    #[test]
+    fn group_with_input_and_throughput() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10).throughput(Throughput::Elements(4));
+        let mut sum = 0u64;
+        group.bench_with_input(BenchmarkId::new("sum", 4), &4u64, |b, &n| {
+            b.iter(|| sum += n)
+        });
+        group.bench_function("plain", |b| b.iter(|| ()));
+        group.finish();
+        assert_eq!(sum, u64::from(WARMUP_ITERS + MEASURE_ITERS) * 4);
+    }
+
+    #[test]
+    fn benchmark_id_labels() {
+        assert_eq!(BenchmarkId::new("full", 16).label, "full/16");
+        assert_eq!(BenchmarkId::from_parameter(1024).label, "1024");
+        assert_eq!(BenchmarkId::from("x").label, "x");
+    }
+}

@@ -1,0 +1,52 @@
+//! Collection strategies (`proptest::collection`).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SampleRange};
+
+use crate::strategy::Strategy;
+
+/// Generates `Vec`s whose length is drawn from `len` and whose elements are
+/// drawn from `element`.
+pub fn vec<S, L>(element: S, len: L) -> VecStrategy<S, L>
+where
+    S: Strategy,
+    L: SampleRange<usize> + Clone,
+{
+    VecStrategy { element, len }
+}
+
+/// Output of [`vec`].
+pub struct VecStrategy<S, L> {
+    element: S,
+    len: L,
+}
+
+impl<S, L> Strategy for VecStrategy<S, L>
+where
+    S: Strategy,
+    L: SampleRange<usize> + Clone,
+{
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+        let n = rng.random_range(self.len.clone());
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_rng;
+
+    #[test]
+    fn vec_respects_length_range() {
+        let mut rng = test_rng("collection::vec");
+        let strat = vec(0u32..5, 2usize..7);
+        for _ in 0..100 {
+            let v = strat.generate(&mut rng);
+            assert!((2..7).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 5));
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Offline stand-in for the subset of `proptest` this workspace uses.
+//!
+//! The [`proptest!`] macro expands each `#[test] fn name(arg in strategy, …)`
+//! into a plain `#[test]` that draws [`ProptestConfig::cases`] inputs from
+//! the strategies and runs the body on each. Two deliberate simplifications
+//! versus the real crate:
+//!
+//! * **deterministic seeds** — the RNG is seeded from a hash of the test's
+//!   name, so a failure reproduces on every run and every machine with no
+//!   `proptest-regressions` files,
+//! * **no shrinking** — a failing case reports the panic directly; with
+//!   deterministic seeds, re-running under a debugger sees the same values.
+//!
+//! `prop_assert*` therefore map to the std `assert*` macros and
+//! [`prop_assume!`] skips the current case rather than resampling.
+
+pub mod collection;
+pub mod strategy;
+
+pub use strategy::{any, Arbitrary, Just, Strategy, Union};
+
+/// Shim for `proptest::prelude` — the only import path the workspace uses.
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, Just, Strategy};
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        ProptestConfig,
+    };
+}
+
+/// Shim for the `proptest::prop` facade module (`prop::collection::vec`).
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// Runner configuration; only the case count is meaningful here.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of inputs drawn per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` inputs per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    /// 64 cases, overridable via the `PROPTEST_CASES` environment variable
+    /// (matching the real crate's escape hatch for slow CI tiers).
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64);
+        ProptestConfig { cases }
+    }
+}
+
+/// Deterministic per-test RNG: the seed is an FNV-1a hash of the test name,
+/// so every property has its own fixed stream.
+pub fn test_rng(test_name: &str) -> rand::rngs::StdRng {
+    use rand::SeedableRng;
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    rand::rngs::StdRng::seed_from_u64(h)
+}
+
+/// Runs one generated case. Exists so that `prop_assume!`'s early `return`
+/// skips a single case instead of the remaining cases of the property.
+pub fn run_case<F: FnOnce()>(case: F) {
+    case();
+}
+
+/// See the crate docs; supports the `#![proptest_config(..)]` inner
+/// attribute and one or more `#[test] fn name(arg in strategy, …) { … }`
+/// items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:pat in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let mut __rng = $crate::test_rng(concat!(module_path!(), "::", stringify!($name)));
+            for _ in 0..__config.cases {
+                $( let $arg = $crate::Strategy::generate(&($strat), &mut __rng); )+
+                $crate::run_case(move || $body);
+            }
+        }
+    )*};
+}
+
+/// Skips the current case when the hypothesis does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)*)?) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// Asserts within a property (no shrinking, so this is std `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Equality assertion within a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Inequality assertion within a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![ $( $crate::Union::arm($strat) ),+ ])
+    };
+}

@@ -1,0 +1,198 @@
+//! Value-generation strategies.
+
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+use rand::rngs::StdRng;
+use rand::{Random, Rng, SampleRange};
+
+/// A recipe for generating values (`proptest::strategy::Strategy`, minus
+/// shrinking).
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Post-maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// A strategy producing uniform values of a primitive type; see [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+/// Uniform values of a primitive type: `any::<bool>()`, `any::<u64>()`, ….
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// Types [`any`] can generate (`proptest::arbitrary::Arbitrary`).
+pub trait Arbitrary {
+    /// Draws a value from the type's canonical distribution.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+impl<T: Random> Arbitrary for T {
+    fn arbitrary(rng: &mut StdRng) -> T {
+        rng.random()
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The constant strategy.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn generate(&self, rng: &mut StdRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Uniform choice among strategies with a common value type; built by the
+/// `prop_oneof!` macro.
+pub struct Union<V> {
+    arms: Vec<Box<dyn Strategy<Value = V>>>,
+}
+
+impl<V> Union<V> {
+    /// Builds a union; `prop_oneof!` guarantees at least one arm.
+    pub fn new(arms: Vec<Box<dyn Strategy<Value = V>>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+
+    /// Boxes one arm (a helper for `prop_oneof!` so the macro can collect
+    /// differently-typed strategies into one `Vec`).
+    pub fn arm<S>(strategy: S) -> Box<dyn Strategy<Value = V>>
+    where
+        S: Strategy<Value = V> + 'static,
+    {
+        Box::new(strategy)
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut StdRng) -> V {
+        let i = rng.random_range(0..self.arms.len());
+        self.arms[i].generate(rng)
+    }
+}
+
+/// Numeric ranges are strategies, e.g. `0u32..500` or `0.1f64..=1.0`.
+impl<T> Strategy for Range<T>
+where
+    T: Clone,
+    Range<T>: SampleRange<T>,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        rng.random_range(self.clone())
+    }
+}
+
+impl<T> Strategy for RangeInclusive<T>
+where
+    T: Clone,
+    RangeInclusive<T>: SampleRange<T>,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        rng.random_range(self.clone())
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident $idx:tt),+);)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (S0 0);
+    (S0 0, S1 1);
+    (S0 0, S1 1, S2 2);
+    (S0 0, S1 1, S2 2, S3 3);
+    (S0 0, S1 1, S2 2, S3 3, S4 4);
+    (S0 0, S1 1, S2 2, S3 3, S4 4, S5 5);
+    (S0 0, S1 1, S2 2, S3 3, S4 4, S5 5, S6 6);
+    (S0 0, S1 1, S2 2, S3 3, S4 4, S5 5, S6 6, S7 7);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_rng;
+
+    #[test]
+    fn ranges_tuples_and_maps_compose() {
+        let mut rng = test_rng("strategy::compose");
+        let strat = (0u32..10, 5u8..=5, any::<bool>()).prop_map(|(a, b, c)| (a + 1, b, c));
+        for _ in 0..200 {
+            let (a, b, _c) = strat.generate(&mut rng);
+            assert!((1..11).contains(&a));
+            assert_eq!(b, 5);
+        }
+    }
+
+    #[test]
+    fn just_is_constant() {
+        let mut rng = test_rng("strategy::just");
+        assert_eq!(Just(41).generate(&mut rng), 41);
+    }
+
+    #[test]
+    fn union_draws_every_arm() {
+        let mut rng = test_rng("strategy::union");
+        let strat = crate::prop_oneof![Just(1u8), Just(2u8), Just(3u8)];
+        let mut seen = [false; 4];
+        for _ in 0..100 {
+            seen[strat.generate(&mut rng) as usize] = true;
+        }
+        assert_eq!(seen, [false, true, true, true]);
+    }
+}

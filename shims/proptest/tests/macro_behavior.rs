@@ -1,0 +1,80 @@
+//! The `proptest!` macro can only be exercised from an external crate (its
+//! expansion references `$crate` paths and registers `#[test]` functions),
+//! so its behavioral contract lives here: case counts, config handling,
+//! assume-skips, determinism, and multi-argument generation.
+
+use std::cell::Cell;
+
+use popstab_proptest_shim::prelude::*;
+use popstab_proptest_shim::test_rng;
+
+thread_local! {
+    static CASES_SEEN: Cell<u32> = const { Cell::new(0) };
+    static ASSUMED_THROUGH: Cell<u32> = const { Cell::new(0) };
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(17))]
+
+    #[test]
+    fn configured_case_count_is_honored(x in 0u32..1000) {
+        let _ = x;
+        CASES_SEEN.with(|c| c.set(c.get() + 1));
+    }
+
+    #[test]
+    fn assume_skips_single_cases(x in 0u32..100) {
+        prop_assume!(x % 2 == 0);
+        prop_assert_eq!(x % 2, 0);
+        ASSUMED_THROUGH.with(|c| c.set(c.get() + 1));
+    }
+}
+
+proptest! {
+    #[test]
+    fn default_config_applies_and_args_generate(
+        v in prop::collection::vec(any::<bool>(), 3..10),
+        (lo, hi) in (0u64..50, 50u64..100),
+        tag in prop_oneof![Just('a'), Just('b')],
+    ) {
+        prop_assert!((3..10).contains(&v.len()));
+        prop_assert!(lo < hi, "lo {} hi {}", lo, hi);
+        prop_assert_ne!(tag, 'z');
+        prop_assume!(!v.is_empty());
+        prop_assert!(v.iter().filter(|b| **b).count() <= v.len());
+    }
+}
+
+#[test]
+fn zz_case_counter_saw_configured_count() {
+    // Invoke the expanded properties directly and observe the counters.
+    // The counters are thread-local, so the harness-spawned copies of the
+    // same properties (running on other threads) cannot interfere.
+    CASES_SEEN.with(|c| c.set(0));
+    configured_case_count_is_honored();
+    assert_eq!(CASES_SEEN.with(Cell::get), 17);
+
+    ASSUMED_THROUGH.with(|c| c.set(0));
+    assume_skips_single_cases();
+    let through = ASSUMED_THROUGH.with(Cell::get);
+    assert!(
+        through > 0 && through < 17,
+        "assume skipped nothing or everything: {through}"
+    );
+}
+
+#[test]
+fn per_test_rng_is_deterministic_and_name_dependent() {
+    use popstab_proptest_shim::Strategy;
+    let mut a = test_rng("some::module::prop_a");
+    let mut b = test_rng("some::module::prop_a");
+    let mut c = test_rng("some::module::prop_b");
+    let strat = 0u64..u64::MAX;
+    let (xa, xb, xc) = (
+        strat.generate(&mut a),
+        strat.generate(&mut b),
+        strat.generate(&mut c),
+    );
+    assert_eq!(xa, xb, "same name must give the same stream");
+    assert_ne!(xa, xc, "different names must give different streams");
+}

@@ -1,0 +1,66 @@
+//! Offline stand-in for the subset of the `rand` 0.9 API this workspace
+//! uses: the [`Rng`] extension methods (`random`, `random_bool`,
+//! `random_range`), [`SeedableRng::seed_from_u64`], [`rngs::StdRng`] and
+//! [`seq::SliceRandom::shuffle`].
+//!
+//! The build environment has no crates.io access, so the workspace maps the
+//! dependency name `rand` onto this crate (see the root `Cargo.toml`).
+//! [`rngs::StdRng`] is xoshiro256++ seeded through SplitMix64 — a fast,
+//! high-quality, *non-cryptographic* generator that is deterministic per
+//! seed on every platform, which is the property the simulations rely on.
+
+pub mod rngs;
+pub mod seq;
+mod uniform;
+
+pub use uniform::{Random, SampleRange};
+
+/// Seeding interface; the workspace only ever seeds from a `u64`.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose entire stream is determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Random-value generation interface (the `rand` 0.9 method names).
+pub trait Rng {
+    /// The raw 64-bit output stream; everything else derives from it.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform `f64` in `[0, 1)` with 53 random mantissa bits.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform value of type `T`.
+    fn random<T: Random>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::random(self)
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "probability {p} not in [0, 1]");
+        self.next_f64() < p
+    }
+
+    /// A uniform value in `range` (half-open or inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+}

@@ -1,0 +1,49 @@
+//! Slice utilities (`rand::seq`).
+
+use crate::Rng;
+
+/// Random operations on slices; only `shuffle` is used by the workspace.
+pub trait SliceRandom {
+    /// Uniform in-place permutation (Fisher–Yates).
+    fn shuffle<R: Rng>(&mut self, rng: &mut R);
+}
+
+impl<T> SliceRandom for [T] {
+    fn shuffle<R: Rng>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = rng.random_range(0..=i);
+            self.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut v: Vec<u32> = (0..100).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(
+            v, sorted,
+            "identity permutation after shuffle is wildly improbable"
+        );
+    }
+
+    #[test]
+    fn shuffle_of_short_slices_is_fine() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut empty: [u8; 0] = [];
+        empty.shuffle(&mut rng);
+        let mut one = [1u8];
+        one.shuffle(&mut rng);
+        assert_eq!(one, [1]);
+    }
+}

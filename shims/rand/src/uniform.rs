@@ -1,0 +1,162 @@
+//! Uniform sampling of primitive values and ranges.
+
+use std::ops::{Range, RangeInclusive};
+
+use crate::Rng;
+
+/// Types with a canonical uniform distribution (`rand`'s `StandardUniform`).
+pub trait Random {
+    /// Draws a uniform value.
+    fn random<R: Rng>(rng: &mut R) -> Self;
+}
+
+impl Random for bool {
+    fn random<R: Rng>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Random for f64 {
+    fn random<R: Rng>(rng: &mut R) -> f64 {
+        rng.next_f64()
+    }
+}
+
+impl Random for f32 {
+    fn random<R: Rng>(rng: &mut R) -> f32 {
+        ((rng.next_u64() >> 40) as f32) * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+macro_rules! random_int {
+    ($($t:ty),*) => {$(
+        impl Random for $t {
+            fn random<R: Rng>(rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+random_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Random for u128 {
+    fn random<R: Rng>(rng: &mut R) -> u128 {
+        (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+    }
+}
+
+impl Random for i128 {
+    fn random<R: Rng>(rng: &mut R) -> i128 {
+        u128::random(rng) as i128
+    }
+}
+
+/// Ranges that can be sampled uniformly (`rand`'s `SampleRange`).
+pub trait SampleRange<T> {
+    /// Draws a uniform value from the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn sample<R: Rng>(self, rng: &mut R) -> T;
+}
+
+/// Maps a raw 64-bit draw onto `[0, span)` by 128-bit multiply-shift
+/// (Lemire's method without the rejection step; the bias is at most
+/// `span / 2^64`, far below anything the simulations can observe).
+fn scale(raw: u64, span: u128) -> u128 {
+    (u128::from(raw) * span) >> 64
+}
+
+macro_rules! int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample<R: Rng>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + scale(rng.next_u64(), span) as i128) as $t
+            }
+        }
+
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample<R: Rng>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start() as i128, *self.end() as i128);
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end - start + 1) as u128;
+                (start + scale(rng.next_u64(), span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample<R: Rng>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let x = self.start + (rng.next_f64() as $t) * (self.end - self.start);
+                // Guard against rounding up onto the excluded endpoint.
+                if x >= self.end { self.start } else { x }
+            }
+        }
+
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample<R: Rng>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                start + (rng.next_f64() as $t) * (end - start)
+            }
+        }
+    )*};
+}
+
+float_range!(f32, f64);
+
+#[cfg(test)]
+mod tests {
+    use crate::rngs::StdRng;
+    use crate::{Rng, SeedableRng};
+
+    #[test]
+    fn int_ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x = rng.random_range(3u32..17);
+            assert!((3..17).contains(&x));
+            let y = rng.random_range(-5i64..=5);
+            assert!((-5..=5).contains(&y));
+            let z = rng.random_range(0usize..1);
+            assert_eq!(z, 0);
+        }
+    }
+
+    #[test]
+    fn float_ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(8);
+        for _ in 0..1000 {
+            let x = rng.random_range(0.25f64..=1.0);
+            assert!((0.25..=1.0).contains(&x));
+            let y = rng.random_range(-2.0f64..2.0);
+            assert!((-2.0..2.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn random_bool_respects_extremes() {
+        let mut rng = StdRng::seed_from_u64(9);
+        assert!((0..100).all(|_| rng.random_bool(1.0)));
+        assert!(!(0..100).any(|_| rng.random_bool(0.0)));
+    }
+
+    #[test]
+    fn full_range_ints_hit_both_halves() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let highs = (0..1000)
+            .filter(|_| rng.random_range(0u64..=u64::MAX) > u64::MAX / 2)
+            .count();
+        assert!((300..700).contains(&highs), "suspicious split {highs}/1000");
+    }
+}

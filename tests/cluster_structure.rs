@@ -38,7 +38,11 @@ fn all_recruitment_quotas_are_exhausted() {
     let engine = run_to_pre_eval(43);
     for a in engine.agents() {
         if a.active {
-            assert_eq!(a.to_recruit, 0, "agent in cluster {} still owes recruits", a.lineage);
+            assert_eq!(
+                a.to_recruit, 0,
+                "agent in cluster {} still owes recruits",
+                a.lineage
+            );
         }
     }
 }
@@ -70,15 +74,26 @@ fn active_fraction_is_about_one_eighth() {
         total_pop += engine.population();
     }
     let frac = total_active as f64 / total_pop as f64;
-    assert!((0.07..0.19).contains(&frac), "active fraction {frac}, expected ≈ 1/8");
+    assert!(
+        (0.07..0.19).contains(&frac),
+        "active fraction {frac}, expected ≈ 1/8"
+    );
 }
 
 #[test]
 fn leaders_match_cluster_count() {
     let engine = run_to_pre_eval(45);
-    let leaders = engine.agents().iter().filter(|a| a.is_leader && a.active).count();
-    let mut lineages: Vec<u64> =
-        engine.agents().iter().filter(|a| a.active).map(|a| a.lineage).collect();
+    let leaders = engine
+        .agents()
+        .iter()
+        .filter(|a| a.is_leader && a.active)
+        .count();
+    let mut lineages: Vec<u64> = engine
+        .agents()
+        .iter()
+        .filter(|a| a.active)
+        .map(|a| a.lineage)
+        .collect();
     lineages.sort_unstable();
     lineages.dedup();
     assert_eq!(leaders, lineages.len(), "one leader per cluster");
@@ -92,7 +107,10 @@ fn epoch_boundary_resets_all_agents() {
     let mut engine = Engine::with_population(PopulationStability::new(params), cfg, N as usize);
     engine.run_rounds(epoch);
     for a in engine.agents() {
-        assert!(!a.active && !a.recruiting && !a.is_leader, "agent not reset: {a:?}");
+        assert!(
+            !a.active && !a.recruiting && !a.is_leader,
+            "agent not reset: {a:?}"
+        );
         assert_eq!(a.round, 0);
     }
 }

@@ -11,16 +11,32 @@ fn desynced_agents_are_purged_and_bounded() {
     let params = Params::for_target(N).unwrap();
     let epoch = u64::from(params.epoch_len());
     let k = 4; // per-epoch insertions
-    let adv = Throttle::per_epoch(DesyncInserter::new(params.clone(), k, epoch as u32 / 2), params.epoch_len());
-    let cfg = SimConfig::builder().seed(9).target(N).adversary_budget(k).build().unwrap();
-    let mut engine = Engine::with_adversary(PopulationStability::new(params.clone()), adv, cfg, N as usize);
+    let adv = Throttle::per_epoch(
+        DesyncInserter::new(params.clone(), k, epoch as u32 / 2),
+        params.epoch_len(),
+    );
+    let cfg = SimConfig::builder()
+        .seed(9)
+        .target(N)
+        .adversary_budget(k)
+        .build()
+        .unwrap();
+    let mut engine = Engine::with_adversary(
+        PopulationStability::new(params.clone()),
+        adv,
+        cfg,
+        N as usize,
+    );
     engine.run_rounds(12 * epoch);
 
     // Lemma 3 (scale-adjusted): survivors bounded by the purge residue plus
     // one epoch's insertions — slack·((1+γ⁻¹)N^{1/4} + k).
     let bound = 4.0 * (2.0 * (N as f64).powf(0.25) + k as f64);
     let max_wrong = engine.metrics().max_wrong_round() as f64;
-    assert!(max_wrong <= bound, "wrong-round agents peaked at {max_wrong} > {bound}");
+    assert!(
+        max_wrong <= bound,
+        "wrong-round agents peaked at {max_wrong} > {bound}"
+    );
 
     // And the population still held.
     let (lo, hi) = engine.metrics().population_range().unwrap();
@@ -39,8 +55,18 @@ fn continuous_desync_insertion_saturates_at_one_epochs_volume() {
     let epoch = u64::from(params.epoch_len());
     let k = 1usize;
     let adv = DesyncInserter::new(params.clone(), k, epoch as u32 / 2);
-    let cfg = SimConfig::builder().seed(9).target(N).adversary_budget(k).build().unwrap();
-    let mut engine = Engine::with_adversary(PopulationStability::new(params.clone()), adv, cfg, N as usize);
+    let cfg = SimConfig::builder()
+        .seed(9)
+        .target(N)
+        .adversary_budget(k)
+        .build()
+        .unwrap();
+    let mut engine = Engine::with_adversary(
+        PopulationStability::new(params.clone()),
+        adv,
+        cfg,
+        N as usize,
+    );
     engine.run_rounds(12 * epoch);
     let cap = (2 * k as u64 * epoch) as usize; // 2× one epoch's insertions
     let max_wrong = engine.metrics().max_wrong_round();
@@ -95,19 +121,41 @@ fn a_burst_of_desynced_agents_dies_out() {
             // 100 agents whose clock is offset by half an epoch.
             let round = 10 + self.params.epoch_len() / 2;
             (0..100)
-                .map(|_| Alteration::Insert(AgentState::desynced(&self.params, round % self.params.epoch_len())))
+                .map(|_| {
+                    Alteration::Insert(AgentState::desynced(
+                        &self.params,
+                        round % self.params.epoch_len(),
+                    ))
+                })
                 .collect()
         }
     }
 
-    let adv = Burst { params: params.clone(), done: false };
-    let cfg = SimConfig::builder().seed(10).target(N).adversary_budget(1000).build().unwrap();
-    let mut engine = Engine::with_adversary(PopulationStability::new(params.clone()), adv, cfg, N as usize);
+    let adv = Burst {
+        params: params.clone(),
+        done: false,
+    };
+    let cfg = SimConfig::builder()
+        .seed(10)
+        .target(N)
+        .adversary_budget(1000)
+        .build()
+        .unwrap();
+    let mut engine = Engine::with_adversary(
+        PopulationStability::new(params.clone()),
+        adv,
+        cfg,
+        N as usize,
+    );
     engine.run_rounds(3 * epoch);
 
     // After three epochs every surviving agent should agree on the clock.
     let last = engine.metrics().last().unwrap();
-    assert_eq!(last.wrong_round, 0, "desynced stragglers remain: {}", last.wrong_round);
+    assert_eq!(
+        last.wrong_round, 0,
+        "desynced stragglers remain: {}",
+        last.wrong_round
+    );
 }
 
 #[test]
@@ -118,9 +166,22 @@ fn honest_casualties_of_the_purge_are_limited() {
     let params = Params::for_target(N).unwrap();
     let epoch = u64::from(params.epoch_len());
     let k = 2;
-    let adv = Throttle::per_epoch(DesyncInserter::new(params.clone(), k, 50), params.epoch_len());
-    let cfg = SimConfig::builder().seed(11).target(N).adversary_budget(k).build().unwrap();
-    let mut engine = Engine::with_adversary(PopulationStability::new(params.clone()), adv, cfg, N as usize);
+    let adv = Throttle::per_epoch(
+        DesyncInserter::new(params.clone(), k, 50),
+        params.epoch_len(),
+    );
+    let cfg = SimConfig::builder()
+        .seed(11)
+        .target(N)
+        .adversary_budget(k)
+        .build()
+        .unwrap();
+    let mut engine = Engine::with_adversary(
+        PopulationStability::new(params.clone()),
+        adv,
+        cfg,
+        N as usize,
+    );
     engine.run_rounds(10 * epoch);
     let (lo, _) = engine.metrics().population_range().unwrap();
     assert!(lo > (N as usize * 6) / 10, "fell to {lo}");

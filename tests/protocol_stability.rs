@@ -8,7 +8,9 @@
 //! N = 1024), so per-epoch budgets of 1–2 are the strongest pressure the
 //! theory predicts it survives indefinitely at this scale.
 
-use population_stability::adversary::{throttled_suite, ColorFlooder, Composite, DesyncInserter, LeaderSniper, Throttle};
+use population_stability::adversary::{
+    throttled_suite, ColorFlooder, Composite, DesyncInserter, LeaderSniper, Throttle,
+};
 use population_stability::prelude::*;
 
 const N: u64 = 1024;
@@ -30,7 +32,10 @@ fn stable_without_adversary_across_seeds() {
         assert_eq!(engine.halted(), None, "seed {seed} halted");
         let (lo, hi) = engine.metrics().population_range().unwrap();
         assert!(lo as f64 >= 0.7 * m_star, "seed {seed}: fell to {lo}");
-        assert!(hi as f64 <= 1.3 * m_star.max(N as f64), "seed {seed}: rose to {hi}");
+        assert!(
+            hi as f64 <= 1.3 * m_star.max(N as f64),
+            "seed {seed}: rose to {hi}"
+        );
     }
 }
 
@@ -42,9 +47,18 @@ fn stable_under_every_suite_adversary_per_epoch_budget() {
     let k = 2; // per-epoch alterations; absorption capacity is 3/epoch
     for adversary in throttled_suite(&params, k) {
         let name = adversary.name();
-        let cfg = SimConfig::builder().seed(77).target(N).adversary_budget(k).build().unwrap();
-        let mut engine =
-            Engine::with_adversary(PopulationStability::new(params.clone()), adversary, cfg, N as usize);
+        let cfg = SimConfig::builder()
+            .seed(77)
+            .target(N)
+            .adversary_budget(k)
+            .build()
+            .unwrap();
+        let mut engine = Engine::with_adversary(
+            PopulationStability::new(params.clone()),
+            adversary,
+            cfg,
+            N as usize,
+        );
         engine.run_rounds(15 * epoch);
         assert_eq!(engine.halted(), None, "{name} halted the run");
         let (lo, hi) = engine.metrics().population_range().unwrap();
@@ -64,7 +78,10 @@ fn stable_under_combined_assault() {
     let combo = Composite::new(
         "combined",
         vec![
-            Box::new(Throttle::per_epoch(LeaderSniper::new(1, Some(Color::One)), params.epoch_len())),
+            Box::new(Throttle::per_epoch(
+                LeaderSniper::new(1, Some(Color::One)),
+                params.epoch_len(),
+            )),
             Box::new(Throttle::per_epoch(
                 ColorFlooder::new(params.clone(), 1, Color::Zero),
                 params.epoch_len(),
@@ -75,9 +92,18 @@ fn stable_under_combined_assault() {
             )),
         ],
     );
-    let cfg = SimConfig::builder().seed(3).target(N).adversary_budget(3).build().unwrap();
-    let mut engine =
-        Engine::with_adversary(PopulationStability::new(params.clone()), combo, cfg, N as usize);
+    let cfg = SimConfig::builder()
+        .seed(3)
+        .target(N)
+        .adversary_budget(3)
+        .build()
+        .unwrap();
+    let mut engine = Engine::with_adversary(
+        PopulationStability::new(params.clone()),
+        combo,
+        cfg,
+        N as usize,
+    );
     engine.run_rounds(15 * epoch);
     let (lo, hi) = engine.metrics().population_range().unwrap();
     assert!(lo as f64 >= 0.55 * m_star, "fell to {lo}");
@@ -92,12 +118,25 @@ fn lemma_invariants_hold_under_attack() {
     let k = 2;
     for adversary in throttled_suite(&params, k) {
         let name = adversary.name();
-        let cfg = SimConfig::builder().seed(11).target(N).adversary_budget(k).build().unwrap();
-        let mut engine =
-            Engine::with_adversary(PopulationStability::new(params.clone()), adversary, cfg, N as usize);
+        let cfg = SimConfig::builder()
+            .seed(11)
+            .target(N)
+            .adversary_budget(k)
+            .build()
+            .unwrap();
+        let mut engine = Engine::with_adversary(
+            PopulationStability::new(params.clone()),
+            adversary,
+            cfg,
+            N as usize,
+        );
         engine.run_rounds(10 * epoch);
         let report = check_invariants(&params, 1.0, engine.metrics().rounds());
-        assert!(report.lemma3_wrong_round.pass, "{name}: lemma 3 {:?}", report.lemma3_wrong_round);
+        assert!(
+            report.lemma3_wrong_round.pass,
+            "{name}: lemma 3 {:?}",
+            report.lemma3_wrong_round
+        );
         assert!(
             report.lemma4_active_fraction.pass,
             "{name}: lemma 4 {:?}",
@@ -126,7 +165,8 @@ fn partial_matching_gamma_quarter_still_stable() {
         .matching(MatchingModel::ExactFraction(0.25))
         .build()
         .unwrap();
-    let mut engine = Engine::with_population(PopulationStability::new(params.clone()), cfg, N as usize);
+    let mut engine =
+        Engine::with_population(PopulationStability::new(params.clone()), cfg, N as usize);
     engine.run_rounds(20 * epoch);
     assert_eq!(engine.halted(), None);
     let (lo, hi) = engine.metrics().population_range().unwrap();
@@ -148,9 +188,18 @@ fn sustained_pressure_beyond_capacity_breaks_the_protocol() {
     let epoch = u64::from(params.epoch_len());
     let m_star = equilibrium_population(&params);
     let adv = Throttle::per_epoch(RandomDeleter::new(8), params.epoch_len());
-    let cfg = SimConfig::builder().seed(13).target(N).adversary_budget(8).build().unwrap();
-    let mut engine =
-        Engine::with_adversary(PopulationStability::new(params.clone()), adv, cfg, N as usize);
+    let cfg = SimConfig::builder()
+        .seed(13)
+        .target(N)
+        .adversary_budget(8)
+        .build()
+        .unwrap();
+    let mut engine = Engine::with_adversary(
+        PopulationStability::new(params.clone()),
+        adv,
+        cfg,
+        N as usize,
+    );
     engine.run_rounds(80 * epoch);
     assert!(
         (engine.population() as f64) < 0.55 * m_star,
