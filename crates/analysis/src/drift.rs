@@ -5,10 +5,15 @@
 //! across independent seeds. [`drift_field`] sweeps a range of starting
 //! populations to trace the full restoring-force curve that the harness
 //! prints as experiment F1.
+//!
+//! Trials are independent `(config, seed)` jobs and run through
+//! [`BatchRunner`], so they fan out across cores; per-trial seeds are fixed
+//! functions of the caller's seed, so the summary is bit-identical for any
+//! worker count.
 
 use popstab_core::params::Params;
 use popstab_core::protocol::PopulationStability;
-use popstab_sim::{Adversary, Engine, MatchingModel, SimConfig};
+use popstab_sim::{Adversary, BatchRunner, Engine, MatchingModel, SimConfig};
 
 use crate::equilibrium::{equilibrium_population, exact_epoch_drift};
 use crate::stats::Summary;
@@ -41,22 +46,27 @@ pub fn measure_drift(params: &Params, m0: usize, gamma: f64, trials: u32, seed: 
 
 /// As [`measure_drift`], but under an adversary built per-trial by
 /// `make_adversary`, with per-round budget `k`.
+///
+/// Trials fan out across a [`BatchRunner::from_env`] worker pool;
+/// `make_adversary` is therefore called from worker threads (hence `Fn +
+/// Sync`), once per trial, on the thread that runs that trial. Per-trial
+/// seeds depend only on `seed` and the trial index, so the result does not
+/// depend on the worker count.
 pub fn measure_drift_with<A, F>(
     params: &Params,
     m0: usize,
     gamma: f64,
     trials: u32,
     seed: u64,
-    mut make_adversary: F,
+    make_adversary: F,
     k: usize,
 ) -> Summary
 where
     A: Adversary<popstab_core::state::AgentState>,
-    F: FnMut() -> A,
+    F: Fn() -> A + Sync,
 {
     let epoch = u64::from(params.epoch_len());
-    let mut summary = Summary::new();
-    for trial in 0..trials {
+    let deltas = BatchRunner::from_env().run((0..trials).collect(), |_, trial: u32| {
         let cfg = SimConfig::builder()
             .seed(
                 seed.wrapping_add(u64::from(trial))
@@ -69,13 +79,16 @@ where
             })
             .adversary_budget(k)
             .target(params.target())
-            .metrics_every(epoch)
             .build()
             .expect("valid drift config");
         let protocol = PopulationStability::new(params.clone());
         let mut engine = Engine::with_adversary(protocol, make_adversary(), cfg, m0);
-        engine.run_rounds(epoch);
-        summary.push(engine.population() as f64 - m0 as f64);
+        engine.run_until(epoch, |_| false);
+        engine.population() as f64 - m0 as f64
+    });
+    let mut summary = Summary::new();
+    for delta in deltas {
+        summary.push(delta);
     }
     summary
 }

@@ -249,9 +249,8 @@ mod tests {
         let proto = Attempt1::new(N);
         let epoch = u64::from(proto.epoch_len());
         let mut engine = Engine::with_population(proto, cfg(1, 0), N as usize);
-        engine.run_rounds(30 * epoch);
+        let (lo, hi) = engine.run_range(30 * epoch);
         assert_eq!(engine.halted(), None);
-        let (lo, hi) = engine.metrics().population_range().unwrap();
         assert!(lo > N as usize / 3, "fell to {lo}");
         assert!(hi < 3 * N as usize, "rose to {hi}");
     }
@@ -264,9 +263,8 @@ mod tests {
         let epoch = u64::from(proto.epoch_len());
         let adv = crate::ObliviousDeleter::with_period(1, 4);
         let mut engine = Engine::with_adversary(proto, adv, cfg(2, 1), N as usize);
-        engine.run_rounds(30 * epoch);
+        let (lo, hi) = engine.run_range(30 * epoch);
         assert_eq!(engine.halted(), None);
-        let (lo, hi) = engine.metrics().population_range().unwrap();
         assert!(lo > N as usize / 3, "fell to {lo}");
         assert!(hi < 3 * N as usize, "rose to {hi}");
     }
@@ -278,9 +276,10 @@ mod tests {
         let p_die = proto.p_die();
         let adv = SignalFlooder::new(proto.epoch_len());
         let mut engine = Engine::with_adversary(proto, adv, cfg(3, 1), N as usize);
-        // Enough epochs that (1−p_die)^epochs < 1/4.
+        // Enough epochs that (1−p_die)^epochs < 1/4; stop as soon as the
+        // collapse threshold is crossed.
         let epochs = ((0.25f64).ln() / (1.0 - p_die).ln()).ceil() as u64 * 2;
-        engine.run_rounds(epochs * epoch);
+        engine.run_until(epochs * epoch, |r| r.population_after < N as usize / 2);
         assert!(
             engine.population() < N as usize / 2,
             "population {} did not collapse",
@@ -293,9 +292,10 @@ mod tests {
         let proto = Attempt1::new(N);
         let epoch = u64::from(proto.epoch_len());
         let adv = SignalSuppressor;
-        // Budget 64 per round is plenty to kill the ~2 leaders per epoch.
+        // Budget 64 per round is plenty to kill the ~2 leaders per epoch;
+        // stop as soon as the explosion threshold is crossed.
         let mut engine = Engine::with_adversary(proto, adv, cfg(4, 64), N as usize);
-        engine.run_rounds(60 * epoch);
+        engine.run_until(60 * epoch, |r| r.population_after > 2 * N as usize);
         assert!(
             engine.population() > 2 * N as usize || engine.halted() == Some(HaltReason::Exploded),
             "population {} did not explode",

@@ -175,9 +175,8 @@ mod tests {
         let proto = HighMemory::new(N);
         let epoch = u64::from(proto.epoch_len());
         let mut engine = Engine::with_population(proto, cfg(1, 0), N as usize);
-        engine.run_rounds(10 * epoch);
+        let (lo, hi) = engine.run_range(10 * epoch);
         assert_eq!(engine.halted(), None);
-        let (lo, hi) = engine.metrics().population_range().unwrap();
         assert!(lo > (N as usize * 9) / 10, "fell to {lo}");
         assert!(hi < (N as usize * 11) / 10, "rose to {hi}");
     }
@@ -188,9 +187,8 @@ mod tests {
         let epoch = u64::from(proto.epoch_len());
         let adv = crate::ObliviousDeleter::new(4);
         let mut engine = Engine::with_adversary(proto, adv, cfg(2, 4), N as usize);
-        engine.run_rounds(10 * epoch);
+        let (lo, _) = engine.run_range(10 * epoch);
         assert_eq!(engine.halted(), None);
-        let (lo, _) = engine.metrics().population_range().unwrap();
         // 4 deletions/round × 24-round epochs ≈ 96 per epoch. The counter
         // measures the epoch-*start* population, so the steady state sits
         // about two epochs' deletions below N; 65% is a safe floor.
@@ -202,7 +200,8 @@ mod tests {
         let proto = HighMemory::new(N);
         let epoch = u64::from(proto.epoch_len());
         let mut engine = Engine::with_adversary(proto, IdFlooder, cfg(3, 1), N as usize);
-        engine.run_rounds(10 * epoch);
+        // Collapse is existential: stop as soon as it happens.
+        engine.run_until(10 * epoch, |r| r.population_after < N as usize / 2);
         // Every agent that hears the forged set believes the population is
         // ~5N and dies with probability ~1/2 per epoch: collapse.
         assert!(

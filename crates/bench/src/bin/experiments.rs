@@ -1,14 +1,18 @@
 //! Experiment harness CLI.
 //!
 //! ```sh
-//! experiments [--quick] <id>...
+//! experiments [--quick] [--jobs N] <id>...
 //! experiments all
 //! ```
 //!
 //! Ids (see DESIGN.md §4): `stability` (T1), `lemmas` (T2–T6), `drift`
 //! (F1), `attack` (F2), `ksweep` (F3), `baselines` (F4 + T8), `gamma`
 //! (F5), `accounting` (T7), `healing` (F6), `estimator` (F7),
-//! `equilibrium` (F7b).
+//! `equilibrium` (F7b), `bench` (B1 → `BENCH_engine.json`).
+//!
+//! `--jobs N` caps the worker count of every `BatchRunner` trial fan-out
+//! (default: `POPSTAB_JOBS` or the machine's available parallelism). By the
+//! batch determinism contract the figures are identical for every value.
 
 use std::process::ExitCode;
 use std::time::Instant;
@@ -80,27 +84,56 @@ const IDS: &[Experiment] = &[
         "F9: constant ablations",
         experiments::ablation::run,
     ),
+    (
+        "bench",
+        "B1: engine throughput -> BENCH_engine.json",
+        experiments::bench::run,
+    ),
 ];
 
 fn usage() {
-    eprintln!("usage: experiments [--quick] <id>... | all");
+    eprintln!("usage: experiments [--quick] [--jobs N] <id>... | all");
     eprintln!("experiments:");
     for (id, desc, _) in IDS {
         eprintln!("  {id:<12} {desc}");
     }
 }
 
+/// Parses and applies a `--jobs` value; `None` on anything non-positive.
+fn apply_jobs(value: Option<&str>) -> Option<()> {
+    let n = value?.parse::<usize>().ok().filter(|&n| n > 0)?;
+    popstab_sim::batch::set_default_jobs(n);
+    Some(())
+}
+
 fn main() -> ExitCode {
     let mut quick = false;
     let mut selected: Vec<String> = Vec::new();
-    for arg in std::env::args().skip(1) {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" | "-q" => quick = true,
             "--help" | "-h" => {
                 usage();
                 return ExitCode::SUCCESS;
             }
-            other => selected.push(other.to_string()),
+            "--jobs" | "-j" => {
+                let value = args.next();
+                if apply_jobs(value.as_deref()).is_none() {
+                    eprintln!("--jobs needs a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            }
+            other => {
+                if let Some(value) = other.strip_prefix("--jobs=") {
+                    if apply_jobs(Some(value)).is_none() {
+                        eprintln!("--jobs needs a positive integer");
+                        return ExitCode::FAILURE;
+                    }
+                } else {
+                    selected.push(other.to_string());
+                }
+            }
         }
     }
     if selected.is_empty() {
@@ -108,7 +141,14 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     if selected.iter().any(|s| s == "all") {
-        selected = IDS.iter().map(|(id, _, _)| id.to_string()).collect();
+        // `bench` overwrites the committed BENCH_engine.json with
+        // machine-local numbers, so the figures bundle excludes it; run it
+        // explicitly when refreshing the perf trajectory.
+        selected = IDS
+            .iter()
+            .map(|(id, _, _)| id.to_string())
+            .filter(|id| id != "bench")
+            .collect();
     }
     for want in &selected {
         let Some((_, _, runner)) = IDS.iter().find(|(id, _, _)| id == want) else {

@@ -10,33 +10,34 @@
 //!   holds under deletion, but collapses under forged-ID insertion.
 //! * The paper's protocol: holds in every setting above (at per-epoch
 //!   budgets).
+//!
+//! Every table row is an independent simulation, so the rows run as one
+//! [`BatchRunner`] batch (the `--jobs` flag of the `experiments` binary
+//! controls the worker count; results are identical for any value).
 
 use popstab_analysis::report::Table;
 use popstab_baselines::attempt1::{SignalFlooder, SignalSuppressor};
 use popstab_baselines::highmem::IdFlooder;
 use popstab_baselines::{Attempt1, Attempt2, Empty, HighMemory, ObliviousDeleter};
 use popstab_core::params::Params;
-use popstab_sim::{Adversary, Engine, NoOpAdversary, Protocol, SimConfig};
+use popstab_sim::{Adversary, BatchRunner, Engine, NoOpAdversary, Protocol, SimConfig};
 
 use crate::{run_protocol, RunSpec};
 
 const N: u64 = 1024;
 
-/// Adversary selector for the high-memory rows (its state type differs from
-/// the main protocol's).
-enum HmAdv {
-    None,
-    Deleter(usize),
-    Flooder,
+/// `(min, max, final, halted)` of one baseline run.
+type Row = (usize, usize, usize, bool);
+
+/// One table row: labels, the simulation to run, and how to judge it.
+struct Case {
+    proto: &'static str,
+    adv: &'static str,
+    sim: Box<dyn FnOnce() -> Row + Send>,
+    verdict: Box<dyn Fn(Row) -> &'static str + Send>,
 }
 
-fn run_baseline<P, A>(
-    proto: P,
-    adv: A,
-    budget: usize,
-    rounds: u64,
-    seed: u64,
-) -> (usize, usize, usize, bool)
+fn run_baseline<P, A>(proto: P, adv: A, budget: usize, rounds: u64, seed: u64) -> Row
 where
     P: Protocol,
     A: Adversary<P::State>,
@@ -46,12 +47,10 @@ where
         .target(N)
         .adversary_budget(budget)
         .max_population(64 * N as usize)
-        .metrics_every(16)
         .build()
         .unwrap();
     let mut engine = Engine::with_adversary(proto, adv, cfg, N as usize);
-    engine.run_rounds(rounds);
-    let (lo, hi) = engine.metrics().population_range().unwrap_or((0, 0));
+    let (lo, hi) = engine.run_range(rounds);
     (lo, hi, engine.population(), engine.halted().is_some())
 }
 
@@ -71,8 +70,210 @@ pub fn run(quick: bool) {
 
     let a1 = Attempt1::new(N);
     let a1_epoch = a1.epoch_len();
+    let mut cases: Vec<Case> = Vec::new();
 
-    let mut push = |proto: &str, adv: &str, r: (usize, usize, usize, bool), verdict: &str| {
+    // Attempt 1.
+    let a1_job = a1.clone();
+    cases.push(Case {
+        proto: "attempt1",
+        adv: "none",
+        sim: Box::new(move || run_baseline(a1_job, NoOpAdversary, 0, horizon, 1)),
+        verdict: Box::new(|r| {
+            if r.2 > N as usize / 3 && r.2 < 3 * N as usize {
+                "holds (crudely)"
+            } else {
+                "UNEXPECTED"
+            }
+        }),
+    });
+    cases.push(Case {
+        proto: "attempt1",
+        adv: "oblivious-delete",
+        sim: {
+            let a1_job = a1.clone();
+            Box::new(move || {
+                run_baseline(a1_job, ObliviousDeleter::with_period(1, 4), 1, horizon, 2)
+            })
+        },
+        verdict: Box::new(|r| {
+            if r.2 > N as usize / 3 {
+                "holds (weak adversary)"
+            } else {
+                "UNEXPECTED"
+            }
+        }),
+    });
+    cases.push(Case {
+        proto: "attempt1",
+        adv: "1 forged signal/epoch",
+        sim: {
+            let a1_job = a1.clone();
+            Box::new(move || run_baseline(a1_job, SignalFlooder::new(a1_epoch), 1, horizon, 3))
+        },
+        verdict: Box::new(|r| {
+            if r.2 < N as usize / 2 {
+                "COLLAPSES (as predicted)"
+            } else {
+                "UNEXPECTED"
+            }
+        }),
+    });
+    cases.push(Case {
+        proto: "attempt1",
+        adv: "signal-suppressor",
+        sim: {
+            let a1_job = a1.clone();
+            Box::new(move || run_baseline(a1_job, SignalSuppressor, 64, horizon, 4))
+        },
+        verdict: Box::new(|r| {
+            if r.2 > 2 * N as usize || r.3 {
+                "EXPLODES (as predicted)"
+            } else {
+                "UNEXPECTED"
+            }
+        }),
+    });
+
+    // Attempt 2: no adversary, long horizon — random walk.
+    cases.push(Case {
+        proto: "attempt2",
+        adv: "none",
+        sim: Box::new(move || run_baseline(Attempt2::new(N), NoOpAdversary, 0, horizon, 5)),
+        verdict: Box::new(|r| {
+            let dev = (N as f64 - r.0 as f64).max(r.1 as f64 - N as f64) / N as f64;
+            if dev > 0.2 {
+                "RANDOM-WALKS (as predicted)"
+            } else {
+                "walk too slow at this horizon"
+            }
+        }),
+    });
+
+    // Empty protocol: loses exactly the scheduled deletions, no correction.
+    cases.push(Case {
+        proto: "empty",
+        adv: "none",
+        sim: Box::new(move || run_baseline(Empty, NoOpAdversary, 0, horizon, 6)),
+        verdict: Box::new(|r| {
+            if r.2 == N as usize {
+                "constant"
+            } else {
+                "UNEXPECTED"
+            }
+        }),
+    });
+    let scheduled = (horizon / 16) as usize;
+    cases.push(Case {
+        proto: "empty",
+        adv: "oblivious-delete",
+        sim: Box::new(move || {
+            run_baseline(Empty, ObliviousDeleter::with_period(1, 16), 1, horizon, 7)
+        }),
+        verdict: Box::new(move |r| {
+            if r.3 || r.2 + scheduled / 2 <= N as usize {
+                "decays (no correction)"
+            } else {
+                "UNEXPECTED"
+            }
+        }),
+    });
+
+    // High-memory unique-ID protocol (T8). Gossiping whole ID sets is
+    // quadratic in the population, so this baseline runs at a smaller scale.
+    let n_hm: u64 = 256;
+    let hm_horizon = if quick { 1_500 } else { 4_000 };
+    fn run_hm<A: Adversary<popstab_baselines::highmem::HmState>>(
+        n_hm: u64,
+        adv: A,
+        budget: usize,
+        rounds: u64,
+        seed: u64,
+    ) -> Row {
+        let cfg = SimConfig::builder()
+            .seed(seed)
+            .target(n_hm)
+            .adversary_budget(budget)
+            .max_population(16 * n_hm as usize)
+            .build()
+            .unwrap();
+        let mut engine = Engine::with_adversary(HighMemory::new(n_hm), adv, cfg, n_hm as usize);
+        let (lo, hi) = engine.run_range(rounds);
+        (lo, hi, engine.population(), engine.halted().is_some())
+    }
+    cases.push(Case {
+        proto: "high-memory (n=256)",
+        adv: "none",
+        sim: Box::new(move || run_hm(n_hm, NoOpAdversary, 0, hm_horizon, 8)),
+        verdict: Box::new(move |r| {
+            if r.2 > (n_hm as usize * 9) / 10 {
+                "counts & holds"
+            } else {
+                "UNEXPECTED"
+            }
+        }),
+    });
+    cases.push(Case {
+        proto: "high-memory (n=256)",
+        adv: "oblivious-delete x2",
+        sim: Box::new(move || run_hm(n_hm, ObliviousDeleter::new(2), 2, hm_horizon, 9)),
+        verdict: Box::new(move |r| {
+            if r.2 > (n_hm as usize * 6) / 10 {
+                "holds (delete-only)"
+            } else {
+                "UNEXPECTED"
+            }
+        }),
+    });
+    cases.push(Case {
+        proto: "high-memory (n=256)",
+        adv: "forged-id insert",
+        sim: Box::new(move || run_hm(n_hm, IdFlooder, 1, hm_horizon, 10)),
+        verdict: Box::new(move |r| {
+            if r.2 < n_hm as usize / 2 {
+                "COLLAPSES (as predicted)"
+            } else {
+                "UNEXPECTED"
+            }
+        }),
+    });
+
+    // The paper's protocol in the same arenas.
+    let params = Params::for_target(N).unwrap();
+    let epochs = horizon / u64::from(params.epoch_len());
+    let params_a = params.clone();
+    cases.push(Case {
+        proto: "paper protocol",
+        adv: "none",
+        sim: Box::new(move || {
+            let engine = run_protocol(&params_a, NoOpAdversary, RunSpec::new(11, epochs));
+            let (lo, hi) = engine.metrics().population_range().unwrap();
+            (lo, hi, engine.population(), false)
+        }),
+        verdict: Box::new(|_| "holds"),
+    });
+    let params_b = params.clone();
+    cases.push(Case {
+        proto: "paper protocol",
+        adv: "delete 1/epoch",
+        sim: Box::new(move || {
+            let adv = popstab_adversary::Throttle::per_epoch(
+                popstab_adversary::RandomDeleter::new(1),
+                params_b.epoch_len(),
+            );
+            let mut spec = RunSpec::new(12, epochs);
+            spec.budget = 1;
+            let engine = run_protocol(&params_b, adv, spec);
+            let (lo, hi) = engine.metrics().population_range().unwrap();
+            (lo, hi, engine.population(), false)
+        }),
+        verdict: Box::new(|_| "holds"),
+    });
+
+    let rows = BatchRunner::from_env().run(cases, |_, case| {
+        let row = (case.sim)();
+        (case.proto, case.adv, row, (case.verdict)(row))
+    });
+    for (proto, adv, r, verdict) in rows {
         table.row([
             proto.to_string(),
             adv.to_string(),
@@ -82,194 +283,6 @@ pub fn run(quick: bool) {
             if r.3 { "yes" } else { "no" }.to_string(),
             verdict.to_string(),
         ]);
-    };
-
-    // Attempt 1.
-    let r = run_baseline(a1.clone(), NoOpAdversary, 0, horizon, 1);
-    push(
-        "attempt1",
-        "none",
-        r,
-        if r.2 > N as usize / 3 && r.2 < 3 * N as usize {
-            "holds (crudely)"
-        } else {
-            "UNEXPECTED"
-        },
-    );
-    let r = run_baseline(
-        a1.clone(),
-        ObliviousDeleter::with_period(1, 4),
-        1,
-        horizon,
-        2,
-    );
-    push(
-        "attempt1",
-        "oblivious-delete",
-        r,
-        if r.2 > N as usize / 3 {
-            "holds (weak adversary)"
-        } else {
-            "UNEXPECTED"
-        },
-    );
-    let r = run_baseline(a1.clone(), SignalFlooder::new(a1_epoch), 1, horizon, 3);
-    push(
-        "attempt1",
-        "1 forged signal/epoch",
-        r,
-        if r.2 < N as usize / 2 {
-            "COLLAPSES (as predicted)"
-        } else {
-            "UNEXPECTED"
-        },
-    );
-    let r = run_baseline(a1.clone(), SignalSuppressor, 64, horizon, 4);
-    push(
-        "attempt1",
-        "signal-suppressor",
-        r,
-        if r.2 > 2 * N as usize || r.3 {
-            "EXPLODES (as predicted)"
-        } else {
-            "UNEXPECTED"
-        },
-    );
-
-    // Attempt 2: no adversary, long horizon — random walk.
-    let r = run_baseline(Attempt2::new(N), NoOpAdversary, 0, horizon, 5);
-    let dev = (N as f64 - r.0 as f64).max(r.1 as f64 - N as f64) / N as f64;
-    push(
-        "attempt2",
-        "none",
-        r,
-        if dev > 0.2 {
-            "RANDOM-WALKS (as predicted)"
-        } else {
-            "walk too slow at this horizon"
-        },
-    );
-
-    // Empty protocol: loses exactly the scheduled deletions, no correction.
-    let r = run_baseline(Empty, NoOpAdversary, 0, horizon, 6);
-    push(
-        "empty",
-        "none",
-        r,
-        if r.2 == N as usize {
-            "constant"
-        } else {
-            "UNEXPECTED"
-        },
-    );
-    let r = run_baseline(Empty, ObliviousDeleter::with_period(1, 16), 1, horizon, 7);
-    let scheduled = (horizon / 16) as usize;
-    push(
-        "empty",
-        "oblivious-delete",
-        r,
-        if r.3 || r.2 + scheduled / 2 <= N as usize {
-            "decays (no correction)"
-        } else {
-            "UNEXPECTED"
-        },
-    );
-
-    // High-memory unique-ID protocol (T8). Gossiping whole ID sets is
-    // quadratic in the population, so this baseline runs at a smaller scale.
-    let n_hm: u64 = 256;
-    let hm = HighMemory::new(n_hm);
-    let hm_horizon = if quick { 1_500 } else { 4_000 };
-    let run_hm = |adv_budget: usize, seed: u64, adv: HmAdv| -> (usize, usize, usize, bool) {
-        let cfg = SimConfig::builder()
-            .seed(seed)
-            .target(n_hm)
-            .adversary_budget(adv_budget)
-            .max_population(16 * n_hm as usize)
-            .metrics_every(8)
-            .build()
-            .unwrap();
-        match adv {
-            HmAdv::None => {
-                let mut e = Engine::with_adversary(hm, NoOpAdversary, cfg, n_hm as usize);
-                e.run_rounds(hm_horizon);
-                let (lo, hi) = e.metrics().population_range().unwrap_or((0, 0));
-                (lo, hi, e.population(), e.halted().is_some())
-            }
-            HmAdv::Deleter(k) => {
-                let mut e =
-                    Engine::with_adversary(hm, ObliviousDeleter::new(k), cfg, n_hm as usize);
-                e.run_rounds(hm_horizon);
-                let (lo, hi) = e.metrics().population_range().unwrap_or((0, 0));
-                (lo, hi, e.population(), e.halted().is_some())
-            }
-            HmAdv::Flooder => {
-                let mut e = Engine::with_adversary(hm, IdFlooder, cfg, n_hm as usize);
-                e.run_rounds(hm_horizon);
-                let (lo, hi) = e.metrics().population_range().unwrap_or((0, 0));
-                (lo, hi, e.population(), e.halted().is_some())
-            }
-        }
-    };
-    let r = run_hm(0, 8, HmAdv::None);
-    push(
-        "high-memory (n=256)",
-        "none",
-        r,
-        if r.2 > (n_hm as usize * 9) / 10 {
-            "counts & holds"
-        } else {
-            "UNEXPECTED"
-        },
-    );
-    let r = run_hm(2, 9, HmAdv::Deleter(2));
-    push(
-        "high-memory (n=256)",
-        "oblivious-delete x2",
-        r,
-        if r.2 > (n_hm as usize * 6) / 10 {
-            "holds (delete-only)"
-        } else {
-            "UNEXPECTED"
-        },
-    );
-    let r = run_hm(1, 10, HmAdv::Flooder);
-    push(
-        "high-memory (n=256)",
-        "forged-id insert",
-        r,
-        if r.2 < n_hm as usize / 2 {
-            "COLLAPSES (as predicted)"
-        } else {
-            "UNEXPECTED"
-        },
-    );
-
-    // The paper's protocol in the same arenas.
-    let params = Params::for_target(N).unwrap();
-    let epochs = horizon / u64::from(params.epoch_len());
-    let engine = run_protocol(&params, NoOpAdversary, RunSpec::new(11, epochs));
-    let (lo, hi) = engine.metrics().population_range().unwrap();
-    push(
-        "paper protocol",
-        "none",
-        (lo, hi, engine.population(), false),
-        "holds",
-    );
-    let adv = popstab_adversary::Throttle::per_epoch(
-        popstab_adversary::RandomDeleter::new(1),
-        params.epoch_len(),
-    );
-    let mut spec = RunSpec::new(12, epochs);
-    spec.budget = 1;
-    let engine = run_protocol(&params, adv, spec);
-    let (lo, hi) = engine.metrics().population_range().unwrap();
-    push(
-        "paper protocol",
-        "delete 1/epoch",
-        (lo, hi, engine.population(), false),
-        "holds",
-    );
-
+    }
     println!("{table}");
 }

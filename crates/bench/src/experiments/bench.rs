@@ -1,0 +1,130 @@
+//! **B1 — Engine throughput benchmark → `BENCH_engine.json`.**
+//!
+//! Measures rounds/sec of the substrate running [`PopulationStability`]
+//! near equilibrium at three scales (the powers of four bracketing 1k, 10k
+//! and 100k agents), in three configurations:
+//!
+//! * `single_recorded_rps` — one engine, default per-round
+//!   [`RoundStats`](popstab_sim::RoundStats) recording (the pre-overhaul
+//!   default path),
+//! * `single_fast_rps` — one engine on the recording-free
+//!   [`run_until`](popstab_sim::Engine::run_until) fast path,
+//! * `batch_rps` — one engine per [`BatchRunner`] worker, aggregate
+//!   throughput (equals `single_fast_rps` on a single-core host).
+//!
+//! The JSON lands in the working directory so CI can archive the perf
+//! trajectory; a `--quick` run uses shorter horizons but the same shape.
+
+use std::time::Instant;
+
+use popstab_core::params::Params;
+use popstab_core::protocol::PopulationStability;
+use popstab_sim::batch::job_seed;
+use popstab_sim::{BatchRunner, Engine, SimConfig};
+
+/// One scale's measurements.
+struct Workload {
+    n: u64,
+    rounds: u64,
+    single_recorded_rps: f64,
+    single_fast_rps: f64,
+    batch_rps: f64,
+    batch_jobs: usize,
+}
+
+fn engine_at(n: u64, seed: u64) -> Engine<PopulationStability> {
+    let params = Params::for_target(n).expect("bench target is a power of four");
+    let cfg = SimConfig::builder().seed(seed).target(n).build().unwrap();
+    Engine::with_population(PopulationStability::new(params), cfg, n as usize)
+}
+
+fn measure(n: u64, rounds: u64, workers: usize, reps: u32) -> Workload {
+    // Warm-up: populate allocator and branch predictors out of band.
+    engine_at(n, 0).run_until(rounds / 10 + 1, |_| false);
+
+    // Best-of-`reps` per cell: each rep re-runs the identical simulation,
+    // so the max rate is the machine's capability with scheduler noise
+    // stripped (the criterion-style estimator, without the dependency).
+    // Engine construction is `O(N)` and stays outside every timed window.
+    let (mut single_recorded_rps, mut single_fast_rps, mut batch_rps) = (0f64, 0f64, 0f64);
+    let runner = BatchRunner::new(workers);
+    for _ in 0..reps {
+        let mut engine = engine_at(n, 1);
+        let start = Instant::now();
+        engine.run_rounds(rounds);
+        single_recorded_rps =
+            single_recorded_rps.max(rounds as f64 / start.elapsed().as_secs_f64());
+
+        let mut engine = engine_at(n, 1);
+        let start = Instant::now();
+        engine.run_until(rounds, |_| false);
+        single_fast_rps = single_fast_rps.max(rounds as f64 / start.elapsed().as_secs_f64());
+
+        let engines: Vec<_> = (0..workers as u64)
+            .map(|job| engine_at(n, job_seed(1, job)))
+            .collect();
+        let start = Instant::now();
+        runner.run(engines, |_, mut engine| engine.run_until(rounds, |_| false));
+        batch_rps = batch_rps.max((rounds * workers as u64) as f64 / start.elapsed().as_secs_f64());
+    }
+
+    Workload {
+        n,
+        rounds,
+        single_recorded_rps,
+        single_fast_rps,
+        batch_rps,
+        batch_jobs: workers,
+    }
+}
+
+/// Runs the benchmark, prints the table, and writes `BENCH_engine.json`.
+pub fn run(quick: bool) {
+    let workers = popstab_sim::batch::default_jobs();
+    let scale = if quick { 10 } else { 1 };
+    let reps = if quick { 1 } else { 5 };
+    // (target N, measured rounds): horizons sized so one cell is a few
+    // hundred ms — long enough to dominate timer noise, short enough that
+    // sustained-load CPU throttling doesn't contaminate the best-of reps.
+    let plan: &[(u64, u64)] = &[
+        (1024, 6000 / scale),
+        (16384, 1600 / scale),
+        (65536, 400 / scale),
+    ];
+    println!(
+        "B1: engine throughput (PopulationStability, {} batch workers, best of {reps})\n",
+        workers
+    );
+    let workloads: Vec<Workload> = plan
+        .iter()
+        .map(|&(n, rounds)| {
+            let w = measure(n, rounds.max(20), workers, reps);
+            println!(
+                "N={:<6} rounds={:<5} single_recorded={:>9.0} rps  single_fast={:>9.0} rps  batch({}x)={:>9.0} rps",
+                w.n, w.rounds, w.single_recorded_rps, w.single_fast_rps, w.batch_jobs, w.batch_rps
+            );
+            w
+        })
+        .collect();
+
+    let mut json = String::from("{\n  \"benchmark\": \"engine-rounds-per-sec\",\n");
+    json.push_str(&format!("  \"quick\": {quick},\n"));
+    json.push_str(&format!("  \"workers\": {workers},\n"));
+    json.push_str("  \"workloads\": [\n");
+    for (i, w) in workloads.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"n\": {}, \"rounds\": {}, \"single_recorded_rps\": {:.1}, \
+             \"single_fast_rps\": {:.1}, \"batch_rps\": {:.1}, \"batch_jobs\": {}}}{}\n",
+            w.n,
+            w.rounds,
+            w.single_recorded_rps,
+            w.single_fast_rps,
+            w.batch_rps,
+            w.batch_jobs,
+            if i + 1 == workloads.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_engine.json", &json).expect("write BENCH_engine.json");
+    println!("\nwrote BENCH_engine.json");
+}

@@ -100,12 +100,11 @@ pub fn run(quick: bool) {
     println!("{table}");
 
     // T4 / Lemma 5: recruitment completeness, inspected right before the
-    // evaluation round.
+    // evaluation round. One batch job per seed, on the recording-free fast
+    // path (only the end-of-recruitment state is inspected).
     let epoch = u64::from(params.epoch_len());
-    let mut incomplete_total = 0u64;
-    let mut active_total = 0u64;
     let trials = if quick { 4 } else { 10 };
-    for seed in 0..trials {
+    let counts = popstab_sim::BatchRunner::from_env().run((0..trials).collect(), |_, seed: u64| {
         let cfg = popstab_sim::SimConfig::builder()
             .seed(900 + seed)
             .target(n)
@@ -116,16 +115,17 @@ pub fn run(quick: bool) {
             cfg,
             n as usize,
         );
-        engine.run_rounds(epoch - 1);
-        for a in engine.agents() {
-            if a.active {
-                active_total += 1;
-                if a.to_recruit != 0 {
-                    incomplete_total += 1;
-                }
-            }
-        }
-    }
+        engine.run_until(epoch - 1, |_| false);
+        let active = engine.agents().iter().filter(|a| a.active).count() as u64;
+        let incomplete = engine
+            .agents()
+            .iter()
+            .filter(|a| a.active && a.to_recruit != 0)
+            .count() as u64;
+        (active, incomplete)
+    });
+    let active_total: u64 = counts.iter().map(|c| c.0).sum();
+    let incomplete_total: u64 = counts.iter().map(|c| c.1).sum();
     println!(
         "L5 recruitment completeness: {incomplete_total} of {active_total} active agents \
          entered evaluation with unfinished quotas ({} trials) — paper claims 0 w.h.p.\n",

@@ -4,6 +4,7 @@ pub mod ablation;
 pub mod accounting;
 pub mod attack;
 pub mod baselines;
+pub mod bench;
 pub mod drift;
 pub mod equilibrium;
 pub mod estimator;

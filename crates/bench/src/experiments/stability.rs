@@ -36,29 +36,36 @@ pub fn run(quick: bool) {
         "√N·logN",
         "in band",
     ]);
-    for &n in ns {
+    // The full (N, seed) grid runs as one batch (`--jobs` controls the
+    // worker count; the rows are identical for any value).
+    let grid: Vec<(u64, u64)> = ns
+        .iter()
+        .flat_map(|&n| (0..seeds).map(move |seed| (n, seed)))
+        .collect();
+    let rows = popstab_sim::BatchRunner::from_env().run(grid, |_, (n, seed)| {
         let params = Params::for_target(n).unwrap();
         let epoch = u64::from(params.epoch_len());
         let m_star = n as f64 - 8.0 * params.sqrt_n() as f64;
         let m_eq = exact_equilibrium(&params, 1.0);
-        for seed in 0..seeds {
-            let engine = run_clean(&params, RunSpec::new(seed * 1031 + 7, epochs));
-            let (lo, hi) = engine.metrics().population_range().unwrap();
-            let max_dev = engine.trajectory().max_epoch_deviation(epoch).unwrap_or(0);
-            let in_band = lo as f64 >= 0.6 * m_eq && (hi as f64) <= 1.4 * m_eq.max(n as f64);
-            table.row([
-                n.to_string(),
-                seed.to_string(),
-                fmt_f64(m_star, 0),
-                fmt_f64(m_eq, 0),
-                lo.to_string(),
-                hi.to_string(),
-                engine.population().to_string(),
-                max_dev.to_string(),
-                fmt_f64(params.sqrt_n() as f64 * f64::from(params.log2_n()), 0),
-                fmt_pass(in_band),
-            ]);
-        }
+        let engine = run_clean(&params, RunSpec::new(seed * 1031 + 7, epochs));
+        let (lo, hi) = engine.metrics().population_range().unwrap();
+        let max_dev = engine.trajectory().max_epoch_deviation(epoch).unwrap_or(0);
+        let in_band = lo as f64 >= 0.6 * m_eq && (hi as f64) <= 1.4 * m_eq.max(n as f64);
+        [
+            n.to_string(),
+            seed.to_string(),
+            fmt_f64(m_star, 0),
+            fmt_f64(m_eq, 0),
+            lo.to_string(),
+            hi.to_string(),
+            engine.population().to_string(),
+            max_dev.to_string(),
+            fmt_f64(params.sqrt_n() as f64 * f64::from(params.log2_n()), 0),
+            fmt_pass(in_band),
+        ]
+    });
+    for row in rows {
+        table.row(row);
     }
     println!("{table}");
 }

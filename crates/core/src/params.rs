@@ -56,6 +56,10 @@ pub struct Params {
     log2_n: u32,
     subphases: u32,
     t_inner: u32,
+    /// `⌈2⁶⁴ / t_inner⌉` (wrapping): Lemire's divisibility magic, so the
+    /// per-agent subphase-boundary test in the protocol hot loop is a
+    /// multiply instead of a division. Derived from `t_inner` in `build`.
+    t_inner_magic: u64,
     leader_bias_exp: u32,
     split_bias_exp: u32,
 }
@@ -151,7 +155,9 @@ impl Params {
     /// Whether `round` is the last round of a subphase (`≡ −1 mod T_inner`),
     /// after which active agents arm `recruiting` again.
     pub fn is_subphase_boundary(&self, round: u32) -> bool {
-        (round + 1).is_multiple_of(self.t_inner)
+        // `n % d == 0  ⇔  n·⌈2⁶⁴/d⌉ (mod 2⁶⁴) < ⌈2⁶⁴/d⌉` (Lemire); one
+        // multiply instead of a division in the protocol's per-agent loop.
+        u64::from(round + 1).wrapping_mul(self.t_inner_magic) < self.t_inner_magic
     }
 
     /// The subphase (1-based) containing recruitment round `round`,
@@ -245,6 +251,7 @@ impl ParamsBuilder {
             log2_n,
             subphases,
             t_inner,
+            t_inner_magic: (u64::MAX / u64::from(t_inner)) + 1,
             leader_bias_exp: self.leader_bias_exp.unwrap_or(3 + subphases),
             split_bias_exp: self.split_bias_exp.unwrap_or(subphases - 4),
         })

@@ -145,16 +145,27 @@ impl Protocol for PopulationStability {
     }
 
     fn message(&self, state: &AgentState) -> Message {
-        // Algorithm 2: inEvalPhase := (round == T − 1).
-        let in_eval = state.round % self.params.epoch_len() == self.params.eval_round();
+        // Algorithm 2: inEvalPhase := (round == T − 1). Honest counters are
+        // already in range; only adversarially inserted ones pay the modulo
+        // (a per-agent division would otherwise dominate this hot path).
+        let t = self.params.epoch_len();
+        let round = if state.round < t {
+            state.round
+        } else {
+            state.round % t
+        };
+        let in_eval = round == self.params.eval_round();
         Message::compose(state, in_eval)
     }
 
     fn step(&self, s: &mut AgentState, incoming: Option<&Message>, rng: &mut SimRng) -> Action {
         let t = self.params.epoch_len();
-        // Normalize adversarial out-of-range counters; also pin the
-        // instrumentation epoch length so observations stay coherent.
-        s.round %= t;
+        // Normalize adversarial out-of-range counters (honest ones are
+        // always in range — keep the division off the hot path); also pin
+        // the instrumentation epoch length so observations stay coherent.
+        if s.round >= t {
+            s.round %= t;
+        }
         s.epoch_len = t;
 
         let in_eval = s.round == self.params.eval_round();

@@ -1,0 +1,264 @@
+//! Parallel batch execution of independent simulation jobs.
+//!
+//! The paper's guarantees are asymptotic: observing the `1/(8√N)` leader
+//! probability or the `K = N^{1/4−ε}` tolerance threshold cleanly takes many
+//! independent trials at large `N`. Every such trial is an isolated
+//! `(protocol, adversary, config, seed)` job, so the natural unit of scaling
+//! is the *batch*: [`BatchRunner`] fans a vector of jobs across a
+//! [`std::thread::scope`] worker pool and collects the results **in job
+//! order**.
+//!
+//! # Determinism contract
+//!
+//! Results are bit-identical regardless of worker count and of how the OS
+//! schedules the workers:
+//!
+//! * every job carries its own seed (derive it with [`job_seed`] or any
+//!   scheme of your choosing) and builds its own [`Engine`](crate::Engine) /
+//!   RNG streams from it — jobs share no mutable state,
+//! * workers claim jobs from an atomic counter, but each result is written
+//!   to the slot of *its own* job index, so the output `Vec` order never
+//!   depends on scheduling,
+//! * `BatchRunner::new(1)` executes inline on the calling thread; the
+//!   `batch_runner_is_thread_count_independent` property test asserts it
+//!   produces exactly the same results as any multi-worker configuration.
+//!
+//! Consequently a batch over jobs seeded from a single master seed is as
+//! reproducible as one serial run — `--jobs 32` and `--jobs 1` print the
+//! same tables.
+//!
+//! ```
+//! use popstab_sim::batch::{job_seed, BatchRunner};
+//! use popstab_sim::{protocols::Inert, Engine, SimConfig};
+//!
+//! let jobs: Vec<u64> = (0..8).map(|i| job_seed(42, i)).collect();
+//! let runner = BatchRunner::new(4);
+//! let finals = runner.run(jobs.clone(), |_, seed| {
+//!     let cfg = SimConfig::builder().seed(seed).build().unwrap();
+//!     let mut engine = Engine::with_population(Inert, cfg, 64);
+//!     engine.run_until(50, |_| false);
+//!     engine.population()
+//! });
+//! assert_eq!(finals, BatchRunner::new(1).run(jobs, |_, _| 64));
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::rng::derive_seed;
+
+/// Process-wide default worker count override (0 = unset).
+static DEFAULT_JOBS: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the process-wide default worker count used by
+/// [`BatchRunner::from_env`] (the `experiments` binary wires its `--jobs`
+/// flag through here). `0` clears the override.
+pub fn set_default_jobs(jobs: usize) {
+    DEFAULT_JOBS.store(jobs, Ordering::Relaxed);
+}
+
+/// The worker count [`BatchRunner::from_env`] will use: the
+/// [`set_default_jobs`] override if set, else the `POPSTAB_JOBS` environment
+/// variable, else [`std::thread::available_parallelism`].
+pub fn default_jobs() -> usize {
+    let explicit = DEFAULT_JOBS.load(Ordering::Relaxed);
+    if explicit > 0 {
+        return explicit;
+    }
+    if let Some(n) = std::env::var("POPSTAB_JOBS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+    {
+        return n;
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Derives the master seed for job `index` of a batch seeded by `master`.
+///
+/// Golden-rule of the determinism contract: the job seed depends only on
+/// `(master, index)` — never on worker identity, scheduling order, or wall
+/// time. Internally the index is mixed into the master seed (SplitMix64
+/// increment) and the result is pushed through the same FNV fold as
+/// [`derive_stream`](crate::rng::derive_stream), so job streams are
+/// independent of each other *and* of any streams the caller derives from
+/// `master` directly.
+pub fn job_seed(master: u64, index: u64) -> u64 {
+    derive_seed(
+        master.wrapping_add(index.wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+        "batch-job",
+    )
+}
+
+/// Fans independent jobs across a scoped worker pool.
+///
+/// See the [module docs](crate::batch) for the determinism contract.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchRunner {
+    workers: usize,
+}
+
+impl Default for BatchRunner {
+    fn default() -> Self {
+        BatchRunner::from_env()
+    }
+}
+
+impl BatchRunner {
+    /// A runner with exactly `workers` worker threads (`0` is clamped to 1).
+    /// One worker executes inline on the calling thread.
+    pub fn new(workers: usize) -> Self {
+        BatchRunner {
+            workers: workers.max(1),
+        }
+    }
+
+    /// A runner sized by [`default_jobs`] (`--jobs` override, then
+    /// `POPSTAB_JOBS`, then the machine's available parallelism).
+    pub fn from_env() -> Self {
+        BatchRunner::new(default_jobs())
+    }
+
+    /// The configured worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Executes `run(index, job)` for every job and returns the results in
+    /// job order. `run` must be a pure function of its arguments for the
+    /// determinism contract to hold (in particular: seed all randomness from
+    /// the job, never from global state).
+    ///
+    /// Worker threads claim jobs through an atomic cursor (work stealing
+    /// without queues: jobs are taken in index order, so long jobs at the
+    /// front do not serialize the batch). A panic in any job propagates to
+    /// the caller once the scope joins.
+    pub fn run<T, R, F>(&self, jobs: Vec<T>, run: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, T) -> R + Sync,
+    {
+        let n = jobs.len();
+        let workers = self.workers.min(n);
+        if workers <= 1 {
+            return jobs
+                .into_iter()
+                .enumerate()
+                .map(|(i, job)| run(i, job))
+                .collect();
+        }
+
+        let slots: Vec<Mutex<Option<T>>> = jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
+        let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let cursor = AtomicUsize::new(0);
+        let run = &run;
+        let slots = &slots;
+        let results = &results;
+        let cursor = &cursor;
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(move || loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let job = slots[i]
+                        .lock()
+                        .expect("job slot poisoned")
+                        .take()
+                        .expect("job claimed twice");
+                    let result = run(i, job);
+                    *results[i].lock().expect("result slot poisoned") = Some(result);
+                });
+            }
+        });
+        results
+            .iter()
+            .map(|slot| {
+                slot.lock()
+                    .expect("result slot poisoned")
+                    .take()
+                    .expect("job finished without a result")
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_job_order() {
+        let runner = BatchRunner::new(4);
+        let out = runner.run((0..100usize).collect(), |i, job| {
+            assert_eq!(i, job);
+            job * 2
+        });
+        assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_worker_runs_inline() {
+        let runner = BatchRunner::new(1);
+        let id = std::thread::current().id();
+        let out = runner.run(vec![(); 4], |i, ()| {
+            assert_eq!(std::thread::current().id(), id);
+            i
+        });
+        assert_eq!(out, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn worker_count_does_not_change_results() {
+        let compute = |_, seed: u64| {
+            // A little seed-dependent arithmetic standing in for a trial.
+            let mut x = seed;
+            for _ in 0..10 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            }
+            x
+        };
+        let jobs: Vec<u64> = (0..33).map(|i| job_seed(7, i)).collect();
+        let serial = BatchRunner::new(1).run(jobs.clone(), compute);
+        for workers in [2, 3, 8, 64] {
+            assert_eq!(BatchRunner::new(workers).run(jobs.clone(), compute), serial);
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let out: Vec<u8> = BatchRunner::new(8).run(Vec::<u8>::new(), |_, j| j);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn zero_workers_clamp_to_one() {
+        assert_eq!(BatchRunner::new(0).workers(), 1);
+    }
+
+    #[test]
+    fn job_seeds_are_distinct_and_stable() {
+        let a: Vec<u64> = (0..64).map(|i| job_seed(1, i)).collect();
+        let b: Vec<u64> = (0..64).map(|i| job_seed(1, i)).collect();
+        assert_eq!(a, b);
+        let mut dedup = a.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), a.len(), "job seeds collide");
+        assert!(a.iter().all(|&s| s != job_seed(2, 0)));
+    }
+
+    #[test]
+    fn explicit_default_jobs_override_wins() {
+        set_default_jobs(3);
+        assert_eq!(default_jobs(), 3);
+        assert_eq!(BatchRunner::from_env().workers(), 3);
+        set_default_jobs(0);
+        assert!(default_jobs() >= 1);
+    }
+}

@@ -14,10 +14,12 @@
 //! [`RoundStats`] each round, and halts on extinction or population explosion
 //! (a safety cap for baselines that are *supposed* to diverge).
 
+use std::collections::HashMap;
+
 use crate::adversary::{Adversary, Alteration, NoOpAdversary, RoundContext};
 use crate::agent::{Action, Protocol};
 use crate::config::SimConfig;
-use crate::matching::sample_matching;
+use crate::matching::{sample_matching_into, Matching};
 use crate::metrics::{MetricsRecorder, RoundStats};
 use crate::rng::{derive_stream, SimRng};
 use crate::trace::Trajectory;
@@ -52,6 +54,59 @@ pub struct RoundReport {
     pub deaths: usize,
 }
 
+/// Sentinel for "unmatched" in the engine's compact partner table (a real
+/// partner index cannot reach it: matchings index agents with `u32`, and the
+/// pair list itself would overflow memory long before `2³² − 1` agents).
+const UNMATCHED: u32 = u32::MAX;
+
+/// Persistent per-round working memory.
+///
+/// The engine's round loop needs several population-sized buffers (the
+/// matching, the partner table, the simultaneous message snapshot, the
+/// split/death work lists). Allocating them fresh every round dominated the
+/// hot path at large `N`, so they live here and are reused; buffer reuse is
+/// invisible to the simulation semantics (asserted round-for-round by the
+/// `scratch_engine_matches_fresh_allocation_engine` property test and by the
+/// golden-trace fixtures under `tests/golden/`).
+#[derive(Debug)]
+struct RoundScratch<M> {
+    matching: Matching,
+    shuffle: Vec<u32>,
+    partners: Vec<u32>,
+    messages: Vec<Option<M>>,
+    splits: Vec<usize>,
+    deaths: Vec<usize>,
+    to_delete: Vec<usize>,
+    round_counts: HashMap<u32, usize>,
+}
+
+impl<M> Default for RoundScratch<M> {
+    fn default() -> Self {
+        RoundScratch {
+            matching: Matching::default(),
+            shuffle: Vec::new(),
+            partners: Vec::new(),
+            messages: Vec::new(),
+            splits: Vec::new(),
+            deaths: Vec::new(),
+            to_delete: Vec::new(),
+            round_counts: HashMap::new(),
+        }
+    }
+}
+
+/// Whether a round records [`RoundStats`].
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum RecordMode {
+    /// Record on the `metrics_every` stride and on extinction (the
+    /// historical [`Engine::run_round`] behavior).
+    Stride,
+    /// Record this round unconditionally (epoch boundaries).
+    Force,
+    /// Skip recording entirely (the fast paths).
+    Skip,
+}
+
 /// A running simulation: population, protocol, adversary, RNG streams.
 #[derive(Debug)]
 pub struct Engine<P: Protocol, A: Adversary<P::State> = NoOpAdversary> {
@@ -65,6 +120,8 @@ pub struct Engine<P: Protocol, A: Adversary<P::State> = NoOpAdversary> {
     adv_rng: SimRng,
     metrics: MetricsRecorder,
     halted: Option<HaltReason>,
+    recording: bool,
+    scratch: RoundScratch<P::Message>,
 }
 
 impl<P: Protocol> Engine<P, NoOpAdversary> {
@@ -94,6 +151,8 @@ impl<P: Protocol, A: Adversary<P::State>> Engine<P, A> {
             adv_rng,
             metrics: MetricsRecorder::new(),
             halted: None,
+            recording: true,
+            scratch: RoundScratch::default(),
         }
     }
 
@@ -142,9 +201,154 @@ impl<P: Protocol, A: Adversary<P::State>> Engine<P, A> {
         self.metrics.clear();
     }
 
+    /// Enables or disables [`RoundStats`] recording. With recording off the
+    /// engine never observes the population (an `O(population)` scan per
+    /// recorded round), which roughly doubles throughput at large `N`; the
+    /// per-round [`RoundReport`]s are unaffected.
+    pub fn set_recording(&mut self, on: bool) {
+        self.recording = on;
+    }
+
+    /// Whether [`RoundStats`] recording is enabled (the default).
+    pub fn is_recording(&self) -> bool {
+        self.recording
+    }
+
     /// Executes one round; returns its report. A halted engine is inert and
     /// returns a report describing no activity.
     pub fn run_round(&mut self) -> RoundReport {
+        let mode = if self.recording {
+            RecordMode::Stride
+        } else {
+            RecordMode::Skip
+        };
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let report = self.round_impl(&mut scratch, mode);
+        self.scratch = scratch;
+        report
+    }
+
+    /// Identical to [`run_round`](Engine::run_round) but with freshly
+    /// allocated per-round buffers. Exists only so property tests can assert
+    /// that scratch-buffer reuse never changes behavior; not part of the
+    /// supported API.
+    #[doc(hidden)]
+    pub fn run_round_fresh(&mut self) -> RoundReport {
+        let mode = if self.recording {
+            RecordMode::Stride
+        } else {
+            RecordMode::Skip
+        };
+        let mut scratch = RoundScratch::default();
+        self.round_impl(&mut scratch, mode)
+    }
+
+    /// Runs up to `n` rounds, stopping early if the engine halts. Returns the
+    /// number of rounds actually executed.
+    pub fn run_rounds(&mut self, n: u64) -> u64 {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let mode = if self.recording {
+            RecordMode::Stride
+        } else {
+            RecordMode::Skip
+        };
+        let mut executed = 0;
+        while executed < n {
+            if self.halted.is_some() {
+                break;
+            }
+            self.round_impl(&mut scratch, mode);
+            executed += 1;
+        }
+        self.scratch = scratch;
+        executed
+    }
+
+    /// Fast path: runs up to `max_rounds` rounds with **no** stats recording,
+    /// stopping early when the engine halts or `stop` returns `true` for the
+    /// round just executed. Returns the number of rounds executed.
+    ///
+    /// The simulation trajectory is bit-identical to [`run_rounds`]; only the
+    /// [`MetricsRecorder`] side channel is skipped. Use this for trial loops
+    /// that only need the final state (or fold what they need out of the
+    /// per-round reports inside `stop`).
+    pub fn run_until<F>(&mut self, max_rounds: u64, mut stop: F) -> u64
+    where
+        F: FnMut(&RoundReport) -> bool,
+    {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let mut executed = 0;
+        while executed < max_rounds {
+            if self.halted.is_some() {
+                break;
+            }
+            let report = self.round_impl(&mut scratch, RecordMode::Skip);
+            executed += 1;
+            if stop(&report) {
+                break;
+            }
+        }
+        self.scratch = scratch;
+        executed
+    }
+
+    /// Fast path: runs up to `max_rounds` rounds (no recording) and returns
+    /// the `(min, max)` of the post-round population over the executed
+    /// rounds — the band the stability suites assert on — or the current
+    /// population twice if no round executed. Folds the range out of the
+    /// per-round reports in `O(1)` per round instead of recording stats.
+    pub fn run_range(&mut self, max_rounds: u64) -> (usize, usize) {
+        let (mut lo, mut hi) = (usize::MAX, 0);
+        let executed = self.run_until(max_rounds, |r| {
+            lo = lo.min(r.population_after);
+            hi = hi.max(r.population_after);
+            false
+        });
+        if executed == 0 {
+            (self.agents.len(), self.agents.len())
+        } else {
+            (lo, hi)
+        }
+    }
+
+    /// Fast path: runs `epochs` epochs of `epoch_len` rounds each, recording
+    /// one [`RoundStats`] at each epoch's final round (skipping the per-round
+    /// `metrics_every` stride entirely), halting early as usual. Returns the
+    /// number of rounds executed.
+    ///
+    /// This is the natural shape for trial loops over the paper's protocol:
+    /// per-epoch population samples at a fraction of the full recording cost.
+    /// With recording disabled ([`set_recording`](Engine::set_recording))
+    /// even the boundary samples are skipped.
+    pub fn run_epochs(&mut self, epochs: u64, epoch_len: u64) -> u64 {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let mut executed = 0;
+        'epochs: for _ in 0..epochs {
+            for round_in_epoch in 0..epoch_len {
+                if self.halted.is_some() {
+                    break 'epochs;
+                }
+                let mode = if self.recording && round_in_epoch + 1 == epoch_len {
+                    RecordMode::Force
+                } else {
+                    RecordMode::Skip
+                };
+                self.round_impl(&mut scratch, mode);
+                executed += 1;
+            }
+        }
+        self.scratch = scratch;
+        executed
+    }
+
+    /// One synchronous round against explicit scratch buffers. All fast
+    /// paths and the public `run_*` methods funnel through here, so round
+    /// semantics and RNG consumption order are defined in exactly one place.
+    fn round_impl(
+        &mut self,
+        scratch: &mut RoundScratch<P::Message>,
+        mode: RecordMode,
+    ) -> RoundReport {
         let mut report = RoundReport {
             round: self.round,
             population_before: self.agents.len(),
@@ -154,6 +358,16 @@ impl<P: Protocol, A: Adversary<P::State>> Engine<P, A> {
             report.population_after = self.agents.len();
             return report;
         }
+        let RoundScratch {
+            matching,
+            shuffle,
+            partners,
+            messages,
+            splits,
+            deaths,
+            to_delete,
+            round_counts,
+        } = scratch;
 
         // Phase 1: adversary (sees everything, blind to the coming matching).
         let ctx = RoundContext {
@@ -162,21 +376,40 @@ impl<P: Protocol, A: Adversary<P::State>> Engine<P, A> {
             target: self.cfg.target,
         };
         let alterations = self.adversary.act(&ctx, &self.agents, &mut self.adv_rng);
-        self.apply_alterations(alterations, &mut report);
+        self.apply_alterations(alterations, to_delete, &mut report);
 
         // Phase 2: matching over survivors.
-        let matching = sample_matching(self.agents.len(), self.cfg.matching, &mut self.match_rng);
-        let partners = matching.partner_table(self.agents.len());
+        sample_matching_into(
+            matching,
+            shuffle,
+            self.agents.len(),
+            self.cfg.matching,
+            &mut self.match_rng,
+        );
+
+        // Compact partner table: `u32` slots with an [`UNMATCHED`] sentinel
+        // instead of `Option<u32>` halve the table's memory traffic, which
+        // the profile shows directly in rounds/sec at large `N`.
+        partners.clear();
+        partners.resize(self.agents.len(), UNMATCHED);
+        for &(a, b) in matching.pairs() {
+            partners[a as usize] = b;
+            partners[b as usize] = a;
+        }
 
         // Phase 3: simultaneous message exchange, then one step per agent.
         // Messages are composed from pre-step state for every matched agent.
-        let messages: Vec<Option<P::Message>> = partners
-            .iter()
-            .map(|p| p.map(|j| self.protocol.message(&self.agents[j as usize])))
-            .collect();
+        messages.clear();
+        messages.extend(partners.iter().map(|&p| {
+            if p == UNMATCHED {
+                None
+            } else {
+                Some(self.protocol.message(&self.agents[p as usize]))
+            }
+        }));
 
-        let mut deaths: Vec<usize> = Vec::new();
-        let mut splits: Vec<usize> = Vec::new();
+        deaths.clear();
+        splits.clear();
         for (i, incoming) in messages.iter().enumerate() {
             let action =
                 self.protocol
@@ -189,7 +422,8 @@ impl<P: Protocol, A: Adversary<P::State>> Engine<P, A> {
                 // kill and a same-round split of the victim both take
                 // effect: the daughter survives, the victim does not.
                 Action::KillPartner => {
-                    if let Some(j) = partners[i] {
+                    let j = partners[i];
+                    if j != UNMATCHED {
                         deaths.push(j as usize);
                     }
                 }
@@ -203,7 +437,7 @@ impl<P: Protocol, A: Adversary<P::State>> Engine<P, A> {
         deaths.dedup();
         report.splits = splits.len();
         report.deaths = deaths.len();
-        for &i in &splits {
+        for &i in splits.iter() {
             let daughter = self.agents[i].clone();
             self.agents.push(daughter);
         }
@@ -214,8 +448,15 @@ impl<P: Protocol, A: Adversary<P::State>> Engine<P, A> {
         report.population_after = self.agents.len();
         self.round += 1;
 
-        if self.round.is_multiple_of(self.cfg.metrics_every) || self.agents.is_empty() {
-            let mut stats = RoundStats::observe(report.round, &self.agents);
+        let record = match mode {
+            RecordMode::Stride => {
+                self.round.is_multiple_of(self.cfg.metrics_every) || self.agents.is_empty()
+            }
+            RecordMode::Force => true,
+            RecordMode::Skip => false,
+        };
+        if record {
+            let mut stats = RoundStats::observe_with(report.round, &self.agents, round_counts);
             stats.splits = report.splits;
             stats.deaths = report.deaths;
             stats.adv_inserted = report.inserted;
@@ -232,18 +473,6 @@ impl<P: Protocol, A: Adversary<P::State>> Engine<P, A> {
         report
     }
 
-    /// Runs up to `n` rounds, stopping early if the engine halts. Returns the
-    /// number of rounds actually executed.
-    pub fn run_rounds(&mut self, n: u64) -> u64 {
-        for executed in 0..n {
-            if self.halted.is_some() {
-                return executed;
-            }
-            self.run_round();
-        }
-        n
-    }
-
     /// Applies adversary alterations under the budget, in order. `Delete` and
     /// `Modify` indices refer to the slice the adversary saw; deletions are
     /// deferred to the end (swap-remove, descending) so indices stay stable,
@@ -251,10 +480,11 @@ impl<P: Protocol, A: Adversary<P::State>> Engine<P, A> {
     fn apply_alterations(
         &mut self,
         alterations: Vec<Alteration<P::State>>,
+        to_delete: &mut Vec<usize>,
         report: &mut RoundReport,
     ) {
         let original_len = self.agents.len();
-        let mut to_delete: Vec<usize> = Vec::new();
+        to_delete.clear();
         for alt in alterations.into_iter().take(self.cfg.adversary_budget) {
             match alt {
                 Alteration::Delete(i) => {

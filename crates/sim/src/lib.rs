@@ -29,9 +29,29 @@
 //! engine.run_rounds(10);
 //! assert_eq!(engine.population(), 100);
 //! ```
+//!
+//! # Batch execution and the determinism contract
+//!
+//! Observing the paper's asymptotic guarantees takes many independent trials
+//! at large `N`. The [`batch`] module fans `(protocol, adversary, config,
+//! seed)` jobs across a scoped thread pool: [`BatchRunner::run`] returns
+//! results in job order, each job derives all of its randomness from its own
+//! seed ([`batch::job_seed`] / [`rng::derive_seed`]), and no mutable state is
+//! shared between jobs — so a batch is **bit-identical for every worker
+//! count and scheduling order**, and a parallel sweep reproduces a serial
+//! one exactly. Trial loops throughout the workspace (the drift
+//! measurements, the baseline failure-mode sims, the `experiments` figures
+//! with their `--jobs` flag) are expressed as batches.
+//!
+//! Inside a single job, the engine offers allocation-free fast paths for the
+//! hot loop: [`Engine::run_until`] (no stats recording, early exit on a
+//! per-round predicate) and [`Engine::run_epochs`] (records one
+//! [`RoundStats`] per epoch boundary). Both execute bit-identical rounds to
+//! [`Engine::run_round`] — they only skip the recording side channel.
 
 pub mod adversary;
 pub mod agent;
+pub mod batch;
 pub mod config;
 pub mod engine;
 pub mod error;
@@ -43,6 +63,7 @@ pub mod trace;
 
 pub use adversary::{Adversary, Alteration, NoOpAdversary, RoundContext};
 pub use agent::{Action, Observable, Observation, Protocol};
+pub use batch::BatchRunner;
 pub use config::{SimConfig, SimConfigBuilder};
 pub use engine::{Engine, HaltReason, RoundReport};
 pub use error::SimError;

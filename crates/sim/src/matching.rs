@@ -84,12 +84,22 @@ impl Matching {
 
     /// Builds the partner lookup: `partner[i] = Some(j)` iff `{i, j}` matched.
     pub fn partner_table(&self, population: usize) -> Vec<Option<u32>> {
-        let mut table = vec![None; population];
+        let mut table = Vec::new();
+        self.partner_table_into(&mut table, population);
+        table
+    }
+
+    /// As [`partner_table`](Matching::partner_table), but reusing `table`'s
+    /// allocation. (The engine itself keeps a compact `u32`-sentinel table
+    /// inline in its round loop; this is the reusable `Option` form for
+    /// external consumers.)
+    pub fn partner_table_into(&self, table: &mut Vec<Option<u32>>, population: usize) {
+        table.clear();
+        table.resize(population, None);
         for &(a, b) in &self.pairs {
             table[a as usize] = Some(b);
             table[b as usize] = Some(a);
         }
-        table
     }
 }
 
@@ -98,8 +108,28 @@ impl Matching {
 /// The result is a uniformly random set of disjoint pairs covering the
 /// model's fraction of agents. Cost is `O(m)`.
 pub fn sample_matching(population: usize, model: MatchingModel, rng: &mut SimRng) -> Matching {
+    let mut out = Matching::default();
+    let mut indices = Vec::new();
+    sample_matching_into(&mut out, &mut indices, population, model, rng);
+    out
+}
+
+/// As [`sample_matching`], but writing into `out` and using `indices` as
+/// shuffle scratch, so the per-round engine loop performs no allocations.
+///
+/// Consumes exactly the same RNG stream as [`sample_matching`]: one draw for
+/// [`MatchingModel::RandomFraction`]'s fraction (only once `population ≥ 2`),
+/// then one draw per shuffled slot.
+pub fn sample_matching_into(
+    out: &mut Matching,
+    indices: &mut Vec<u32>,
+    population: usize,
+    model: MatchingModel,
+    rng: &mut SimRng,
+) {
+    out.pairs.clear();
     if population < 2 {
-        return Matching::default();
+        return;
     }
     let fraction = match model {
         MatchingModel::Full => 1.0,
@@ -109,19 +139,17 @@ pub fn sample_matching(population: usize, model: MatchingModel, rng: &mut SimRng
     let target_agents = (fraction * population as f64).floor() as usize;
     let n_pairs = (target_agents / 2).min(population / 2);
     if n_pairs == 0 {
-        return Matching::default();
+        return;
     }
-    let mut indices: Vec<u32> = (0..population as u32).collect();
+    indices.clear();
+    indices.extend(0..population as u32);
     // Partial Fisher-Yates: we only need the first 2·n_pairs slots shuffled.
     for i in 0..(2 * n_pairs) {
         let j = rng.random_range(i..population);
         indices.swap(i, j);
     }
-    let pairs = indices[..2 * n_pairs]
-        .chunks_exact(2)
-        .map(|c| (c[0], c[1]))
-        .collect();
-    Matching { pairs }
+    out.pairs
+        .extend(indices[..2 * n_pairs].chunks_exact(2).map(|c| (c[0], c[1])));
 }
 
 /// Samples a full uniformly random permutation matching (used in tests to
@@ -248,5 +276,94 @@ mod tests {
         assert!(MatchingModel::ExactFraction(-0.1).validate().is_err());
         assert!(MatchingModel::ExactFraction(0.3).validate().is_ok());
         assert!(MatchingModel::Full.validate().is_ok());
+    }
+
+    // ---- cross-validation of the partial Fisher–Yates sampler against the
+    // ---- naive full-permutation sampler
+
+    mod cross_validation {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Both samplers produce valid (pair-disjoint, in-range)
+            /// matchings, and the partial shuffle covers at least the
+            /// model's γ fraction — exactly what the naive full matching
+            /// covers when γ = 1.
+            #[test]
+            fn both_samplers_are_valid_and_cover_gamma(
+                population in 0usize..1500,
+                seed in 0u64..400,
+                gamma in 0.05f64..=1.0,
+            ) {
+                let mut rng = rng_from_seed(seed);
+                let partial =
+                    sample_matching(population, MatchingModel::ExactFraction(gamma), &mut rng);
+                assert_valid(&partial, population);
+                // ≥ γ coverage, up to the integer floor of pairable agents.
+                let want = (((gamma * population as f64).floor() as usize) / 2).min(population / 2);
+                prop_assert_eq!(partial.len(), want);
+
+                let mut rng = rng_from_seed(seed);
+                let naive = sample_full_matching_naive(population, &mut rng);
+                assert_valid(&naive, population);
+                prop_assert_eq!(naive.len(), population / 2);
+            }
+
+            /// Fixed seed ⇒ identical output, run after run, for both
+            /// samplers (the reproducibility half of the determinism
+            /// contract; the distributional half is checked below).
+            #[test]
+            fn samplers_are_deterministic_under_fixed_seed(
+                population in 0usize..800,
+                seed in 0u64..400,
+            ) {
+                let sample_twice = |f: &dyn Fn(&mut SimRng) -> Matching| {
+                    (f(&mut rng_from_seed(seed)), f(&mut rng_from_seed(seed)))
+                };
+                let (a, b) =
+                    sample_twice(&|rng| sample_matching(population, MatchingModel::Full, rng));
+                prop_assert_eq!(a, b);
+                let (a, b) = sample_twice(&|rng| sample_full_matching_naive(population, rng));
+                prop_assert_eq!(a, b);
+            }
+        }
+
+        /// The partial Fisher–Yates sampler and the naive full-permutation
+        /// sampler draw from the same distribution: agent 0's partner is
+        /// uniform over the other agents under both, and the two empirical
+        /// histograms agree bucket-by-bucket.
+        #[test]
+        fn full_matching_distributions_agree() {
+            let n = 16;
+            let trials = 40_000u32;
+            let histogram = |f: &dyn Fn(&mut SimRng) -> Matching| {
+                let mut counts = vec![0u32; n];
+                let mut rng = rng_from_seed(1234);
+                for _ in 0..trials {
+                    let partner = f(&mut rng).partner_table(n)[0].unwrap();
+                    counts[partner as usize] += 1;
+                }
+                counts
+            };
+            let partial = histogram(&|rng| sample_matching(n, MatchingModel::Full, rng));
+            let naive = histogram(&|rng| sample_full_matching_naive(n, rng));
+            let expected = f64::from(trials) / (n as f64 - 1.0);
+            for i in 1..n {
+                let (p, v) = (f64::from(partial[i]), f64::from(naive[i]));
+                assert!(
+                    (0.85..1.15).contains(&(p / expected)),
+                    "partial sampler partner {i}: {p} vs expected {expected}"
+                );
+                assert!(
+                    (0.85..1.15).contains(&(v / expected)),
+                    "naive sampler partner {i}: {v} vs expected {expected}"
+                );
+                assert!(
+                    (p - v).abs() < 6.0 * expected.sqrt() + 0.06 * expected,
+                    "samplers disagree on partner {i}: {p} vs {v}"
+                );
+            }
+        }
     }
 }

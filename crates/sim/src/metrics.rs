@@ -42,12 +42,24 @@ pub struct RoundStats {
 impl RoundStats {
     /// Builds the observation-derived part of the stats from a population.
     pub fn observe<S: Observable>(round: u64, agents: &[S]) -> RoundStats {
+        RoundStats::observe_with(round, agents, &mut HashMap::new())
+    }
+
+    /// As [`observe`](RoundStats::observe), but reusing `round_counts` as the
+    /// epoch-round histogram scratch (cleared on entry). The engine calls
+    /// this on every recorded round, so the map's allocation is hoisted out
+    /// of the hot loop.
+    pub fn observe_with<S: Observable>(
+        round: u64,
+        agents: &[S],
+        round_counts: &mut HashMap<u32, usize>,
+    ) -> RoundStats {
         let mut stats = RoundStats {
             round,
             population: agents.len(),
             ..RoundStats::default()
         };
-        let mut round_counts: HashMap<u32, usize> = HashMap::new();
+        round_counts.clear();
         for agent in agents {
             let obs: Observation = agent.observe();
             if obs.active {

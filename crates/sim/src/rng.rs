@@ -32,17 +32,26 @@ pub fn rng_from_seed(seed: u64) -> SimRng {
     StdRng::seed_from_u64(seed)
 }
 
-/// Derives an independent named stream from a base seed.
+/// Derives the seed of an independent named stream from a base seed.
 ///
 /// The label is folded into the seed with an FNV-1a hash; different labels
 /// yield statistically independent streams while remaining reproducible.
-pub fn derive_stream(seed: u64, label: &str) -> SimRng {
+/// This is the seed-level primitive behind [`derive_stream`]; batch
+/// execution uses it to give every job in a batch its own master seed (see
+/// [`batch::job_seed`](crate::batch::job_seed)).
+pub fn derive_seed(seed: u64, label: &str) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for byte in label.bytes() {
         h ^= u64::from(byte);
         h = h.wrapping_mul(0x1000_0000_01b3);
     }
-    StdRng::seed_from_u64(seed ^ h)
+    seed ^ h
+}
+
+/// Derives an independent named stream from a base seed (see
+/// [`derive_seed`]).
+pub fn derive_stream(seed: u64, label: &str) -> SimRng {
+    StdRng::seed_from_u64(derive_seed(seed, label))
 }
 
 /// Draws `true` with probability `2^-bias_exp` using `bias_exp` fair coin

@@ -1,8 +1,10 @@
 //! Property-based tests for the substrate: matching validity, engine
-//! accounting and budget enforcement.
+//! accounting and budget enforcement, batch-execution determinism, and
+//! scratch-buffer transparency.
 
 use proptest::prelude::*;
 
+use popstab_sim::batch::{job_seed, BatchRunner};
 use popstab_sim::matching::{sample_matching, MatchingModel};
 use popstab_sim::protocols::{Inert, InertState};
 use popstab_sim::rng::rng_from_seed;
@@ -10,6 +12,87 @@ use popstab_sim::{
     Action, Adversary, Alteration, Engine, Observable, Observation, Protocol, RoundContext,
     SimConfig, SimRng,
 };
+
+/// Splits when matched and a coin lands right; dies on another outcome.
+/// Exercises every population-changing path with seed-dependent behavior.
+#[derive(Clone, Copy)]
+struct Flaky;
+
+#[derive(Debug, Clone)]
+struct FState;
+
+impl Observable for FState {
+    fn observe(&self) -> Observation {
+        Observation::default()
+    }
+}
+
+impl Protocol for Flaky {
+    type State = FState;
+    type Message = ();
+    fn initial_state(&self, _rng: &mut SimRng) -> FState {
+        FState
+    }
+    fn message(&self, _s: &FState) {}
+    fn step(&self, _s: &mut FState, m: Option<&()>, rng: &mut SimRng) -> Action {
+        use rand::Rng;
+        if m.is_some() {
+            match rng.random_range(0..4u8) {
+                0 => Action::Split,
+                1 => Action::Die,
+                _ => Action::Continue,
+            }
+        } else {
+            Action::Continue
+        }
+    }
+}
+
+/// Randomly deletes/inserts within the budget.
+struct Chaos;
+
+impl Adversary<FState> for Chaos {
+    fn name(&self) -> &'static str {
+        "chaos"
+    }
+    fn act(
+        &mut self,
+        ctx: &RoundContext,
+        agents: &[FState],
+        rng: &mut SimRng,
+    ) -> Vec<Alteration<FState>> {
+        use rand::Rng;
+        let mut out = Vec::new();
+        for _ in 0..ctx.budget {
+            if rng.random::<bool>() && !agents.is_empty() {
+                out.push(Alteration::Delete(rng.random_range(0..agents.len())));
+            } else {
+                out.push(Alteration::Insert(FState));
+            }
+        }
+        out
+    }
+}
+
+fn chaos_config(seed: u64, budget: usize) -> SimConfig {
+    SimConfig::builder()
+        .seed(seed)
+        .adversary_budget(budget)
+        .matching(MatchingModel::RandomFraction { min_gamma: 0.3 })
+        .build()
+        .unwrap()
+}
+
+/// One batch job: a full adversarial simulation reduced to its trajectory.
+fn chaos_trial(seed: u64, start: usize, rounds: u64) -> Vec<(u64, usize, usize, usize)> {
+    let mut engine = Engine::with_adversary(Flaky, Chaos, chaos_config(seed, 3), start);
+    let mut trace = Vec::new();
+    engine.run_until(rounds, |r| {
+        trace.push((r.round, r.population_after, r.splits, r.deaths));
+        false
+    });
+    trace
+}
 
 proptest! {
     #[test]
@@ -66,48 +149,6 @@ proptest! {
         budget in 0usize..10,
         rounds in 1u64..30,
     ) {
-        /// Splits when matched and a coin lands heads; dies on double tails.
-        struct Flaky;
-        #[derive(Debug, Clone)]
-        struct FState;
-        impl Observable for FState {
-            fn observe(&self) -> Observation { Observation::default() }
-        }
-        impl Protocol for Flaky {
-            type State = FState;
-            type Message = ();
-            fn initial_state(&self, _rng: &mut SimRng) -> FState { FState }
-            fn message(&self, _s: &FState) {}
-            fn step(&self, _s: &mut FState, m: Option<&()>, rng: &mut SimRng) -> Action {
-                use rand::Rng;
-                if m.is_some() {
-                    match rng.random_range(0..4u8) {
-                        0 => Action::Split,
-                        1 => Action::Die,
-                        _ => Action::Continue,
-                    }
-                } else {
-                    Action::Continue
-                }
-            }
-        }
-        /// Randomly deletes/inserts within the budget.
-        struct Chaos;
-        impl Adversary<FState> for Chaos {
-            fn name(&self) -> &'static str { "chaos" }
-            fn act(&mut self, ctx: &RoundContext, agents: &[FState], rng: &mut SimRng) -> Vec<Alteration<FState>> {
-                use rand::Rng;
-                let mut out = Vec::new();
-                for _ in 0..ctx.budget {
-                    if rng.random::<bool>() && !agents.is_empty() {
-                        out.push(Alteration::Delete(rng.random_range(0..agents.len())));
-                    } else {
-                        out.push(Alteration::Insert(FState));
-                    }
-                }
-                out
-            }
-        }
         let cfg = SimConfig::builder().seed(seed).adversary_budget(budget).build().unwrap();
         let mut engine = Engine::with_adversary(Flaky, Chaos, cfg, start);
         for _ in 0..rounds {
@@ -152,5 +193,77 @@ proptest! {
         let mut engine = Engine::with_adversary(Inert, Greedy, cfg, start);
         engine.run_rounds(5);
         prop_assert_eq!(engine.population(), start);
+    }
+
+    /// The batch determinism contract: for random job sets, one worker and
+    /// many workers return identical results (full per-round trajectories,
+    /// not just finals).
+    #[test]
+    fn batch_runner_is_thread_count_independent(
+        master in 0u64..1000,
+        jobs in 1usize..12,
+        start in 2usize..60,
+        rounds in 1u64..25,
+    ) {
+        let seeds: Vec<u64> = (0..jobs as u64).map(|i| job_seed(master, i)).collect();
+        let trial = |_: usize, seed: u64| chaos_trial(seed, start, rounds);
+        let serial = BatchRunner::new(1).run(seeds.clone(), trial);
+        let parallel = BatchRunner::new(8).run(seeds.clone(), trial);
+        prop_assert_eq!(&serial, &parallel);
+        let native = BatchRunner::from_env().run(seeds, trial);
+        prop_assert_eq!(&serial, &native);
+    }
+
+    /// Scratch-buffer reuse is semantically invisible: an engine stepped
+    /// through the persistent-scratch path matches an engine stepped with
+    /// freshly allocated buffers round-for-round on random configurations.
+    #[test]
+    fn scratch_engine_matches_fresh_allocation_engine(
+        seed in 0u64..300,
+        start in 1usize..120,
+        budget in 0usize..8,
+        rounds in 1u64..40,
+    ) {
+        let mut reused = Engine::with_adversary(Flaky, Chaos, chaos_config(seed, budget), start);
+        let mut fresh = Engine::with_adversary(Flaky, Chaos, chaos_config(seed, budget), start);
+        for _ in 0..rounds {
+            let a = reused.run_round();
+            let b = fresh.run_round_fresh();
+            prop_assert_eq!(a, b);
+            prop_assert_eq!(reused.population(), fresh.population());
+            prop_assert_eq!(reused.halted(), fresh.halted());
+            if reused.halted().is_some() {
+                break;
+            }
+        }
+        prop_assert_eq!(reused.metrics().rounds(), fresh.metrics().rounds());
+    }
+
+    /// The fast paths execute bit-identical rounds to `run_rounds`; they only
+    /// skip the recording side channel.
+    #[test]
+    fn fast_paths_match_run_rounds(
+        seed in 0u64..300,
+        start in 2usize..100,
+        epochs in 1u64..5,
+        epoch_len in 1u64..12,
+    ) {
+        let rounds = epochs * epoch_len;
+        let mut slow = Engine::with_adversary(Flaky, Chaos, chaos_config(seed, 2), start);
+        slow.run_rounds(rounds);
+        let mut until = Engine::with_adversary(Flaky, Chaos, chaos_config(seed, 2), start);
+        until.run_until(rounds, |_| false);
+        let mut epoched = Engine::with_adversary(Flaky, Chaos, chaos_config(seed, 2), start);
+        epoched.run_epochs(epochs, epoch_len);
+        prop_assert_eq!(slow.population(), until.population());
+        prop_assert_eq!(slow.population(), epoched.population());
+        prop_assert_eq!(slow.round(), until.round());
+        prop_assert_eq!(slow.round(), epoched.round());
+        prop_assert_eq!(slow.halted(), until.halted());
+        prop_assert_eq!(slow.halted(), epoched.halted());
+        // run_epochs records exactly one sample per completed epoch.
+        if epoched.halted().is_none() {
+            prop_assert_eq!(epoched.metrics().len() as u64, epochs);
+        }
     }
 }

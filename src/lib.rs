@@ -60,7 +60,7 @@ pub mod prelude {
     pub use popstab_core::protocol::PopulationStability;
     pub use popstab_core::state::{AgentState, Color};
     pub use popstab_sim::{
-        Action, Adversary, Alteration, Engine, HaltReason, MatchingModel, Observable, Observation,
-        Protocol, RoundContext, SimConfig, SimRng, Trajectory,
+        Action, Adversary, Alteration, BatchRunner, Engine, HaltReason, MatchingModel, Observable,
+        Observation, Protocol, RoundContext, SimConfig, SimRng, Trajectory,
     };
 }

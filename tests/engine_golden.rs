@@ -1,0 +1,164 @@
+//! Golden-trace differential tests for the engine.
+//!
+//! Each scenario runs a fixed-seed simulation and formats every per-round
+//! [`RoundReport`] as one line; the concatenation must match the committed
+//! fixture under `tests/golden/` **byte for byte**. The fixtures were
+//! captured before the engine's scratch-buffer refactor, so any change to
+//! the round semantics, the RNG consumption order, or the matching sampler
+//! shows up here as a diff against the historical engine.
+//!
+//! To regenerate after an *intentional* semantic change:
+//!
+//! ```sh
+//! GOLDEN_REGEN=1 cargo test --test engine_golden
+//! ```
+//!
+//! and commit the updated fixtures together with an explanation.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use population_stability::adversary::{Trauma, TraumaKind};
+use population_stability::baselines::Attempt1;
+use population_stability::prelude::*;
+use population_stability::sim::protocols::Inert;
+use population_stability::sim::RoundReport;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+fn format_trace(reports: &[RoundReport]) -> String {
+    let mut out = String::with_capacity(reports.len() * 40);
+    out.push_str("round pop_before pop_after inserted deleted modified splits deaths\n");
+    for r in reports {
+        writeln!(
+            out,
+            "{} {} {} {} {} {} {} {}",
+            r.round,
+            r.population_before,
+            r.population_after,
+            r.inserted,
+            r.deleted,
+            r.modified,
+            r.splits,
+            r.deaths
+        )
+        .expect("write to string");
+    }
+    out
+}
+
+/// Compares `reports` against `tests/golden/<name>.txt`, or rewrites the
+/// fixture when `GOLDEN_REGEN` is set.
+fn check_golden(name: &str, reports: &[RoundReport]) {
+    let path = golden_dir().join(format!("{name}.txt"));
+    let actual = format_trace(reports);
+    if std::env::var_os("GOLDEN_REGEN").is_some() {
+        std::fs::create_dir_all(golden_dir()).expect("create tests/golden");
+        std::fs::write(&path, &actual).expect("write fixture");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing fixture {}: {e}; run with GOLDEN_REGEN=1",
+            path.display()
+        )
+    });
+    if expected != actual {
+        let first_diff = expected
+            .lines()
+            .zip(actual.lines())
+            .position(|(e, a)| e != a)
+            .map(|i| {
+                format!(
+                    "first differing line {}:\n  expected: {}\n  actual:   {}",
+                    i,
+                    expected.lines().nth(i).unwrap_or("<missing>"),
+                    actual.lines().nth(i).unwrap_or("<missing>")
+                )
+            })
+            .unwrap_or_else(|| {
+                format!(
+                    "line counts differ: expected {}, actual {}",
+                    expected.lines().count(),
+                    actual.lines().count()
+                )
+            });
+        panic!("golden trace `{name}` diverged from the pre-refactor engine\n{first_diff}");
+    }
+}
+
+fn collect_rounds<P, A>(engine: &mut Engine<P, A>, rounds: u64) -> Vec<RoundReport>
+where
+    P: Protocol,
+    A: population_stability::sim::Adversary<P::State>,
+{
+    (0..rounds)
+        .map(|_| engine.run_round())
+        .take_while(|r| r.population_before > 0)
+        .collect()
+}
+
+#[test]
+fn golden_inert_partial_matching() {
+    let cfg = SimConfig::builder()
+        .seed(0xA11CE)
+        .matching(MatchingModel::RandomFraction { min_gamma: 0.4 })
+        .build()
+        .unwrap();
+    let mut engine = Engine::with_population(Inert, cfg, 192);
+    let reports = collect_rounds(&mut engine, 64);
+    check_golden("inert_partial_matching", &reports);
+}
+
+#[test]
+fn golden_popstab_n1024() {
+    let params = Params::for_target(1024).unwrap();
+    let epoch = u64::from(params.epoch_len());
+    let cfg = SimConfig::builder()
+        .seed(0xB0B)
+        .target(1024)
+        .metrics_every(epoch)
+        .build()
+        .unwrap();
+    let mut engine = Engine::with_population(PopulationStability::new(params), cfg, 1024);
+    // One full epoch plus a few rounds of the next (crosses the epoch
+    // boundary: leader selection, recruitment, evaluation all exercised).
+    let reports = collect_rounds(&mut engine, epoch + 17);
+    check_golden("popstab_n1024", &reports);
+}
+
+#[test]
+fn golden_attempt1_oblivious_deleter() {
+    use population_stability::baselines::ObliviousDeleter;
+    let proto = Attempt1::new(1024);
+    let epoch = u64::from(proto.epoch_len());
+    let cfg = SimConfig::builder()
+        .seed(0xC0FFEE)
+        .adversary_budget(2)
+        .target(1024)
+        .max_population(16 * 1024)
+        .build()
+        .unwrap();
+    let mut engine = Engine::with_adversary(proto, ObliviousDeleter::with_period(2, 3), cfg, 1024);
+    let reports = collect_rounds(&mut engine, 2 * epoch);
+    check_golden("attempt1_oblivious_deleter", &reports);
+}
+
+#[test]
+fn golden_popstab_trauma_adversary() {
+    let params = Params::for_target(1024).unwrap();
+    let epoch = u64::from(params.epoch_len());
+    let adv = Trauma::new(params.clone(), TraumaKind::Injury, 0.5, epoch / 2);
+    let cfg = SimConfig::builder()
+        .seed(0xDEAD)
+        .target(1024)
+        .adversary_budget(usize::MAX)
+        .metrics_every(epoch)
+        .build()
+        .unwrap();
+    let mut engine = Engine::with_adversary(PopulationStability::new(params), adv, cfg, 1024);
+    let reports = collect_rounds(&mut engine, epoch + 11);
+    check_golden("popstab_trauma_adversary", &reports);
+}

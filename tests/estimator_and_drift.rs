@@ -6,10 +6,17 @@
 //! the leader count per epoch is single-digit and the CLT/linear model is
 //! off by whole agents per epoch. The exact equilibrium at `N = 1024` is
 //! ≈ 600 (vs the asymptotic `m* = 768`).
+//!
+//! The suite is sharded into per-scenario `#[test]`s so the libtest harness
+//! parallelizes across scenarios, and every trial loop inside a scenario
+//! runs through [`BatchRunner`] (via `measure_drift` or directly), so the
+//! runner parallelizes within one. Results are worker-count-independent by
+//! the batch determinism contract.
 
 use population_stability::analysis::drift::{drift_field, measure_drift};
 use population_stability::analysis::equilibrium::{exact_epoch_drift, exact_equilibrium};
 use population_stability::prelude::*;
+use population_stability::sim::BatchRunner;
 
 #[test]
 fn drift_field_is_monotone_restoring() {
@@ -37,21 +44,34 @@ fn drift_field_is_monotone_restoring() {
     );
 }
 
-#[test]
-fn observed_drift_tracks_exact_model() {
-    // Check the exact Poisson model at three populations, far apart.
+/// Shared body of the `observed_drift_tracks_exact_model_*` shards: checks
+/// the exact Poisson model at one starting population.
+fn check_drift_tracks_model(frac_of_n: f64, trials: u32, seed: u64) {
     let params = Params::for_target(1024).unwrap();
-    for (frac_of_n, trials, seed) in [(0.3, 48, 31u64), (0.75, 48, 32), (1.5, 48, 33)] {
-        let m0 = (frac_of_n * 1024.0) as usize;
-        let observed = measure_drift(&params, m0, 1.0, trials, seed);
-        let predicted = exact_epoch_drift(&params, m0 as f64, 1.0);
-        let tolerance = 4.0 * observed.stderr() + 0.5;
-        assert!(
-            (observed.mean() - predicted).abs() <= tolerance,
-            "m0={m0}: observed {} vs predicted {predicted} (tolerance {tolerance})",
-            observed.mean()
-        );
-    }
+    let m0 = (frac_of_n * 1024.0) as usize;
+    let observed = measure_drift(&params, m0, 1.0, trials, seed);
+    let predicted = exact_epoch_drift(&params, m0 as f64, 1.0);
+    let tolerance = 4.0 * observed.stderr() + 0.5;
+    assert!(
+        (observed.mean() - predicted).abs() <= tolerance,
+        "m0={m0}: observed {} vs predicted {predicted} (tolerance {tolerance})",
+        observed.mean()
+    );
+}
+
+#[test]
+fn observed_drift_tracks_exact_model_below_equilibrium() {
+    check_drift_tracks_model(0.3, 48, 31);
+}
+
+#[test]
+fn observed_drift_tracks_exact_model_near_equilibrium() {
+    check_drift_tracks_model(0.75, 48, 32);
+}
+
+#[test]
+fn observed_drift_tracks_exact_model_above_equilibrium() {
+    check_drift_tracks_model(1.5, 48, 33);
 }
 
 #[test]
@@ -83,20 +103,17 @@ fn drift_scales_with_n() {
 #[test]
 fn exact_equilibrium_matches_long_run_fixed_point() {
     // Run 200 epochs from the exact equilibrium; the time-average should
-    // stay near it (within the wide OU wander of this small system).
+    // stay near it (within the wide OU wander of this small system). The
+    // engine's `run_epochs` fast path records exactly one sample per epoch.
     let params = Params::for_target(1024).unwrap();
     let epoch = u64::from(params.epoch_len());
     let m_eq = exact_equilibrium(&params, 1.0);
-    let cfg = SimConfig::builder()
-        .seed(17)
-        .target(1024)
-        .metrics_every(epoch)
-        .build()
-        .unwrap();
+    let cfg = SimConfig::builder().seed(17).target(1024).build().unwrap();
     let mut engine =
         Engine::with_population(PopulationStability::new(params.clone()), cfg, m_eq as usize);
-    engine.run_rounds(200 * epoch);
+    engine.run_epochs(200, epoch);
     let pops = engine.trajectory().population_series();
+    assert_eq!(pops.len(), 200);
     let mean = pops.iter().sum::<usize>() as f64 / pops.len() as f64;
     assert!(
         (mean - m_eq).abs() < 0.35 * m_eq,
@@ -106,11 +123,13 @@ fn exact_equilibrium_matches_long_run_fixed_point() {
 
 #[test]
 fn variance_estimator_tracks_population_changes() {
-    // Run two systems of very different sizes; the estimator must order
-    // them correctly and land within a factor 2.5 of each.
+    // Run two systems of very different sizes as one batch; the estimator
+    // must order them correctly and land within a factor 2.5 of each.
+    // (Recording stays on: the estimator harvests eval-round stats.)
     let params = Params::for_target(1024).unwrap();
     let epoch = u64::from(params.epoch_len());
-    let estimate_for = |pop0: usize, seed: u64| {
+    let estimates = BatchRunner::from_env().run(vec![(700usize, 5u64), (1500, 6)], |_, job| {
+        let (pop0, seed) = job;
         let cfg = SimConfig::builder()
             .seed(seed)
             .target(1024)
@@ -122,9 +141,9 @@ fn variance_estimator_tracks_population_changes() {
         let mut est = VarianceEstimator::new(&params);
         est.push_trace(&params, engine.metrics().rounds());
         (est.estimate().unwrap(), engine.population())
-    };
-    let (m_small, final_small) = estimate_for(700, 5);
-    let (m_large, final_large) = estimate_for(1500, 6);
+    });
+    let (m_small, final_small) = estimates[0];
+    let (m_large, final_large) = estimates[1];
     assert!(
         m_small < m_large,
         "estimator ordered sizes wrongly: {m_small} vs {m_large}"
@@ -145,15 +164,14 @@ fn trauma_recovery_moves_toward_equilibrium() {
     // exact equilibrium ≈ 2900) and check it recovers at a rate consistent
     // with the exact drift (≈ 3.5/epoch there). Two seeds beat the
     // per-trajectory noise (sd ≈ √epochs·10 ≈ 100) comfortably: the model
-    // gain over 100 epochs is ≈ 300.
+    // gain over 100 epochs is ≈ 300. Seeds run as one batch on the
+    // recording-free fast path (only final populations matter here).
     use population_stability::adversary::{Trauma, TraumaKind};
     let params = Params::for_target(4096).unwrap();
     let epoch = u64::from(params.epoch_len());
     let m_eq = exact_equilibrium(&params, 1.0);
-    let seeds = 2u64;
-    let mut wounded_total = 0.0;
-    let mut healed_total = 0.0;
-    for seed in 0..seeds {
+    let seeds: Vec<u64> = vec![0, 1];
+    let outcomes = BatchRunner::from_env().run(seeds, |_, seed| {
         let adv = Trauma::new(params.clone(), TraumaKind::Injury, 0.7, 2 * epoch);
         let cfg = SimConfig::builder()
             .seed(seed)
@@ -163,18 +181,20 @@ fn trauma_recovery_moves_toward_equilibrium() {
             .unwrap();
         let mut engine =
             Engine::with_adversary(PopulationStability::new(params.clone()), adv, cfg, 4096);
-        engine.run_rounds(2 * epoch + 1);
+        engine.run_until(2 * epoch + 1, |_| false);
         let wounded = engine.population() as f64;
+        engine.run_until(100 * epoch, |_| false);
+        (wounded, engine.population() as f64)
+    });
+    let seeds_run = outcomes.len() as f64;
+    for &(wounded, _) in &outcomes {
         assert!(
             wounded < 0.6 * m_eq,
             "trauma did not wound: {wounded} vs m_eq {m_eq}"
         );
-        engine.run_rounds(100 * epoch);
-        wounded_total += wounded;
-        healed_total += engine.population() as f64;
     }
-    let mean_wounded = wounded_total / seeds as f64;
-    let mean_healed = healed_total / seeds as f64;
+    let mean_wounded = outcomes.iter().map(|o| o.0).sum::<f64>() / seeds_run;
+    let mean_healed = outcomes.iter().map(|o| o.1).sum::<f64>() / seeds_run;
     let rate = exact_epoch_drift(&params, mean_wounded, 1.0);
     assert!(rate > 2.0, "model sanity: rate {rate}");
     assert!(

@@ -7,11 +7,16 @@
 //! per-epoch absorption capacity is `γ(√N − 8)/8` (3 agents/epoch at
 //! N = 1024), so per-epoch budgets of 1–2 are the strongest pressure the
 //! theory predicts it survives indefinitely at this scale.
+//!
+//! Seed and adversary sweeps run as [`BatchRunner`] batches; population
+//! bands are folded out of the per-round reports on the engine's
+//! recording-free fast path wherever the full metrics trace is not needed.
 
 use population_stability::adversary::{
     throttled_suite, ColorFlooder, Composite, DesyncInserter, LeaderSniper, Throttle,
 };
 use population_stability::prelude::*;
+use population_stability::sim::BatchRunner;
 
 const N: u64 = 1024;
 
@@ -24,13 +29,15 @@ fn stable_without_adversary_across_seeds() {
     let params = params();
     let epoch = u64::from(params.epoch_len());
     let m_star = equilibrium_population(&params);
-    for seed in 0..5u64 {
+    let outcomes = BatchRunner::from_env().run((0..5u64).collect(), |_, seed| {
         let cfg = SimConfig::builder().seed(seed).target(N).build().unwrap();
         let mut engine =
             Engine::with_population(PopulationStability::new(params.clone()), cfg, N as usize);
-        engine.run_rounds(20 * epoch);
-        assert_eq!(engine.halted(), None, "seed {seed} halted");
-        let (lo, hi) = engine.metrics().population_range().unwrap();
+        let range = engine.run_range(20 * epoch);
+        (seed, engine.halted(), range)
+    });
+    for (seed, halted, (lo, hi)) in outcomes {
+        assert_eq!(halted, None, "seed {seed} halted");
         assert!(lo as f64 >= 0.7 * m_star, "seed {seed}: fell to {lo}");
         assert!(
             hi as f64 <= 1.3 * m_star.max(N as f64),
@@ -45,7 +52,11 @@ fn stable_under_every_suite_adversary_per_epoch_budget() {
     let epoch = u64::from(params.epoch_len());
     let m_star = equilibrium_population(&params);
     let k = 2; // per-epoch alterations; absorption capacity is 3/epoch
-    for adversary in throttled_suite(&params, k) {
+    let suite_len = throttled_suite(&params, k).len();
+    // One job per suite adversary; each job rebuilds the (deterministic)
+    // suite locally, so the boxed adversaries never cross threads.
+    let outcomes = BatchRunner::from_env().run((0..suite_len).collect(), |_, idx| {
+        let adversary = throttled_suite(&params, k).swap_remove(idx);
         let name = adversary.name();
         let cfg = SimConfig::builder()
             .seed(77)
@@ -59,9 +70,11 @@ fn stable_under_every_suite_adversary_per_epoch_budget() {
             cfg,
             N as usize,
         );
-        engine.run_rounds(15 * epoch);
-        assert_eq!(engine.halted(), None, "{name} halted the run");
-        let (lo, hi) = engine.metrics().population_range().unwrap();
+        let range = engine.run_range(15 * epoch);
+        (name, engine.halted(), range)
+    });
+    for (name, halted, (lo, hi)) in outcomes {
+        assert_eq!(halted, None, "{name} halted the run");
         // Under ±2/epoch forcing the shifted equilibria are 256·(3±2)
         // = 256 or 1280; over 15 epochs from N the trajectory stays well
         // inside [0.55·m*, 1.7·m*].
@@ -104,8 +117,7 @@ fn stable_under_combined_assault() {
         cfg,
         N as usize,
     );
-    engine.run_rounds(15 * epoch);
-    let (lo, hi) = engine.metrics().population_range().unwrap();
+    let (lo, hi) = engine.run_range(15 * epoch);
     assert!(lo as f64 >= 0.55 * m_star, "fell to {lo}");
     assert!(hi as f64 <= 1.7 * m_star, "rose to {hi}");
 }
@@ -116,7 +128,10 @@ fn lemma_invariants_hold_under_attack() {
     let params = params();
     let epoch = u64::from(params.epoch_len());
     let k = 2;
-    for adversary in throttled_suite(&params, k) {
+    let suite_len = throttled_suite(&params, k).len();
+    // Full metrics stay on here: the invariant checker consumes the trace.
+    let reports = BatchRunner::from_env().run((0..suite_len).collect(), |_, idx| {
+        let adversary = throttled_suite(&params, k).swap_remove(idx);
         let name = adversary.name();
         let cfg = SimConfig::builder()
             .seed(11)
@@ -131,7 +146,12 @@ fn lemma_invariants_hold_under_attack() {
             N as usize,
         );
         engine.run_rounds(10 * epoch);
-        let report = check_invariants(&params, 1.0, engine.metrics().rounds());
+        (
+            name,
+            check_invariants(&params, 1.0, engine.metrics().rounds()),
+        )
+    });
+    for (name, report) in reports {
         assert!(
             report.lemma3_wrong_round.pass,
             "{name}: lemma 3 {:?}",
@@ -167,9 +187,8 @@ fn partial_matching_gamma_quarter_still_stable() {
         .unwrap();
     let mut engine =
         Engine::with_population(PopulationStability::new(params.clone()), cfg, N as usize);
-    engine.run_rounds(20 * epoch);
+    let (lo, hi) = engine.run_range(20 * epoch);
     assert_eq!(engine.halted(), None);
-    let (lo, hi) = engine.metrics().population_range().unwrap();
     // γ = 1/4 quarters both drift and noise; recruitment still completes
     // because T_inner = log²N ≫ 1/γ·log N. Constants shift, so use a loose
     // band.
@@ -200,7 +219,7 @@ fn sustained_pressure_beyond_capacity_breaks_the_protocol() {
         cfg,
         N as usize,
     );
-    engine.run_rounds(80 * epoch);
+    engine.run_until(80 * epoch, |_| false);
     assert!(
         (engine.population() as f64) < 0.55 * m_star,
         "population {} should have been dragged below the band by -8/epoch \
