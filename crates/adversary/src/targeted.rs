@@ -65,7 +65,9 @@ pub struct ColorFlooder {
 impl ColorFlooder {
     /// Inserts up to `k` forged leaders of `color` per round.
     pub fn new(params: Params, k: usize, color: Color) -> Self {
-        // Forged clusters get lineage tags disjoint from honest ones.
+        // Forged clusters get **even** lineage tags: honest leaders draw
+        // random tags forced odd (`protocol::determine_if_leader`), so the
+        // two ranges are disjoint by parity.
         ColorFlooder {
             params,
             k,
@@ -93,7 +95,7 @@ impl Adversary<AgentState> for ColorFlooder {
         (0..self.k)
             .map(|_| {
                 let mut s = AgentState::leader(&self.params, self.color, self.next_lineage);
-                self.next_lineage += 1;
+                self.next_lineage += 2;
                 s.round = round.max(1);
                 s.to_recruit = self.params.to_recruit_at(s.round.max(1));
                 Alteration::Insert(s)

@@ -114,10 +114,18 @@ mod tests {
     #[test]
     fn estimates_simulated_population_within_factor_two() {
         // 40 epochs of the real protocol at N=1024: relative stderr ~22%, so
-        // a factor-2 check is safe while still meaningful.
+        // a factor-2 check is safe while still meaningful. Runs on the
+        // recording-light stride: only the evaluation-round snapshots the
+        // estimator harvests are recorded (phase T−1 of the epoch stride).
         let params = Params::for_target(1024).unwrap();
         let epoch = u64::from(params.epoch_len());
-        let cfg = SimConfig::builder().seed(31).target(1024).build().unwrap();
+        let cfg = SimConfig::builder()
+            .seed(31)
+            .target(1024)
+            .metrics_every(epoch)
+            .metrics_phase(epoch - 1)
+            .build()
+            .unwrap();
         let mut engine =
             Engine::with_population(PopulationStability::new(params.clone()), cfg, 1024);
         engine.run_rounds(40 * epoch);

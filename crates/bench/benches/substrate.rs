@@ -35,6 +35,23 @@ fn bench_partner_table(c: &mut Criterion) {
     });
 }
 
+fn bench_counter_rng(c: &mut Criterion) {
+    // Cost of constructing + drawing one value from the per-agent counter
+    // stream for every slot of a 64k-agent round (the step phase's fixed
+    // per-agent RNG overhead).
+    use rand::Rng;
+    c.bench_function("counter_rng_64k_slots", |b| {
+        b.iter(|| {
+            let rkey = popstab_sim::rng::round_key(1, 7);
+            let mut acc = 0u64;
+            for slot in 0..65_536u64 {
+                acc ^= popstab_sim::rng::slot_rng(rkey, slot).random::<u64>();
+            }
+            acc
+        })
+    });
+}
+
 fn bench_observe(c: &mut Criterion) {
     let params = Params::for_target(4096).unwrap();
     let agents: Vec<AgentState> = (0..4096)
@@ -68,6 +85,7 @@ criterion_group!(
     benches,
     bench_matching,
     bench_partner_table,
+    bench_counter_rng,
     bench_observe,
     bench_estimator
 );

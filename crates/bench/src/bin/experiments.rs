@@ -1,7 +1,7 @@
 //! Experiment harness CLI.
 //!
 //! ```sh
-//! experiments [--quick] [--jobs N] <id>...
+//! experiments [--quick] [--jobs N] [--round-threads N] <id>...
 //! experiments all
 //! ```
 //!
@@ -11,8 +11,12 @@
 //! `equilibrium` (F7b), `bench` (B1 → `BENCH_engine.json`).
 //!
 //! `--jobs N` caps the worker count of every `BatchRunner` trial fan-out
-//! (default: `POPSTAB_JOBS` or the machine's available parallelism). By the
-//! batch determinism contract the figures are identical for every value.
+//! (default: `POPSTAB_JOBS` or the machine's available parallelism).
+//! `--round-threads N` shards the step phase *inside* every protocol round
+//! across N workers (default: `POPSTAB_ROUND_THREADS` or serial rounds).
+//! By the determinism contracts the figures are identical for every value
+//! of both flags — CI diffs `--round-threads 1` against `--round-threads 4`
+//! to prove it.
 
 use std::process::ExitCode;
 use std::time::Instant;
@@ -92,7 +96,7 @@ const IDS: &[Experiment] = &[
 ];
 
 fn usage() {
-    eprintln!("usage: experiments [--quick] [--jobs N] <id>... | all");
+    eprintln!("usage: experiments [--quick] [--jobs N] [--round-threads N] <id>... | all");
     eprintln!("experiments:");
     for (id, desc, _) in IDS {
         eprintln!("  {id:<12} {desc}");
@@ -106,8 +110,17 @@ fn apply_jobs(value: Option<&str>) -> Option<()> {
     Some(())
 }
 
+/// Parses and applies a `--round-threads` value; `None` on anything
+/// non-positive.
+fn apply_round_threads(value: Option<&str>) -> Option<()> {
+    let n = value?.parse::<usize>().ok().filter(|&n| n > 0)?;
+    popstab_sim::batch::set_round_threads(n);
+    Some(())
+}
+
 fn main() -> ExitCode {
     let mut quick = false;
+    let mut jobs_given = false;
     let mut selected: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -123,11 +136,25 @@ fn main() -> ExitCode {
                     eprintln!("--jobs needs a positive integer");
                     return ExitCode::FAILURE;
                 }
+                jobs_given = true;
+            }
+            "--round-threads" => {
+                let value = args.next();
+                if apply_round_threads(value.as_deref()).is_none() {
+                    eprintln!("--round-threads needs a positive integer");
+                    return ExitCode::FAILURE;
+                }
             }
             other => {
                 if let Some(value) = other.strip_prefix("--jobs=") {
                     if apply_jobs(Some(value)).is_none() {
                         eprintln!("--jobs needs a positive integer");
+                        return ExitCode::FAILURE;
+                    }
+                    jobs_given = true;
+                } else if let Some(value) = other.strip_prefix("--round-threads=") {
+                    if apply_round_threads(Some(value)).is_none() {
+                        eprintln!("--round-threads needs a positive integer");
                         return ExitCode::FAILURE;
                     }
                 } else {
@@ -139,6 +166,17 @@ fn main() -> ExitCode {
     if selected.is_empty() {
         usage();
         return ExitCode::FAILURE;
+    }
+    // The two parallelism axes multiply: every batch job spins up its own
+    // intra-round pool. Unless the batch width was pinned explicitly, shrink
+    // it so jobs × round-threads ≈ the machine (oversubscribing CPU-bound
+    // threads only adds contention; results are identical either way).
+    let round_threads = popstab_sim::batch::round_threads();
+    if round_threads > 1 && !jobs_given && std::env::var_os("POPSTAB_JOBS").is_none() {
+        let avail = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        popstab_sim::batch::set_default_jobs((avail / round_threads).max(1));
     }
     if selected.iter().any(|s| s == "all") {
         // `bench` overwrites the committed BENCH_engine.json with

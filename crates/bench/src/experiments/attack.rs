@@ -9,6 +9,7 @@ use popstab_adversary::throttled_suite;
 use popstab_analysis::equilibrium::exact_equilibrium;
 use popstab_analysis::report::{fmt_f64, fmt_pass, Table};
 use popstab_core::params::Params;
+use popstab_sim::BatchRunner;
 
 use crate::{run_protocol, RunSpec};
 
@@ -33,18 +34,29 @@ pub fn run(quick: bool) {
              (absorption capacity ≈ {capacity:.1}/epoch), band [{floor:.0}, {ceiling:.0}]\n"
         );
         let mut table = Table::new(["adversary", "min", "max", "final", "m°", "in band"]);
-        for adversary in throttled_suite(&params, k) {
+        // One independent simulation per attack strategy: run the suite as
+        // one batch. The boxed adversaries are rebuilt inside each job (by
+        // suite index) so the jobs own their adversary.
+        let suite_len = throttled_suite(&params, k).len();
+        let rows = BatchRunner::from_env().run((0..suite_len).collect(), |_, idx| {
+            let adversary = throttled_suite(&params, k)
+                .into_iter()
+                .nth(idx)
+                .expect("suite index in range");
             let name = adversary.name();
             let mut spec = RunSpec::new(1234, epochs);
             spec.budget = k;
             let engine = run_protocol(&params, adversary, spec);
             let (lo, hi) = engine.metrics().population_range().unwrap();
+            (name, lo, hi, engine.population())
+        });
+        for (name, lo, hi, final_pop) in rows {
             let in_band = lo as f64 >= floor && (hi as f64) <= ceiling;
             table.row([
                 name.to_string(),
                 lo.to_string(),
                 hi.to_string(),
-                engine.population().to_string(),
+                final_pop.to_string(),
                 fmt_f64(m_eq, 0),
                 fmt_pass(in_band),
             ]);

@@ -10,7 +10,14 @@
 //! * `single_fast_rps` — one engine on the recording-free
 //!   [`run_until`](popstab_sim::Engine::run_until) fast path,
 //! * `batch_rps` — one engine per [`BatchRunner`] worker, aggregate
-//!   throughput (equals `single_fast_rps` on a single-core host).
+//!   throughput (equals `single_fast_rps` on a single-core host),
+//! * `par_rps` — **one** engine with the step phase of every round sharded
+//!   across `round_threads` workers
+//!   ([`run_until_par`](popstab_sim::Engine::run_until_par)): the
+//!   single-run multi-core number the intra-round parallelism exists for.
+//!   On a single-core host this degenerates to the serial fast path run
+//!   through the parallel machinery (measuring its overhead); the ≥3×
+//!   target at `N = 65536` applies to 4+-core hosts.
 //!
 //! The JSON lands in the working directory so CI can archive the perf
 //! trajectory; a `--quick` run uses shorter horizons but the same shape.
@@ -30,6 +37,8 @@ struct Workload {
     single_fast_rps: f64,
     batch_rps: f64,
     batch_jobs: usize,
+    par_rps: f64,
+    par_workers: usize,
 }
 
 fn engine_at(n: u64, seed: u64) -> Engine<PopulationStability> {
@@ -38,7 +47,7 @@ fn engine_at(n: u64, seed: u64) -> Engine<PopulationStability> {
     Engine::with_population(PopulationStability::new(params), cfg, n as usize)
 }
 
-fn measure(n: u64, rounds: u64, workers: usize, reps: u32) -> Workload {
+fn measure(n: u64, rounds: u64, workers: usize, round_threads: usize, reps: u32) -> Workload {
     // Warm-up: populate allocator and branch predictors out of band.
     engine_at(n, 0).run_until(rounds / 10 + 1, |_| false);
 
@@ -47,6 +56,7 @@ fn measure(n: u64, rounds: u64, workers: usize, reps: u32) -> Workload {
     // stripped (the criterion-style estimator, without the dependency).
     // Engine construction is `O(N)` and stays outside every timed window.
     let (mut single_recorded_rps, mut single_fast_rps, mut batch_rps) = (0f64, 0f64, 0f64);
+    let mut par_rps = 0f64;
     let runner = BatchRunner::new(workers);
     for _ in 0..reps {
         let mut engine = engine_at(n, 1);
@@ -66,6 +76,13 @@ fn measure(n: u64, rounds: u64, workers: usize, reps: u32) -> Workload {
         let start = Instant::now();
         runner.run(engines, |_, mut engine| engine.run_until(rounds, |_| false));
         batch_rps = batch_rps.max((rounds * workers as u64) as f64 / start.elapsed().as_secs_f64());
+
+        // Intra-round sharding: one simulation, `round_threads` workers
+        // inside each round (bit-identical trajectory to `single_fast`).
+        let mut engine = engine_at(n, 1);
+        let start = Instant::now();
+        engine.run_until_par(rounds, round_threads, |_| false);
+        par_rps = par_rps.max(rounds as f64 / start.elapsed().as_secs_f64());
     }
 
     Workload {
@@ -75,12 +92,18 @@ fn measure(n: u64, rounds: u64, workers: usize, reps: u32) -> Workload {
         single_fast_rps,
         batch_rps,
         batch_jobs: workers,
+        par_rps,
+        par_workers: round_threads,
     }
 }
 
 /// Runs the benchmark, prints the table, and writes `BENCH_engine.json`.
 pub fn run(quick: bool) {
     let workers = popstab_sim::batch::default_jobs();
+    // `--round-threads` override if given (including an explicit 1, which
+    // measures the parallel machinery's serial overhead), else every core
+    // the host offers.
+    let round_threads = popstab_sim::batch::round_threads_override().unwrap_or(workers);
     let scale = if quick { 10 } else { 1 };
     let reps = if quick { 1 } else { 5 };
     // (target N, measured rounds): horizons sized so one cell is a few
@@ -92,16 +115,18 @@ pub fn run(quick: bool) {
         (65536, 400 / scale),
     ];
     println!(
-        "B1: engine throughput (PopulationStability, {} batch workers, best of {reps})\n",
+        "B1: engine throughput (PopulationStability, {} batch workers, \
+         {round_threads} intra-round threads, best of {reps})\n",
         workers
     );
     let workloads: Vec<Workload> = plan
         .iter()
         .map(|&(n, rounds)| {
-            let w = measure(n, rounds.max(20), workers, reps);
+            let w = measure(n, rounds.max(20), workers, round_threads, reps);
             println!(
-                "N={:<6} rounds={:<5} single_recorded={:>9.0} rps  single_fast={:>9.0} rps  batch({}x)={:>9.0} rps",
-                w.n, w.rounds, w.single_recorded_rps, w.single_fast_rps, w.batch_jobs, w.batch_rps
+                "N={:<6} rounds={:<5} single_recorded={:>9.0} rps  single_fast={:>9.0} rps  batch({}x)={:>9.0} rps  par({}t)={:>9.0} rps",
+                w.n, w.rounds, w.single_recorded_rps, w.single_fast_rps, w.batch_jobs, w.batch_rps,
+                w.par_workers, w.par_rps
             );
             w
         })
@@ -114,13 +139,16 @@ pub fn run(quick: bool) {
     for (i, w) in workloads.iter().enumerate() {
         json.push_str(&format!(
             "    {{\"n\": {}, \"rounds\": {}, \"single_recorded_rps\": {:.1}, \
-             \"single_fast_rps\": {:.1}, \"batch_rps\": {:.1}, \"batch_jobs\": {}}}{}\n",
+             \"single_fast_rps\": {:.1}, \"batch_rps\": {:.1}, \"batch_jobs\": {}, \
+             \"par_rps\": {:.1}, \"par_workers\": {}}}{}\n",
             w.n,
             w.rounds,
             w.single_recorded_rps,
             w.single_fast_rps,
             w.batch_rps,
             w.batch_jobs,
+            w.par_rps,
+            w.par_workers,
             if i + 1 == workloads.len() { "" } else { "," }
         ));
     }

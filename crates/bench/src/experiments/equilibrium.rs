@@ -7,6 +7,7 @@
 use popstab_analysis::equilibrium::{equilibrium_population, exact_equilibrium};
 use popstab_analysis::report::{fmt_f64, Table};
 use popstab_core::params::Params;
+use popstab_sim::BatchRunner;
 
 use crate::{run_clean, RunSpec};
 
@@ -22,22 +23,30 @@ pub fn run(quick: bool) {
         "epochs",
     ]);
     let measured_ns: &[u64] = if quick { &[1024] } else { &[1024, 4096] };
+    let sim_epochs: u64 = if quick { 80 } else { 250 };
+    // The long-run simulations (one per measured N) run as one batch on the
+    // epoch-end recording stride; the model columns are closed-form.
+    let measured = BatchRunner::from_env().run(measured_ns.to_vec(), |_, n| {
+        let params = Params::for_target(n).unwrap();
+        let m_eq = exact_equilibrium(&params, 1.0);
+        let mut spec = RunSpec::new(31, sim_epochs).record_epoch_ends(&params);
+        spec.initial = Some(m_eq as usize);
+        let engine = run_clean(&params, spec);
+        let epoch = u64::from(params.epoch_len());
+        let pops = engine.trajectory().epoch_end_populations(epoch);
+        (
+            n,
+            pops.iter().sum::<usize>() as f64 / pops.len().max(1) as f64,
+        )
+    });
     for log2_n in [10u32, 12, 14, 16, 20, 24] {
         let n = 1u64 << log2_n;
         let params = Params::for_target(n).unwrap();
         let m_star = equilibrium_population(&params);
         let m_eq = exact_equilibrium(&params, 1.0);
-        let (measured, epochs) = if measured_ns.contains(&n) {
-            let epochs: u64 = if quick { 80 } else { 250 };
-            let mut spec = RunSpec::new(31, epochs);
-            spec.initial = Some(m_eq as usize);
-            let engine = run_clean(&params, spec);
-            let epoch = u64::from(params.epoch_len());
-            let pops = engine.trajectory().epoch_end_populations(epoch);
-            let mean = pops.iter().sum::<usize>() as f64 / pops.len().max(1) as f64;
-            (fmt_f64(mean, 0), epochs.to_string())
-        } else {
-            ("-".to_string(), "-".to_string())
+        let (measured, epochs) = match measured.iter().find(|&&(m, _)| m == n) {
+            Some(&(_, mean)) => (fmt_f64(mean, 0), sim_epochs.to_string()),
+            None => ("-".to_string(), "-".to_string()),
         };
         table.row([
             format!("2^{log2_n}"),

@@ -7,6 +7,7 @@
 use popstab_analysis::estimator::VarianceEstimator;
 use popstab_analysis::report::{fmt_f64, Table};
 use popstab_core::params::Params;
+use popstab_sim::BatchRunner;
 
 use crate::{run_clean, RunSpec};
 
@@ -23,14 +24,23 @@ pub fn run(quick: bool) {
         "expected ±",
         "epochs sampled",
     ]);
-    for &n in ns {
+    // One run per N, batched. Each run records only the evaluation-round
+    // snapshots the estimator harvests (the recording-light stride), so
+    // the per-round observation scan is paid once per epoch, not per
+    // round; the "true" mean is the mean population over those same
+    // evaluation snapshots — the quantity `E[d²] = m·√N/8` is about.
+    let rows = BatchRunner::from_env().run(ns.to_vec(), |_, n| {
         let params = Params::for_target(n).unwrap();
-        let epoch = u64::from(params.epoch_len());
-        let engine = run_clean(&params, RunSpec::new(2718, epochs));
-        let pops = engine.trajectory().epoch_end_populations(epoch);
-        let true_mean = pops.iter().sum::<usize>() as f64 / pops.len() as f64;
+        let spec = RunSpec::new(2718, epochs).record_eval_rounds(&params);
+        let engine = run_clean(&params, spec);
+        let stats = engine.metrics().rounds();
+        let true_mean =
+            stats.iter().map(|s| s.population).sum::<usize>() as f64 / stats.len().max(1) as f64;
         let mut est = VarianceEstimator::new(&params);
-        est.push_trace(&params, engine.metrics().rounds());
+        est.push_trace(&params, stats);
+        (n, true_mean, est)
+    });
+    for (n, true_mean, est) in rows {
         let m_hat = est.estimate().unwrap_or(f64::NAN);
         table.row([
             n.to_string(),

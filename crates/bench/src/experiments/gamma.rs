@@ -8,7 +8,7 @@
 use popstab_analysis::equilibrium::exact_equilibrium;
 use popstab_analysis::report::{fmt_f64, fmt_pass, Table};
 use popstab_core::params::Params;
-use popstab_sim::MatchingModel;
+use popstab_sim::{BatchRunner, MatchingModel};
 
 use crate::{run_clean, RunSpec};
 
@@ -19,13 +19,16 @@ pub fn run(quick: bool) {
     let epochs: u64 = if quick { 15 } else { 40 };
     println!("F5: matching-fraction sweep at N = {n}, {epochs} epochs\n");
     let mut table = Table::new(["gamma", "model", "min", "max", "final", "m°(γ)", "in band"]);
-    for (gamma, model) in [
+    // One independent simulation per matching model: the sweep runs as one
+    // batch (`--jobs` controls the worker count; rows are identical for
+    // any value).
+    let configs = [
         (0.25, MatchingModel::ExactFraction(0.25)),
         (0.5, MatchingModel::ExactFraction(0.5)),
         (0.5, MatchingModel::RandomFraction { min_gamma: 0.5 }),
         (1.0, MatchingModel::Full),
-    ] {
-        let m_eq = exact_equilibrium(&params, gamma);
+    ];
+    let rows = BatchRunner::from_env().run(configs.to_vec(), |_, (gamma, model)| {
         let mut spec = RunSpec::new(88, epochs);
         spec.gamma = gamma;
         // run_clean maps gamma < 1.0 to ExactFraction; for the random model
@@ -48,13 +51,17 @@ pub fn run(quick: bool) {
             run_clean(&params, spec)
         };
         let (lo, hi) = engine.metrics().population_range().unwrap();
+        (gamma, model, lo, hi, engine.population())
+    });
+    for (gamma, model, lo, hi, final_pop) in rows {
+        let m_eq = exact_equilibrium(&params, gamma);
         let in_band = lo as f64 >= 0.5 * m_eq && (hi as f64) <= (1.6 * m_eq).max(1.25 * n as f64);
         table.row([
             fmt_f64(gamma, 2),
             format!("{model:?}"),
             lo.to_string(),
             hi.to_string(),
-            engine.population().to_string(),
+            final_pop.to_string(),
             fmt_f64(m_eq, 0),
             fmt_pass(in_band),
         ]);

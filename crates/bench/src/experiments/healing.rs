@@ -11,6 +11,7 @@ use popstab_adversary::{Trauma, TraumaKind};
 use popstab_analysis::equilibrium::{exact_epoch_drift, exact_equilibrium};
 use popstab_analysis::report::{fmt_f64, Table};
 use popstab_core::params::Params;
+use popstab_sim::BatchRunner;
 
 use crate::{run_protocol, RunSpec};
 
@@ -23,15 +24,21 @@ pub fn run(quick: bool) {
     let post_epochs: u64 = if quick { 60 } else { 150 };
 
     println!("F6: trauma and healing at N = {n} (m° = {m_eq:.0}), shock at epoch 2\n");
-    for (label, kind, fraction) in [
+    // The two shock scenarios are independent simulations: run them as one
+    // batch, sampling only epoch-end populations (the only records this
+    // figure consumes) via the recording stride.
+    let shocks = [
         ("injury -70%", TraumaKind::Injury, 0.7),
         ("proliferation +70%", TraumaKind::Proliferation, 0.7),
-    ] {
+    ];
+    let outcomes = BatchRunner::from_env().run(shocks.to_vec(), |_, (label, kind, fraction)| {
         let adv = Trauma::new(params.clone(), kind, fraction, 2 * epoch);
-        let mut spec = RunSpec::new(99, 2 + post_epochs);
+        let mut spec = RunSpec::new(99, 2 + post_epochs).record_epoch_ends(&params);
         spec.budget = usize::MAX;
         let engine = run_protocol(&params, adv, spec);
-        let pops = engine.trajectory().epoch_end_populations(epoch);
+        (label, engine.trajectory().epoch_end_populations(epoch))
+    });
+    for (label, pops) in outcomes {
         let wounded = pops[2] as f64;
         let rate = exact_epoch_drift(&params, wounded, 1.0);
 

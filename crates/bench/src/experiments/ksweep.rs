@@ -12,6 +12,7 @@ use popstab_adversary::{RandomDeleter, Throttle};
 use popstab_analysis::equilibrium::{exact_equilibrium, max_exact_drift};
 use popstab_analysis::report::{fmt_f64, Table};
 use popstab_core::params::Params;
+use popstab_sim::BatchRunner;
 
 use crate::{run_protocol, RunSpec};
 
@@ -22,6 +23,22 @@ pub fn run(quick: bool) {
     let budgets: &[usize] = &[0, 1, 2, 4, 8, 16, 32, 64];
 
     println!("F3: per-epoch deletion budget sweep ({epochs} epochs; collapse = final < 0.3·m°)\n");
+    // Every (N, k) cell is an independent simulation: the full grid runs as
+    // one batch (`--jobs` controls the worker count; rows are identical for
+    // any value), and only the final population matters, so each cell
+    // records on the epoch-end stride instead of every round.
+    let grid: Vec<(u64, usize)> = ns
+        .iter()
+        .flat_map(|&n| budgets.iter().map(move |&k| (n, k)))
+        .collect();
+    let finals = BatchRunner::from_env().run(grid, |_, (n, k)| {
+        let params = Params::for_target(n).unwrap();
+        let adv = Throttle::per_epoch(RandomDeleter::new(k), params.epoch_len());
+        let mut spec = RunSpec::new(777, epochs).record_epoch_ends(&params);
+        spec.budget = k;
+        run_protocol(&params, adv, spec).population()
+    });
+    let mut finals = finals.into_iter();
     for &n in ns {
         let params = Params::for_target(n).unwrap();
         let m_eq = exact_equilibrium(&params, 1.0);
@@ -33,11 +50,7 @@ pub fn run(quick: bool) {
         let mut table = Table::new(["k/epoch", "final", "final/m°", "verdict"]);
         let mut threshold: Option<usize> = None;
         for &k in budgets {
-            let adv = Throttle::per_epoch(RandomDeleter::new(k), params.epoch_len());
-            let mut spec = RunSpec::new(777, epochs);
-            spec.budget = k;
-            let engine = run_protocol(&params, adv, spec);
-            let final_pop = engine.population();
+            let final_pop = finals.next().expect("one cell per (N, k)");
             let ratio = final_pop as f64 / m_eq;
             let collapsed = ratio < 0.3;
             if collapsed && threshold.is_none() {

@@ -31,10 +31,16 @@ pub struct RunSpec {
     pub budget: usize,
     /// Number of epochs to run.
     pub epochs: u64,
+    /// Recording stride as `(metrics_every, metrics_phase)`; `None` records
+    /// every round. Experiments that only consume per-epoch samples (e.g.
+    /// via `epoch_end_populations` or the variance estimator) set a stride
+    /// and skip the per-round observation scan.
+    pub metrics: Option<(u64, u64)>,
 }
 
 impl RunSpec {
-    /// A default spec: start at `N`, full matching, no adversary budget.
+    /// A default spec: start at `N`, full matching, no adversary budget,
+    /// full recording.
     pub fn new(seed: u64, epochs: u64) -> RunSpec {
         RunSpec {
             seed,
@@ -42,19 +48,41 @@ impl RunSpec {
             gamma: 1.0,
             budget: 0,
             epochs,
+            metrics: None,
         }
+    }
+
+    /// Records only epoch-end rounds (the `epoch_end_populations` /
+    /// `max_epoch_deviation` sampling points) instead of every round.
+    pub fn record_epoch_ends(mut self, params: &Params) -> RunSpec {
+        self.metrics = Some((u64::from(params.epoch_len()), 0));
+        self
+    }
+
+    /// Records only the evaluation-round snapshots the variance estimator
+    /// harvests: the rounds whose stats report `majority_round ==
+    /// eval_round` are those executed one round before the epoch boundary.
+    pub fn record_eval_rounds(mut self, params: &Params) -> RunSpec {
+        let epoch = u64::from(params.epoch_len());
+        self.metrics = Some((epoch, epoch - 1));
+        self
     }
 }
 
 /// Builds and runs a protocol engine per `spec`, returning it for
-/// inspection.
+/// inspection. Rounds execute serially unless an intra-round worker count
+/// was configured (`experiments --round-threads` /
+/// [`popstab_sim::batch::round_threads`]), in which case the step phase of
+/// every round is sharded — by the engine's determinism contract the
+/// results are bit-identical either way.
 pub fn run_protocol<A: Adversary<AgentState>>(
     params: &Params,
     adversary: A,
     spec: RunSpec,
 ) -> Engine<PopulationStability, A> {
     let epoch = u64::from(params.epoch_len());
-    let cfg = SimConfig::builder()
+    let mut builder = SimConfig::builder();
+    builder
         .seed(spec.seed)
         .target(params.target())
         .adversary_budget(spec.budget)
@@ -63,9 +91,11 @@ pub fn run_protocol<A: Adversary<AgentState>>(
         } else {
             MatchingModel::ExactFraction(spec.gamma)
         })
-        .max_population(64 * params.target() as usize)
-        .build()
-        .expect("valid experiment config");
+        .max_population(64 * params.target() as usize);
+    if let Some((every, phase)) = spec.metrics {
+        builder.metrics_every(every).metrics_phase(phase);
+    }
+    let cfg = builder.build().expect("valid experiment config");
     let initial = spec.initial.unwrap_or(params.target() as usize);
     let mut engine = Engine::with_adversary(
         PopulationStability::new(params.clone()),
@@ -73,7 +103,13 @@ pub fn run_protocol<A: Adversary<AgentState>>(
         cfg,
         initial,
     );
-    engine.run_rounds(spec.epochs * epoch);
+    let rounds = spec.epochs * epoch;
+    let threads = popstab_sim::batch::round_threads();
+    if threads > 1 {
+        engine.run_rounds_par(rounds, threads);
+    } else {
+        engine.run_rounds(rounds);
+    }
     engine
 }
 

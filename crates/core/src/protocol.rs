@@ -23,8 +23,6 @@
 //!   agents with out-of-range counters, matching the paper's description of
 //!   `round` as a mod-`T` counter.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-
 use popstab_sim::{Action, Protocol, SimRng};
 use rand::Rng;
 
@@ -36,22 +34,20 @@ use crate::state::{AgentState, Color};
 /// The population stability protocol.
 ///
 /// One value of this type drives every agent in a simulation; it owns the
-/// [`Params`] and a monotone counter used to hand out lineage tags
-/// (instrumentation for cluster-structure experiments).
+/// [`Params`]. Lineage tags (instrumentation for the cluster-structure
+/// experiments) are drawn from the leader's own per-round randomness rather
+/// than a shared counter, so tag assignment is independent of the order in
+/// which agents step — a requirement of the engine's intra-round parallel
+/// paths, whose results must not depend on scheduling.
 #[derive(Debug)]
 pub struct PopulationStability {
     params: Params,
-    next_lineage: AtomicU64,
 }
 
 impl PopulationStability {
     /// Creates the protocol for the given parameters.
     pub fn new(params: Params) -> PopulationStability {
-        // Lineage 0 means "no cluster"; start tags at 1.
-        PopulationStability {
-            params,
-            next_lineage: AtomicU64::new(1),
-        }
+        PopulationStability { params }
     }
 
     /// The protocol parameters.
@@ -71,7 +67,11 @@ impl PopulationStability {
             s.recruiting = true;
             s.to_recruit = self.params.subphases();
             s.is_leader = true;
-            s.lineage = self.next_lineage.fetch_add(1, Ordering::Relaxed);
+            // Random 64-bit tag (forced odd, so never the "no cluster" 0):
+            // distinct across the handful of leaders per epoch w.h.p., and
+            // deterministic under the agent's keyed stream regardless of
+            // step-execution order.
+            s.lineage = rng.random::<u64>() | 1;
         }
     }
 

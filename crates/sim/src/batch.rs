@@ -43,12 +43,47 @@
 //! ```
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Condvar, Mutex};
 
 use crate::rng::derive_seed;
 
 /// Process-wide default worker count override (0 = unset).
 static DEFAULT_JOBS: AtomicUsize = AtomicUsize::new(0);
+
+/// Process-wide intra-round worker count (0 = unset, meaning serial).
+static ROUND_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the process-wide intra-round worker count consumed by
+/// [`round_threads`] (the `experiments` binary wires its `--round-threads`
+/// flag through here). `0` or `1` means serial rounds.
+pub fn set_round_threads(threads: usize) {
+    ROUND_THREADS.store(threads, Ordering::Relaxed);
+}
+
+/// The intra-round worker count drivers should pass to
+/// `Engine::run_rounds_par` and friends: the [`set_round_threads`] override
+/// if set, else the `POPSTAB_ROUND_THREADS` environment variable, else `1`
+/// (serial rounds — intra-round sharding only pays off on large
+/// populations, so it is strictly opt-in, unlike the batch default).
+pub fn round_threads() -> usize {
+    round_threads_override().unwrap_or(1)
+}
+
+/// As [`round_threads`], but distinguishing "explicitly requested" from
+/// "unset": `Some(n)` iff a `--round-threads` override or the
+/// `POPSTAB_ROUND_THREADS` variable asked for `n` (including `n = 1` —
+/// callers that pick their own default when unset, like the `bench`
+/// workload, must still honor an explicit request for serial rounds).
+pub fn round_threads_override() -> Option<usize> {
+    let explicit = ROUND_THREADS.load(Ordering::Relaxed);
+    if explicit > 0 {
+        return Some(explicit);
+    }
+    std::env::var("POPSTAB_ROUND_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+}
 
 /// Sets the process-wide default worker count used by
 /// [`BatchRunner::from_env`] (the `experiments` binary wires its `--jobs`
@@ -188,6 +223,193 @@ impl BatchRunner {
     }
 }
 
+/// One dispatched shard body, type- and lifetime-erased so the persistent
+/// workers can hold it across their `recv` loop.
+struct ShardTask(*const (dyn Fn(usize) + Sync));
+
+// SAFETY: the pointee is `Sync` (it is executed concurrently by every
+// worker), and `ShardPool::dispatch` does not return until every worker has
+// finished running it, so the pointer never outlives the closure it points
+// to.
+unsafe impl Send for ShardTask {}
+
+/// Dispatch-protocol state shared between the pool owner and its workers.
+struct PoolState {
+    /// The body of the generation currently being executed, if any.
+    task: Option<ShardTask>,
+    /// Bumped once per dispatch; workers run each generation exactly once.
+    generation: u64,
+    /// Workers still executing the current generation.
+    outstanding: usize,
+    /// First panic payload caught from a worker shard this generation.
+    panic: Option<Box<dyn std::any::Any + Send>>,
+    /// Set once by [`ShardPool::with`] on the way out.
+    shutdown: bool,
+}
+
+/// A persistent intra-round worker pool.
+///
+/// [`BatchRunner`] parallelizes *across* independent jobs; `ShardPool`
+/// parallelizes *inside* one simulation round. `with(n, f)` spawns `n − 1`
+/// scoped worker threads that live for the whole closure `f` — one `Engine`
+/// run can dispatch thousands of rounds without paying a thread spawn per
+/// round. Each [`dispatch`](ShardPool::dispatch) runs `body(shard)` exactly
+/// once for every shard index in `0..n` (shard 0 on the calling thread,
+/// the rest on the workers) and returns only when all of them finished, so
+/// the body may borrow from the caller's stack.
+///
+/// The pool imposes no determinism by itself — callers get bit-identical
+/// results for every shard count by keying all randomness on data (see
+/// [`crate::rng::counter_seed`]) and merging per-shard output in slot
+/// order, which is exactly what `Engine::run_until_par` does.
+pub struct ShardPool {
+    shards: usize,
+    state: Mutex<PoolState>,
+    work_ready: Condvar,
+    work_done: Condvar,
+    /// Guards against concurrent `dispatch` calls (the pool is `Sync`, but
+    /// the dispatch protocol is single-dispatcher; see [`ShardPool::dispatch`]).
+    dispatching: std::sync::atomic::AtomicBool,
+}
+
+impl ShardPool {
+    /// Runs `f` with a pool of `shards` shards (`0` is clamped to 1), then
+    /// joins the workers. With one shard no threads are spawned and
+    /// dispatches run inline.
+    pub fn with<R>(shards: usize, f: impl FnOnce(&ShardPool) -> R) -> R {
+        let pool = ShardPool {
+            shards: shards.max(1),
+            state: Mutex::new(PoolState {
+                task: None,
+                generation: 0,
+                outstanding: 0,
+                panic: None,
+                shutdown: false,
+            }),
+            work_ready: Condvar::new(),
+            work_done: Condvar::new(),
+            dispatching: std::sync::atomic::AtomicBool::new(false),
+        };
+        if pool.shards == 1 {
+            return f(&pool);
+        }
+        /// Shuts the workers down when dropped — including when `f`
+        /// unwinds, without which the scope join below would hang forever.
+        struct Shutdown<'a>(&'a ShardPool);
+        impl Drop for Shutdown<'_> {
+            fn drop(&mut self) {
+                self.0.state.lock().expect("pool state poisoned").shutdown = true;
+                self.0.work_ready.notify_all();
+            }
+        }
+        std::thread::scope(|scope| {
+            for shard in 1..pool.shards {
+                let pool = &pool;
+                scope.spawn(move || pool.worker_loop(shard));
+            }
+            let _shutdown = Shutdown(&pool);
+            f(&pool)
+        })
+    }
+
+    /// The shard count `n`: every dispatch runs shard indices `0..n`.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Runs `body(shard)` for every shard index in `0..self.shards()`,
+    /// each exactly once (shard 0 inline on the caller), returning when all
+    /// have finished. `body` must tolerate running concurrently with itself
+    /// under distinct shard indices.
+    ///
+    /// A panic on any shard is re-raised here on the calling thread — but
+    /// only **after** every shard has finished, so the stack frame the body
+    /// borrows from stays alive for as long as any worker can touch it
+    /// (the same all-shards barrier the success path uses).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called while another `dispatch` on the same pool is still
+    /// running. The pool is one team of workers executing one generation at
+    /// a time; overlapping dispatches would let a worker outlive the stack
+    /// frame its task borrows, so the protocol refuses them outright.
+    pub fn dispatch(&self, body: &(dyn Fn(usize) + Sync)) {
+        if self.shards == 1 {
+            body(0);
+            return;
+        }
+        assert!(
+            !self.dispatching.swap(true, Ordering::Acquire),
+            "concurrent ShardPool::dispatch calls on one pool"
+        );
+        {
+            // SAFETY (lifetime erasure): the pointer is only dereferenced by
+            // workers between this publication and the `outstanding == 0`
+            // wait below, during which `body` is borrowed by `self`.
+            let erased: &'static (dyn Fn(usize) + Sync) =
+                unsafe { std::mem::transmute::<&(dyn Fn(usize) + Sync), _>(body) };
+            let mut st = self.state.lock().expect("pool state poisoned");
+            st.task = Some(ShardTask(erased));
+            st.generation += 1;
+            st.outstanding = self.shards - 1;
+        }
+        self.work_ready.notify_all();
+        // AssertUnwindSafe: on panic the payload is re-raised below, and the
+        // caller (the engine) propagates it without reusing the half-stepped
+        // state — exactly the serial panic behavior.
+        let own = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(0)));
+        let mut st = self.state.lock().expect("pool state poisoned");
+        while st.outstanding > 0 {
+            st = self.work_done.wait(st).expect("pool state poisoned");
+        }
+        st.task = None;
+        let worker_panic = st.panic.take();
+        drop(st);
+        self.dispatching.store(false, Ordering::Release);
+        if let Err(payload) = own {
+            std::panic::resume_unwind(payload);
+        }
+        if let Some(payload) = worker_panic {
+            std::panic::resume_unwind(payload);
+        }
+    }
+
+    fn worker_loop(&self, shard: usize) {
+        let mut seen = 0u64;
+        loop {
+            let task = {
+                let mut st = self.state.lock().expect("pool state poisoned");
+                loop {
+                    if st.shutdown {
+                        return;
+                    }
+                    if st.generation != seen {
+                        seen = st.generation;
+                        break st.task.as_ref().expect("generation without task").0;
+                    }
+                    st = self.work_ready.wait(st).expect("pool state poisoned");
+                }
+            };
+            // SAFETY: `dispatch` blocks until `outstanding` drops to zero,
+            // so the closure behind the pointer is still alive. The panic
+            // guard keeps that true on the unwinding path too: a panicking
+            // shard still decrements `outstanding` (payload re-raised by
+            // `dispatch` on the caller).
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| unsafe {
+                (*task)(shard)
+            }));
+            let mut st = self.state.lock().expect("pool state poisoned");
+            if let Err(payload) = result {
+                st.panic.get_or_insert(payload);
+            }
+            st.outstanding -= 1;
+            if st.outstanding == 0 {
+                self.work_done.notify_one();
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -251,6 +473,106 @@ mod tests {
         dedup.dedup();
         assert_eq!(dedup.len(), a.len(), "job seeds collide");
         assert!(a.iter().all(|&s| s != job_seed(2, 0)));
+    }
+
+    #[test]
+    fn shard_pool_runs_every_shard_exactly_once_per_dispatch() {
+        use std::sync::atomic::AtomicU32;
+        for shards in [1usize, 2, 3, 8] {
+            ShardPool::with(shards, |pool| {
+                assert_eq!(pool.shards(), shards);
+                let hits: Vec<AtomicU32> = (0..shards).map(|_| AtomicU32::new(0)).collect();
+                for _ in 0..50 {
+                    pool.dispatch(&|s| {
+                        hits[s].fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+                for (s, h) in hits.iter().enumerate() {
+                    assert_eq!(h.load(Ordering::Relaxed), 50, "shard {s}");
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn shard_pool_dispatch_borrows_caller_stack() {
+        // Disjoint writes into a stack buffer through the shared body: the
+        // dispatch barrier makes the borrow sound and the result visible.
+        let mut buf = vec![0u64; 97];
+        let n = buf.len();
+        ShardPool::with(4, |pool| {
+            let base = buf.as_mut_ptr() as usize;
+            pool.dispatch(&|s| {
+                let lo = n * s / 4;
+                let hi = n * (s + 1) / 4;
+                for i in lo..hi {
+                    // SAFETY: shards cover disjoint index ranges.
+                    unsafe { *(base as *mut u64).add(i) = i as u64 + 1 };
+                }
+            });
+        });
+        assert!(buf.iter().enumerate().all(|(i, &v)| v == i as u64 + 1));
+    }
+
+    #[test]
+    fn shard_pool_propagates_worker_panics() {
+        let result = std::panic::catch_unwind(|| {
+            ShardPool::with(4, |pool| {
+                pool.dispatch(&|s| {
+                    if s == 2 {
+                        panic!("shard boom");
+                    }
+                });
+                // The pool stays usable for later generations even though a
+                // shard of the previous dispatch panicked.
+            });
+        });
+        assert!(result.is_err(), "worker panic was swallowed");
+    }
+
+    #[test]
+    fn shard_pool_holds_the_barrier_when_shard_zero_panics() {
+        use std::sync::atomic::AtomicU32;
+        let finished = AtomicU32::new(0);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            ShardPool::with(3, |pool| {
+                pool.dispatch(&|s| {
+                    if s == 0 {
+                        panic!("caller boom");
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                    finished.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+        }));
+        assert!(result.is_err(), "caller panic was swallowed");
+        // Every worker shard ran to completion before the panic propagated:
+        // the all-shards barrier must hold on the unwinding path too, or
+        // workers would race a dead stack frame.
+        assert_eq!(finished.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn shard_pool_zero_clamps_to_one_inline_shard() {
+        let id = std::thread::current().id();
+        ShardPool::with(0, |pool| {
+            assert_eq!(pool.shards(), 1);
+            pool.dispatch(&|s| {
+                assert_eq!(s, 0);
+                assert_eq!(std::thread::current().id(), id);
+            });
+        });
+    }
+
+    #[test]
+    fn round_threads_default_is_serial() {
+        set_round_threads(0);
+        if std::env::var_os("POPSTAB_ROUND_THREADS").is_none() {
+            assert_eq!(round_threads(), 1);
+        }
+        set_round_threads(5);
+        assert_eq!(round_threads(), 5);
+        set_round_threads(0);
     }
 
     #[test]

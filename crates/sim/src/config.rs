@@ -24,6 +24,14 @@ pub struct SimConfig {
     pub max_population: usize,
     /// Record metrics every this many rounds (1 = every round).
     pub metrics_every: u64,
+    /// Phase offset of the recording stride: a round is recorded when the
+    /// post-round counter satisfies `rounds_executed % metrics_every ==
+    /// metrics_phase`. The default `0` samples epoch *ends* when
+    /// `metrics_every` is the epoch length; protocols whose interesting
+    /// round sits elsewhere in the epoch (e.g. the evaluation round the
+    /// variance estimator harvests) set a nonzero phase and keep the
+    /// recording-light stride instead of recording every round.
+    pub metrics_phase: u64,
     /// The population target `N` exposed to adversaries via
     /// [`RoundContext::target`](crate::RoundContext::target).
     pub target: u64,
@@ -52,6 +60,7 @@ pub struct SimConfigBuilder {
     seed: u64,
     max_population: usize,
     metrics_every: u64,
+    metrics_phase: u64,
     target: u64,
 }
 
@@ -63,6 +72,7 @@ impl Default for SimConfigBuilder {
             seed: 0,
             max_population: 1 << 28,
             metrics_every: 1,
+            metrics_phase: 0,
             target: 0,
         }
     }
@@ -99,6 +109,13 @@ impl SimConfigBuilder {
         self
     }
 
+    /// Offsets the recording stride by `phase` rounds (must be smaller than
+    /// `metrics_every`; see [`SimConfig::metrics_phase`]).
+    pub fn metrics_phase(&mut self, phase: u64) -> &mut Self {
+        self.metrics_phase = phase;
+        self
+    }
+
     /// Sets the population target `N` exposed to adversaries.
     pub fn target(&mut self, n: u64) -> &mut Self {
         self.target = n;
@@ -125,12 +142,22 @@ impl SimConfigBuilder {
                 "must be positive",
             ));
         }
+        if self.metrics_phase >= self.metrics_every {
+            return Err(SimError::invalid_config(
+                "metrics_phase",
+                format!(
+                    "phase {} must be smaller than the stride {}",
+                    self.metrics_phase, self.metrics_every
+                ),
+            ));
+        }
         Ok(SimConfig {
             matching: self.matching,
             adversary_budget: self.adversary_budget,
             seed: self.seed,
             max_population: self.max_population,
             metrics_every: self.metrics_every,
+            metrics_phase: self.metrics_phase,
             target: self.target,
         })
     }
@@ -183,5 +210,21 @@ mod tests {
     #[test]
     fn builder_rejects_zero_metrics_stride() {
         assert!(SimConfig::builder().metrics_every(0).build().is_err());
+    }
+
+    #[test]
+    fn builder_rejects_phase_outside_stride() {
+        assert!(SimConfig::builder()
+            .metrics_every(5)
+            .metrics_phase(5)
+            .build()
+            .is_err());
+        assert!(SimConfig::builder().metrics_phase(1).build().is_err());
+        let cfg = SimConfig::builder()
+            .metrics_every(5)
+            .metrics_phase(4)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.metrics_phase, 4);
     }
 }

@@ -13,15 +13,23 @@
 //! The engine is generic over the [`Protocol`] and the [`Adversary`], records
 //! [`RoundStats`] each round, and halts on extinction or population explosion
 //! (a safety cap for baselines that are *supposed* to diverge).
+//!
+//! Agent randomness is **counter-based** (see [`crate::rng::counter_seed`]):
+//! agent slot `s` in round `r` flips coins from a stateless stream keyed on
+//! `(seed, r, s)`, so the step phase has no serial RNG dependency between
+//! agents and can be sharded across threads ([`Engine::run_until_par`],
+//! [`Engine::run_rounds_par`], [`Engine::par_round`]) with results
+//! bit-identical to the serial paths for every worker count.
 
 use std::collections::HashMap;
 
 use crate::adversary::{Adversary, Alteration, NoOpAdversary, RoundContext};
 use crate::agent::{Action, Protocol};
+use crate::batch::ShardPool;
 use crate::config::SimConfig;
-use crate::matching::{sample_matching_into, Matching};
+use crate::matching::{sample_matching_into, Matching, UNMATCHED};
 use crate::metrics::{MetricsRecorder, RoundStats};
-use crate::rng::{derive_stream, SimRng};
+use crate::rng::{derive_seed, derive_stream, round_key, slot_rng, SimRng};
 use crate::trace::Trajectory;
 
 /// Why a run stopped early.
@@ -53,11 +61,6 @@ pub struct RoundReport {
     /// Protocol deaths this round.
     pub deaths: usize,
 }
-
-/// Sentinel for "unmatched" in the engine's compact partner table (a real
-/// partner index cannot reach it: matchings index agents with `u32`, and the
-/// pair list itself would overflow memory long before `2³² − 1` agents).
-const UNMATCHED: u32 = u32::MAX;
 
 /// Persistent per-round working memory.
 ///
@@ -107,6 +110,52 @@ enum RecordMode {
     Skip,
 }
 
+/// Per-shard output of the parallel step phase: the split/death work lists
+/// one shard's slot range produced. Merged into the round scratch in shard
+/// (= slot) order, so the merged lists match the serial step loop's.
+#[derive(Debug, Default)]
+struct StepShard {
+    splits: Vec<usize>,
+    deaths: Vec<usize>,
+}
+
+/// A raw pointer that may cross thread boundaries. Used by the parallel
+/// step phase to hand each shard its disjoint slice of a shared buffer;
+/// every use site documents why its accesses are disjoint.
+struct SendPtr<T>(*mut T);
+
+impl<T> SendPtr<T> {
+    /// The wrapped pointer. A method (not field access) so closures capture
+    /// the `SendPtr` itself — edition-2021 disjoint capture would otherwise
+    /// grab the bare `*mut T` field, which is not `Sync`.
+    fn get(self) -> *mut T {
+        self.0
+    }
+}
+
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+
+// SAFETY: dereferencing is the caller's responsibility (each unsafe block
+// at the use sites states its disjointness argument); the pointer value
+// itself is freely copyable across threads.
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+/// The slot range shard `s` of `nshards` owns over `n` items: contiguous,
+/// disjoint, covering `0..n`, balanced to within one item.
+#[inline]
+fn shard_range(n: usize, nshards: usize, s: usize) -> (usize, usize) {
+    let chunk = n / nshards;
+    let rem = n % nshards;
+    let lo = s * chunk + s.min(rem);
+    (lo, lo + chunk + usize::from(s < rem))
+}
+
 /// A running simulation: population, protocol, adversary, RNG streams.
 #[derive(Debug)]
 pub struct Engine<P: Protocol, A: Adversary<P::State> = NoOpAdversary> {
@@ -115,7 +164,10 @@ pub struct Engine<P: Protocol, A: Adversary<P::State> = NoOpAdversary> {
     cfg: SimConfig,
     agents: Vec<P::State>,
     round: u64,
-    agent_rng: SimRng,
+    /// Master key of the counter-based agent randomness: agent `slot`'s
+    /// coin flips in round `r` are `slot_rng(round_key(agent_key, r), slot)`
+    /// — addressable per agent, independent of execution order.
+    agent_key: u64,
     match_rng: SimRng,
     adv_rng: SimRng,
     metrics: MetricsRecorder,
@@ -134,11 +186,14 @@ impl<P: Protocol> Engine<P, NoOpAdversary> {
 impl<P: Protocol, A: Adversary<P::State>> Engine<P, A> {
     /// Creates an engine with `population` fresh agents and an adversary.
     pub fn with_adversary(protocol: P, adversary: A, cfg: SimConfig, population: usize) -> Self {
-        let mut agent_rng = derive_stream(cfg.seed, "agents");
+        // Initial states draw from a sequential stream (construction is not
+        // a round and runs once); per-round agent flips use the counter key.
+        let mut init_rng = derive_stream(cfg.seed, "agents");
+        let agent_key = derive_seed(cfg.seed, "agent-counter");
         let match_rng = derive_stream(cfg.seed, "matching");
         let adv_rng = derive_stream(cfg.seed, "adversary");
         let agents = (0..population)
-            .map(|_| protocol.initial_state(&mut agent_rng))
+            .map(|_| protocol.initial_state(&mut init_rng))
             .collect();
         Engine {
             protocol,
@@ -146,7 +201,7 @@ impl<P: Protocol, A: Adversary<P::State>> Engine<P, A> {
             cfg,
             agents,
             round: 0,
-            agent_rng,
+            agent_key,
             match_rng,
             adv_rng,
             metrics: MetricsRecorder::new(),
@@ -341,9 +396,10 @@ impl<P: Protocol, A: Adversary<P::State>> Engine<P, A> {
         executed
     }
 
-    /// One synchronous round against explicit scratch buffers. All fast
-    /// paths and the public `run_*` methods funnel through here, so round
-    /// semantics and RNG consumption order are defined in exactly one place.
+    /// One synchronous round against explicit scratch buffers. All serial
+    /// fast paths and the public `run_*` methods funnel through here; the
+    /// parallel paths funnel through [`par_round_impl`](Self::par_round_impl),
+    /// which differs *only* in how the step phase is executed.
     fn round_impl(
         &mut self,
         scratch: &mut RoundScratch<P::Message>,
@@ -358,17 +414,19 @@ impl<P: Protocol, A: Adversary<P::State>> Engine<P, A> {
             report.population_after = self.agents.len();
             return report;
         }
-        let RoundScratch {
-            matching,
-            shuffle,
-            partners,
-            messages,
-            splits,
-            deaths,
-            to_delete,
-            round_counts,
-        } = scratch;
+        self.phase_adversary_and_matching(scratch, &mut report);
+        self.phase_step_serial(scratch);
+        self.phase_apply_and_record(scratch, mode, &mut report);
+        report
+    }
 
+    /// Phases 1–2: adversary alterations, then the matching over survivors
+    /// and its compact partner table.
+    fn phase_adversary_and_matching(
+        &mut self,
+        scratch: &mut RoundScratch<P::Message>,
+        report: &mut RoundReport,
+    ) {
         // Phase 1: adversary (sees everything, blind to the coming matching).
         let ctx = RoundContext {
             round: self.round,
@@ -376,29 +434,32 @@ impl<P: Protocol, A: Adversary<P::State>> Engine<P, A> {
             target: self.cfg.target,
         };
         let alterations = self.adversary.act(&ctx, &self.agents, &mut self.adv_rng);
-        self.apply_alterations(alterations, to_delete, &mut report);
+        self.apply_alterations(alterations, &mut scratch.to_delete, report);
 
         // Phase 2: matching over survivors.
         sample_matching_into(
-            matching,
-            shuffle,
+            &mut scratch.matching,
+            &mut scratch.shuffle,
             self.agents.len(),
             self.cfg.matching,
             &mut self.match_rng,
         );
+        scratch
+            .matching
+            .partner_table_into(&mut scratch.partners, self.agents.len());
+    }
 
-        // Compact partner table: `u32` slots with an [`UNMATCHED`] sentinel
-        // instead of `Option<u32>` halve the table's memory traffic, which
-        // the profile shows directly in rounds/sec at large `N`.
-        partners.clear();
-        partners.resize(self.agents.len(), UNMATCHED);
-        for &(a, b) in matching.pairs() {
-            partners[a as usize] = b;
-            partners[b as usize] = a;
-        }
-
-        // Phase 3: simultaneous message exchange, then one step per agent.
-        // Messages are composed from pre-step state for every matched agent.
+    /// Phase 3, serial flavor: simultaneous message exchange, then one step
+    /// per agent under its `(round, slot)`-keyed RNG. Messages are composed
+    /// from pre-step state for every matched agent.
+    fn phase_step_serial(&mut self, scratch: &mut RoundScratch<P::Message>) {
+        let RoundScratch {
+            partners,
+            messages,
+            splits,
+            deaths,
+            ..
+        } = scratch;
         messages.clear();
         messages.extend(partners.iter().map(|&p| {
             if p == UNMATCHED {
@@ -410,10 +471,12 @@ impl<P: Protocol, A: Adversary<P::State>> Engine<P, A> {
 
         deaths.clear();
         splits.clear();
+        let rkey = round_key(self.agent_key, self.round);
         for (i, incoming) in messages.iter().enumerate() {
-            let action =
-                self.protocol
-                    .step(&mut self.agents[i], incoming.as_ref(), &mut self.agent_rng);
+            let mut rng = slot_rng(rkey, i as u64);
+            let action = self
+                .protocol
+                .step(&mut self.agents[i], incoming.as_ref(), &mut rng);
             match action {
                 Action::Continue => {}
                 Action::Split => splits.push(i),
@@ -429,10 +492,24 @@ impl<P: Protocol, A: Adversary<P::State>> Engine<P, A> {
                 }
             }
         }
+    }
 
-        // Phase 4: apply splits (append daughters) then deaths (swap-remove,
-        // descending index order so earlier indices stay valid; kills may
-        // duplicate an own-death, so dedup first).
+    /// Phase 4 plus bookkeeping: apply splits (append daughters) then
+    /// deaths (swap-remove, descending index order so earlier indices stay
+    /// valid; kills may duplicate an own-death, so dedup first), record
+    /// stats per `mode`, and check the halt conditions.
+    fn phase_apply_and_record(
+        &mut self,
+        scratch: &mut RoundScratch<P::Message>,
+        mode: RecordMode,
+        report: &mut RoundReport,
+    ) {
+        let RoundScratch {
+            splits,
+            deaths,
+            round_counts,
+            ..
+        } = scratch;
         deaths.sort_unstable();
         deaths.dedup();
         report.splits = splits.len();
@@ -450,7 +527,8 @@ impl<P: Protocol, A: Adversary<P::State>> Engine<P, A> {
 
         let record = match mode {
             RecordMode::Stride => {
-                self.round.is_multiple_of(self.cfg.metrics_every) || self.agents.is_empty()
+                self.round % self.cfg.metrics_every == self.cfg.metrics_phase
+                    || self.agents.is_empty()
             }
             RecordMode::Force => true,
             RecordMode::Skip => false,
@@ -470,6 +548,154 @@ impl<P: Protocol, A: Adversary<P::State>> Engine<P, A> {
         } else if self.agents.len() > self.cfg.max_population {
             self.halted = Some(HaltReason::Exploded);
         }
+    }
+
+    /// Phase 3, parallel flavor: shards the message composition and the
+    /// step/split/death scan over `pool`, merging per-shard work lists in
+    /// slot order. Bit-identical to [`phase_step_serial`](Self::phase_step_serial)
+    /// for every shard count because
+    ///
+    /// * each agent's coin flips come from its own `(round, slot)` counter
+    ///   stream, not from a shared sequential stream,
+    /// * shards cover contiguous disjoint slot ranges in order, so the
+    ///   concatenated split lists equal the serial iteration's, and the
+    ///   death lists are sorted + deduped afterwards either way.
+    fn phase_step_parallel(
+        &mut self,
+        scratch: &mut RoundScratch<P::Message>,
+        pool: &ShardPool,
+        shard_out: &mut [StepShard],
+    ) where
+        P: Sync,
+        P::State: Send + Sync,
+        P::Message: Send,
+    {
+        let RoundScratch {
+            partners,
+            messages,
+            splits,
+            deaths,
+            ..
+        } = scratch;
+        let n = self.agents.len();
+        let nshards = pool.shards();
+        debug_assert_eq!(shard_out.len(), nshards);
+        let partners: &[u32] = partners;
+        let protocol = &self.protocol;
+        let rkey = round_key(self.agent_key, self.round);
+
+        // Message composition: every shard reads agent states (no one
+        // mutates them during this dispatch) and writes the message slots
+        // of its own range. Plain message types (no drop glue — every
+        // protocol in this workspace) write into spare capacity and publish
+        // the length after the barrier; droppy message types are prefilled
+        // with `None` first so that a panicking shard cannot strand
+        // already-written payloads in unreachable capacity (`ptr::write`
+        // over a `None` leaks nothing either way).
+        let prefill = std::mem::needs_drop::<Option<P::Message>>();
+        messages.clear();
+        if prefill {
+            messages.resize_with(n, || None);
+        } else {
+            messages.reserve(n);
+        }
+        let msg_base = SendPtr(messages.as_mut_ptr());
+        let agents_base = SendPtr(self.agents.as_mut_ptr());
+        pool.dispatch(&|s| {
+            let (lo, hi) = shard_range(n, nshards, s);
+            // Indexing (not iterators) keeps the slot arithmetic aligned
+            // with the raw-pointer writes below.
+            #[allow(clippy::needless_range_loop)]
+            for i in lo..hi {
+                let p = partners[i];
+                let msg = if p == UNMATCHED {
+                    None
+                } else {
+                    // SAFETY: shared read; agents are not written to until
+                    // the next dispatch, after this one's barrier.
+                    Some(protocol.message(unsafe { &*agents_base.get().add(p as usize) }))
+                };
+                // SAFETY: slot `i` belongs to exactly one shard range and
+                // lies within the capacity reserved above; it holds either
+                // uninitialized memory (post-`clear`) or a prefilled `None`
+                // — `write` is correct for both, since `None` of a droppy
+                // payload type has nothing to drop.
+                unsafe { msg_base.get().add(i).write(msg) };
+            }
+        });
+        if !prefill {
+            // SAFETY: the dispatch barrier guarantees all `n` slots are
+            // initialized before the length is published.
+            unsafe { messages.set_len(n) };
+        }
+
+        // Step scan: each shard mutates only its own agents, reads only its
+        // own messages, and collects splits/deaths into its own list.
+        let shards_base = SendPtr(shard_out.as_mut_ptr());
+        pool.dispatch(&|s| {
+            let (lo, hi) = shard_range(n, nshards, s);
+            // SAFETY: `dispatch` runs each shard index exactly once, so
+            // this is the only reference to `shard_out[s]`.
+            let out = unsafe { &mut *shards_base.get().add(s) };
+            out.splits.clear();
+            out.deaths.clear();
+            #[allow(clippy::needless_range_loop)]
+            for i in lo..hi {
+                // SAFETY: slot `i` belongs to exactly one shard range; no
+                // other thread touches `agents[i]` or `messages[i]`.
+                let state = unsafe { &mut *agents_base.get().add(i) };
+                let incoming = unsafe { &*msg_base.get().add(i) };
+                let mut rng = slot_rng(rkey, i as u64);
+                match protocol.step(state, incoming.as_ref(), &mut rng) {
+                    Action::Continue => {}
+                    Action::Split => out.splits.push(i),
+                    Action::Die => out.deaths.push(i),
+                    Action::KillPartner => {
+                        let j = partners[i];
+                        if j != UNMATCHED {
+                            out.deaths.push(j as usize);
+                        }
+                    }
+                }
+            }
+        });
+
+        // Deterministic merge in slot order (shard s covers smaller slots
+        // than shard s+1).
+        splits.clear();
+        deaths.clear();
+        for out in shard_out.iter() {
+            splits.extend_from_slice(&out.splits);
+            deaths.extend_from_slice(&out.deaths);
+        }
+    }
+
+    /// One round with the step phase sharded over `pool`; everything else
+    /// matches [`round_impl`](Self::round_impl).
+    fn par_round_impl(
+        &mut self,
+        scratch: &mut RoundScratch<P::Message>,
+        mode: RecordMode,
+        pool: &ShardPool,
+        shard_out: &mut [StepShard],
+    ) -> RoundReport
+    where
+        P: Sync,
+        P::State: Send + Sync,
+        P::Message: Send,
+    {
+        let mut report = RoundReport {
+            round: self.round,
+            population_before: self.agents.len(),
+            ..RoundReport::default()
+        };
+        if self.halted.is_some() {
+            report.population_after = self.agents.len();
+            return report;
+        }
+        self.phase_adversary_and_matching(scratch, &mut report);
+        self.phase_step_parallel(scratch, pool, shard_out);
+        self.phase_apply_and_record(scratch, mode, &mut report);
         report
     }
 
@@ -509,6 +735,103 @@ impl<P: Protocol, A: Adversary<P::State>> Engine<P, A> {
         for &i in to_delete.iter().rev() {
             self.agents.swap_remove(i);
         }
+    }
+}
+
+/// Intra-round parallel execution.
+///
+/// These paths shard the step phase of every round across a persistent
+/// [`ShardPool`]; the per-agent counter RNG makes the results **bit-identical
+/// to the serial paths for every worker count** (asserted by the
+/// `par_round_*` property tests and the CI determinism diff). The other
+/// phases (adversary, matching, split/death application) stay serial — they
+/// are `O(K + matched)` scatter work against the `O(population)` step scan.
+///
+/// Worth it only when single rounds are large: the pool synchronizes twice
+/// per round, so at small populations the serial fast paths win.
+impl<P, A> Engine<P, A>
+where
+    P: Protocol + Sync,
+    P::State: Send + Sync,
+    P::Message: Send,
+    A: Adversary<P::State>,
+{
+    /// Executes one round with the step phase sharded over `workers`
+    /// threads. Spins a pool up per call — prefer
+    /// [`run_rounds_par`](Engine::run_rounds_par) /
+    /// [`run_until_par`](Engine::run_until_par), which keep one pool alive
+    /// across all their rounds.
+    pub fn par_round(&mut self, workers: usize) -> RoundReport {
+        let mode = if self.recording {
+            RecordMode::Stride
+        } else {
+            RecordMode::Skip
+        };
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let workers = workers.max(1);
+        let mut shard_out: Vec<StepShard> = (0..workers).map(|_| StepShard::default()).collect();
+        let report = ShardPool::with(workers, |pool| {
+            self.par_round_impl(&mut scratch, mode, pool, &mut shard_out)
+        });
+        self.scratch = scratch;
+        report
+    }
+
+    /// As [`run_rounds`](Engine::run_rounds) (stride recording, early halt)
+    /// with intra-round sharding over a pool of `workers` threads that
+    /// persists for all `n` rounds.
+    pub fn run_rounds_par(&mut self, n: u64, workers: usize) -> u64 {
+        let mode = if self.recording {
+            RecordMode::Stride
+        } else {
+            RecordMode::Skip
+        };
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let workers = workers.max(1);
+        let mut shard_out: Vec<StepShard> = (0..workers).map(|_| StepShard::default()).collect();
+        let executed = ShardPool::with(workers, |pool| {
+            let mut executed = 0;
+            while executed < n {
+                if self.halted.is_some() {
+                    break;
+                }
+                self.par_round_impl(&mut scratch, mode, pool, &mut shard_out);
+                executed += 1;
+            }
+            executed
+        });
+        self.scratch = scratch;
+        executed
+    }
+
+    /// As [`run_until`](Engine::run_until) (no recording, early exit on a
+    /// per-round predicate) with intra-round sharding over a pool of
+    /// `workers` threads that persists for the whole run. The trajectory is
+    /// bit-identical to the serial fast path for every worker count.
+    pub fn run_until_par<F>(&mut self, max_rounds: u64, workers: usize, mut stop: F) -> u64
+    where
+        F: FnMut(&RoundReport) -> bool,
+    {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let workers = workers.max(1);
+        let mut shard_out: Vec<StepShard> = (0..workers).map(|_| StepShard::default()).collect();
+        let executed = ShardPool::with(workers, |pool| {
+            let mut executed = 0;
+            while executed < max_rounds {
+                if self.halted.is_some() {
+                    break;
+                }
+                let report =
+                    self.par_round_impl(&mut scratch, RecordMode::Skip, pool, &mut shard_out);
+                executed += 1;
+                if stop(&report) {
+                    break;
+                }
+            }
+            executed
+        });
+        self.scratch = scratch;
+        executed
     }
 }
 

@@ -30,24 +30,40 @@
 //! assert_eq!(engine.population(), 100);
 //! ```
 //!
-//! # Batch execution and the determinism contract
+//! # Parallel execution and the determinism contract
 //!
-//! Observing the paper's asymptotic guarantees takes many independent trials
-//! at large `N`. The [`batch`] module fans `(protocol, adversary, config,
-//! seed)` jobs across a scoped thread pool: [`BatchRunner::run`] returns
-//! results in job order, each job derives all of its randomness from its own
-//! seed ([`batch::job_seed`] / [`rng::derive_seed`]), and no mutable state is
-//! shared between jobs — so a batch is **bit-identical for every worker
-//! count and scheduling order**, and a parallel sweep reproduces a serial
-//! one exactly. Trial loops throughout the workspace (the drift
-//! measurements, the baseline failure-mode sims, the `experiments` figures
-//! with their `--jobs` flag) are expressed as batches.
+//! The substrate parallelizes on two axes, and **both are bit-identical to
+//! serial execution for every worker count and scheduling order**:
 //!
-//! Inside a single job, the engine offers allocation-free fast paths for the
-//! hot loop: [`Engine::run_until`] (no stats recording, early exit on a
-//! per-round predicate) and [`Engine::run_epochs`] (records one
-//! [`RoundStats`] per epoch boundary). Both execute bit-identical rounds to
-//! [`Engine::run_round`] — they only skip the recording side channel.
+//! * **Across jobs** — observing the paper's asymptotic guarantees takes
+//!   many independent trials at large `N`. The [`batch`] module fans
+//!   `(protocol, adversary, config, seed)` jobs across a scoped thread
+//!   pool: [`BatchRunner::run`] returns results in job order, each job
+//!   derives all of its randomness from its own seed ([`batch::job_seed`] /
+//!   [`rng::derive_seed`]), and no mutable state is shared between jobs, so
+//!   a parallel sweep reproduces a serial one exactly. Trial loops
+//!   throughout the workspace (the drift measurements, the experiment
+//!   sweeps, the figures with their `--jobs` flag) are expressed as
+//!   batches.
+//! * **Inside a round** — agent randomness is *counter-based*
+//!   ([`rng::counter_seed`], stream version [`rng::AGENT_STREAM_VERSION`]):
+//!   agent slot `s` in round `r` draws from a stateless stream keyed on
+//!   `(seed, r, s)`, never from a shared sequential stream. Because no
+//!   agent's coins depend on any other agent having drawn first, the
+//!   engine's step phase shards across a persistent [`batch::ShardPool`]
+//!   ([`Engine::run_until_par`], [`Engine::run_rounds_par`],
+//!   [`Engine::par_round`]) with per-shard split/death lists merged in slot
+//!   order — `--round-threads 32` and `--round-threads 1` produce the same
+//!   trajectory byte for byte (CI diffs them every push).
+//!
+//! Inside a single job, the engine additionally offers allocation-free fast
+//! paths for the hot loop: [`Engine::run_until`] (no stats recording, early
+//! exit on a per-round predicate) and [`Engine::run_epochs`] (records one
+//! [`RoundStats`] per epoch boundary); [`SimConfig::metrics_phase`] offsets
+//! the recording stride so suites that consume one specific round per epoch
+//! (e.g. the variance estimator's evaluation snapshots) can keep recording
+//! on at a per-epoch cost. All of these execute bit-identical rounds to
+//! [`Engine::run_round`] — they only change the recording side channel.
 
 pub mod adversary;
 pub mod agent;

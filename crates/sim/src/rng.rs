@@ -6,9 +6,29 @@
 //! reproducible. Distinct streams are derived with [`derive_stream`] so that,
 //! e.g., the matching schedule does not perturb agent coin flips when an
 //! adversary consumes extra randomness.
+//!
+//! # Counter-based agent randomness
+//!
+//! Agent coin flips are *addressable*, not sequential: the flips of agent
+//! slot `s` in round `r` come from a stateless generator keyed on
+//! `(master, r, s)` ([`counter_seed`] / [`slot_rng`]). Because no agent's
+//! draw depends on any other agent having drawn first, the engine's step
+//! phase can execute agents in any order — or on any number of threads —
+//! and produce bit-identical results (see `Engine::run_until_par`). This is
+//! stream version [`AGENT_STREAM_VERSION`]; see `tests/golden/README.md`
+//! for the version history.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// Version of the engine's agent-randomness stream. Bumped whenever the
+/// mapping from `(master seed, round, agent slot)` to coin flips changes,
+/// which invalidates the golden fixtures under `tests/golden/`.
+///
+/// * v1 — one sequential `SimRng` stream consumed in agent-iteration order.
+/// * v2 — counter-based: [`counter_seed`]`(master, round, slot)` keys an
+///   independent generator per agent per round.
+pub const AGENT_STREAM_VERSION: u32 = 2;
 
 /// The concrete RNG used throughout the simulator.
 ///
@@ -52,6 +72,60 @@ pub fn derive_seed(seed: u64, label: &str) -> u64 {
 /// [`derive_seed`]).
 pub fn derive_stream(seed: u64, label: &str) -> SimRng {
     StdRng::seed_from_u64(derive_seed(seed, label))
+}
+
+/// The SplitMix64 finalizer: a 64-bit bijection with full avalanche, the
+/// standard mixing core for counter-based generators.
+#[inline]
+fn splitmix_finalize(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Folds the round number into a master key, producing the per-round key
+/// consumed by [`slot_seed`]. Hoisting this out of the per-agent loop saves
+/// one finalizer per agent; `counter_seed(m, r, s) ==
+/// slot_seed(round_key(m, r), s)` by construction.
+#[inline]
+pub fn round_key(master: u64, round: u64) -> u64 {
+    // Weyl-increment the round so consecutive rounds land far apart before
+    // mixing; the XOR constant separates this domain from `derive_seed`.
+    splitmix_finalize(
+        (master ^ 0x517C_C1B7_2722_0A95).wrapping_add(round.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+    )
+}
+
+/// Folds an agent slot into a per-round key (see [`round_key`]).
+#[inline]
+pub fn slot_seed(round_key: u64, slot: u64) -> u64 {
+    splitmix_finalize(round_key.wrapping_add(slot.wrapping_mul(0xD1B5_4A32_D192_ED03)))
+}
+
+/// The counter-based agent seed: a stateless function of
+/// `(master, round, slot)` with full avalanche in every argument.
+///
+/// This keys the engine's per-agent randomness (stream version
+/// [`AGENT_STREAM_VERSION`]): agent `slot`'s coin flips in round `round`
+/// are the stream of [`slot_rng`], independent of every other `(round,
+/// slot)` pair and of how many draws any other agent made.
+#[inline]
+pub fn counter_seed(master: u64, round: u64, slot: u64) -> u64 {
+    slot_seed(round_key(master, round), slot)
+}
+
+/// Builds the [`SimRng`] of agent `slot` in round `round` (see
+/// [`counter_seed`]).
+#[inline]
+pub fn counter_rng(master: u64, round: u64, slot: u64) -> SimRng {
+    rng_from_seed(counter_seed(master, round, slot))
+}
+
+/// As [`counter_rng`], but from a precomputed [`round_key`] (the engine's
+/// hot path: one key per round, one finalizer + seed expansion per agent).
+#[inline]
+pub fn slot_rng(round_key: u64, slot: u64) -> SimRng {
+    rng_from_seed(slot_seed(round_key, slot))
 }
 
 /// Draws `true` with probability `2^-bias_exp` using `bias_exp` fair coin
@@ -105,6 +179,80 @@ mod tests {
         let mut a = derive_stream(9, "x");
         let mut b = derive_stream(9, "x");
         assert_eq!(a.random::<u128>(), b.random::<u128>());
+    }
+
+    #[test]
+    fn counter_seed_is_reproducible_and_matches_split_form() {
+        for master in [0u64, 1, 42, u64::MAX] {
+            for round in [0u64, 1, 63, 1 << 40] {
+                let rk = round_key(master, round);
+                for slot in [0u64, 1, 2, 1000, u64::MAX - 1] {
+                    let seed = counter_seed(master, round, slot);
+                    assert_eq!(seed, counter_seed(master, round, slot));
+                    assert_eq!(seed, slot_seed(rk, slot));
+                    let mut a = counter_rng(master, round, slot);
+                    let mut b = slot_rng(rk, slot);
+                    assert_eq!(a.random::<u128>(), b.random::<u128>());
+                }
+            }
+        }
+    }
+
+    /// No collisions and no correlation across a dense grid of
+    /// `(round, slot)` keys: every first draw is distinct, and the pooled
+    /// output bits are balanced (a cheap whole-stream independence check —
+    /// a sequential-stream or low-avalanche implementation fails both).
+    #[test]
+    fn counter_streams_are_statistically_independent_across_keys() {
+        let mut first_draws = Vec::new();
+        let mut ones: u32 = 0;
+        for round in 0..64u64 {
+            for slot in 0..64u64 {
+                let mut rng = counter_rng(7, round, slot);
+                let draw = rng.random::<u64>();
+                first_draws.push(draw);
+                ones += draw.count_ones();
+            }
+        }
+        let n = first_draws.len();
+        first_draws.sort_unstable();
+        first_draws.dedup();
+        assert_eq!(first_draws.len(), n, "counter streams collide");
+        // 64·64·64 pooled bits, expectation 1/2 each: 5σ ≈ 0.5%.
+        let total_bits = (n * 64) as f64;
+        let frac = f64::from(ones) / total_bits;
+        assert!((0.49..0.51).contains(&frac), "bit balance {frac}");
+    }
+
+    /// Flipping any single input bit of the key tuple moves the output far:
+    /// adjacent rounds/slots/masters share no obvious structure.
+    #[test]
+    fn counter_seed_avalanches_in_every_argument() {
+        let base = counter_seed(99, 5, 17);
+        for (m, r, s) in [(98, 5, 17), (99, 4, 17), (99, 5, 16), (99, 5, 18)] {
+            let other = counter_seed(m, r, s);
+            let flipped = (base ^ other).count_ones();
+            assert!(
+                (12..=52).contains(&flipped),
+                "weak avalanche vs ({m},{r},{s}): {flipped} bits"
+            );
+        }
+    }
+
+    /// The counter streams must also be independent of the derived
+    /// matching/adversary streams sharing the master seed.
+    #[test]
+    fn counter_streams_do_not_collide_with_derived_streams() {
+        for label in ["agents", "matching", "adversary"] {
+            let mut derived = derive_stream(3, label);
+            let d = derived.random::<u64>();
+            for round in 0..8u64 {
+                for slot in 0..8u64 {
+                    let mut c = counter_rng(3, round, slot);
+                    assert_ne!(c.random::<u64>(), d, "{label} collides at ({round},{slot})");
+                }
+            }
+        }
     }
 
     #[test]

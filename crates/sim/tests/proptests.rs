@@ -5,7 +5,7 @@
 use proptest::prelude::*;
 
 use popstab_sim::batch::{job_seed, BatchRunner};
-use popstab_sim::matching::{sample_matching, MatchingModel};
+use popstab_sim::matching::{sample_matching, MatchingModel, UNMATCHED};
 use popstab_sim::protocols::{Inert, InertState};
 use popstab_sim::rng::rng_from_seed;
 use popstab_sim::{
@@ -13,8 +13,10 @@ use popstab_sim::{
     SimConfig, SimRng,
 };
 
-/// Splits when matched and a coin lands right; dies on another outcome.
-/// Exercises every population-changing path with seed-dependent behavior.
+/// Splits, dies, or kills its partner when matched and the coin lands
+/// right. Exercises every population-changing path (including the §1.2
+/// partner-kill, whose cross-shard death indices stress the parallel
+/// paths) with seed-dependent behavior.
 #[derive(Clone, Copy)]
 struct Flaky;
 
@@ -37,9 +39,10 @@ impl Protocol for Flaky {
     fn step(&self, _s: &mut FState, m: Option<&()>, rng: &mut SimRng) -> Action {
         use rand::Rng;
         if m.is_some() {
-            match rng.random_range(0..4u8) {
+            match rng.random_range(0..8u8) {
                 0 => Action::Split,
                 1 => Action::Die,
+                2 => Action::KillPartner,
                 _ => Action::Continue,
             }
         } else {
@@ -133,12 +136,12 @@ proptest! {
         let mut rng = rng_from_seed(seed);
         let m = sample_matching(population, MatchingModel::Full, &mut rng);
         let table = m.partner_table(population);
-        for (i, p) in table.iter().enumerate() {
-            if let Some(j) = p {
-                prop_assert_eq!(table[*j as usize], Some(i as u32));
+        for (i, &p) in table.iter().enumerate() {
+            if p != UNMATCHED {
+                prop_assert_eq!(table[p as usize], i as u32);
             }
         }
-        let matched = table.iter().filter(|p| p.is_some()).count();
+        let matched = table.iter().filter(|&&p| p != UNMATCHED).count();
         prop_assert_eq!(matched, m.matched_agents());
     }
 
@@ -237,6 +240,70 @@ proptest! {
             }
         }
         prop_assert_eq!(reused.metrics().rounds(), fresh.metrics().rounds());
+    }
+
+    /// The satellite guarantee of the counter-RNG refactor: `par_round` at
+    /// **one** worker executes the parallel code path inline and must equal
+    /// the serial `run_round` byte for byte — reports, metrics, halt state.
+    #[test]
+    fn par_round_at_one_worker_equals_serial_round(
+        seed in 0u64..300,
+        start in 1usize..120,
+        budget in 0usize..8,
+        rounds in 1u64..30,
+    ) {
+        let mut serial = Engine::with_adversary(Flaky, Chaos, chaos_config(seed, budget), start);
+        let mut par = Engine::with_adversary(Flaky, Chaos, chaos_config(seed, budget), start);
+        for _ in 0..rounds {
+            let a = serial.run_round();
+            let b = par.par_round(1);
+            prop_assert_eq!(a, b);
+            prop_assert_eq!(serial.population(), par.population());
+            prop_assert_eq!(serial.halted(), par.halted());
+            if serial.halted().is_some() {
+                break;
+            }
+        }
+        prop_assert_eq!(serial.metrics().rounds(), par.metrics().rounds());
+    }
+
+    /// The tentpole guarantee: intra-round sharding is bit-identical to the
+    /// serial engine for every worker count — same per-round trajectory
+    /// under adversarial churn, splits, deaths and partner-kills.
+    #[test]
+    fn run_until_par_matches_serial_for_every_worker_count(
+        seed in 0u64..300,
+        start in 2usize..120,
+        rounds in 1u64..40,
+        workers in 2usize..6,
+    ) {
+        let serial_trace = chaos_trial(seed, start, rounds);
+        let mut engine = Engine::with_adversary(Flaky, Chaos, chaos_config(seed, 3), start);
+        let mut par_trace = Vec::new();
+        engine.run_until_par(rounds, workers, |r| {
+            par_trace.push((r.round, r.population_after, r.splits, r.deaths));
+            false
+        });
+        prop_assert_eq!(serial_trace, par_trace);
+    }
+
+    /// `run_rounds_par` records through the same stride as `run_rounds`:
+    /// identical metrics and final state for any worker count.
+    #[test]
+    fn run_rounds_par_matches_run_rounds_with_recording(
+        seed in 0u64..200,
+        start in 2usize..100,
+        rounds in 1u64..30,
+        workers in 1usize..5,
+    ) {
+        let mut serial = Engine::with_adversary(Flaky, Chaos, chaos_config(seed, 2), start);
+        serial.run_rounds(rounds);
+        let mut par = Engine::with_adversary(Flaky, Chaos, chaos_config(seed, 2), start);
+        par.run_rounds_par(rounds, workers);
+        prop_assert_eq!(serial.population(), par.population());
+        prop_assert_eq!(serial.round(), par.round());
+        prop_assert_eq!(serial.halted(), par.halted());
+        prop_assert_eq!(serial.metrics().rounds(), par.metrics().rounds());
     }
 
     /// The fast paths execute bit-identical rounds to `run_rounds`; they only

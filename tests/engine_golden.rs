@@ -2,10 +2,12 @@
 //!
 //! Each scenario runs a fixed-seed simulation and formats every per-round
 //! [`RoundReport`] as one line; the concatenation must match the committed
-//! fixture under `tests/golden/` **byte for byte**. The fixtures were
-//! captured before the engine's scratch-buffer refactor, so any change to
-//! the round semantics, the RNG consumption order, or the matching sampler
-//! shows up here as a diff against the historical engine.
+//! fixture under `tests/golden/` **byte for byte**, so any change to the
+//! round semantics, the RNG consumption order, or the matching sampler
+//! shows up here as a diff. The fixtures are pinned to agent RNG stream
+//! version `popstab_sim::rng::AGENT_STREAM_VERSION` (currently v2, the
+//! counter-based per-agent streams); see `tests/golden/README.md` for the
+//! version history and the re-capture protocol.
 //!
 //! To regenerate after an *intentional* semantic change:
 //!

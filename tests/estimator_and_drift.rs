@@ -125,7 +125,9 @@ fn exact_equilibrium_matches_long_run_fixed_point() {
 fn variance_estimator_tracks_population_changes() {
     // Run two systems of very different sizes as one batch; the estimator
     // must order them correctly and land within a factor 2.5 of each.
-    // (Recording stays on: the estimator harvests eval-round stats.)
+    // Each run records on the evaluation-round stride (`metrics_every` =
+    // epoch, phase = eval round) — the recording-light path that captures
+    // exactly the snapshots `push_trace` harvests.
     let params = Params::for_target(1024).unwrap();
     let epoch = u64::from(params.epoch_len());
     let estimates = BatchRunner::from_env().run(vec![(700usize, 5u64), (1500, 6)], |_, job| {
@@ -133,6 +135,8 @@ fn variance_estimator_tracks_population_changes() {
         let cfg = SimConfig::builder()
             .seed(seed)
             .target(1024)
+            .metrics_every(epoch)
+            .metrics_phase(epoch - 1)
             .build()
             .unwrap();
         let mut engine =
@@ -156,6 +160,53 @@ fn variance_estimator_tracks_population_changes() {
         m_large > final_large as f64 / 2.5 && m_large < final_large as f64 * 2.5,
         "large estimate {m_large} vs final {final_large}"
     );
+}
+
+#[test]
+fn eval_round_stride_records_exactly_the_estimator_samples() {
+    // The offset stride must be a pure filter of full recording: an engine
+    // recording every round and an engine recording only on the
+    // (epoch, eval-round) stride produce identical evaluation snapshots —
+    // and therefore identical estimates — at a fraction of the recording
+    // cost.
+    let params = Params::for_target(1024).unwrap();
+    let epoch = u64::from(params.epoch_len());
+    let eval = params.eval_round();
+    let run = |strided: bool| {
+        let mut builder = SimConfig::builder();
+        builder.seed(41).target(1024);
+        if strided {
+            builder.metrics_every(epoch).metrics_phase(epoch - 1);
+        }
+        let cfg = builder.build().unwrap();
+        let mut engine =
+            Engine::with_population(PopulationStability::new(params.clone()), cfg, 1024);
+        engine.run_rounds(20 * epoch);
+        engine.metrics().rounds().to_vec()
+    };
+    let full = run(false);
+    let strided = run(true);
+    assert_eq!(strided.len(), 20, "one record per epoch");
+    let eval_only: Vec<_> = full
+        .iter()
+        .filter(|s| s.majority_round == Some(eval) && s.active > 0)
+        .copied()
+        .collect();
+    assert_eq!(
+        strided
+            .iter()
+            .filter(|s| s.majority_round == Some(eval) && s.active > 0)
+            .copied()
+            .collect::<Vec<_>>(),
+        eval_only,
+        "stride is not a filter of full recording"
+    );
+    let estimate = |stats: &[population_stability::sim::RoundStats]| {
+        let mut est = VarianceEstimator::new(&params);
+        est.push_trace(&params, stats);
+        est.estimate()
+    };
+    assert_eq!(estimate(&full), estimate(&strided));
 }
 
 #[test]

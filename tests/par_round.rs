@@ -1,0 +1,102 @@
+//! Integration: intra-round parallel execution is bit-identical to the
+//! serial engine on the paper's protocol.
+//!
+//! The property suite in `crates/sim` checks serial ≡ parallel on a
+//! synthetic protocol; these tests check it end-to-end on
+//! [`PopulationStability`] — leader coins, recruitment, evaluation splits,
+//! adversarial churn — comparing the **full agent state vector** (every
+//! field, every slot, via `AgentState: Eq`), the recorded metrics and the
+//! per-round reports across worker counts. This is the same guarantee the
+//! CI determinism step checks at the `experiments` level with
+//! `--round-threads 1` vs `--round-threads 4`.
+
+use population_stability::adversary::{Trauma, TraumaKind};
+use population_stability::core::state::AgentState;
+use population_stability::prelude::*;
+use population_stability::sim::RoundStats;
+
+type Snapshot = (Vec<AgentState>, Vec<RoundStats>, u64, usize);
+
+fn run_clean(workers: Option<usize>) -> Snapshot {
+    let params = Params::for_target(1024).unwrap();
+    let epoch = u64::from(params.epoch_len());
+    let cfg = SimConfig::builder()
+        .seed(0xFEED)
+        .target(1024)
+        .metrics_every(epoch)
+        .build()
+        .unwrap();
+    let mut engine = Engine::with_population(PopulationStability::new(params), cfg, 1024);
+    let rounds = 2 * epoch + 5;
+    match workers {
+        None => engine.run_rounds(rounds),
+        Some(w) => engine.run_rounds_par(rounds, w),
+    };
+    (
+        engine.agents().to_vec(),
+        engine.metrics().rounds().to_vec(),
+        engine.round(),
+        engine.population(),
+    )
+}
+
+#[test]
+fn paper_protocol_par_rounds_bit_identical_across_worker_counts() {
+    let serial = run_clean(None);
+    for workers in [1usize, 2, 4] {
+        let par = run_clean(Some(workers));
+        assert_eq!(
+            serial, par,
+            "parallel run at {workers} workers diverged from serial"
+        );
+    }
+}
+
+#[test]
+fn adversarial_par_fast_path_matches_serial_fast_path() {
+    let params = Params::for_target(1024).unwrap();
+    let epoch = u64::from(params.epoch_len());
+    let run = |workers: Option<usize>| {
+        let adv = Trauma::new(params.clone(), TraumaKind::Injury, 0.5, epoch / 2);
+        let cfg = SimConfig::builder()
+            .seed(0xD00D)
+            .target(1024)
+            .adversary_budget(usize::MAX)
+            .build()
+            .unwrap();
+        let mut engine =
+            Engine::with_adversary(PopulationStability::new(params.clone()), adv, cfg, 1024);
+        let mut trace = Vec::new();
+        let collect = |trace: &mut Vec<(u64, usize, usize, usize)>,
+                       r: &population_stability::sim::RoundReport| {
+            trace.push((r.round, r.population_after, r.splits, r.deaths));
+            false
+        };
+        match workers {
+            None => engine.run_until(epoch + 11, |r| collect(&mut trace, r)),
+            Some(w) => engine.run_until_par(epoch + 11, w, |r| collect(&mut trace, r)),
+        };
+        (trace, engine.agents().to_vec(), engine.population())
+    };
+    let serial = run(None);
+    for workers in [1usize, 3, 4] {
+        assert_eq!(serial, run(Some(workers)), "{workers} workers diverged");
+    }
+}
+
+#[test]
+fn single_par_round_equals_single_serial_round() {
+    let params = Params::for_target(1024).unwrap();
+    let mk = || {
+        let cfg = SimConfig::builder().seed(9).target(1024).build().unwrap();
+        Engine::with_population(PopulationStability::new(params.clone()), cfg, 1024)
+    };
+    let mut serial = mk();
+    let mut par = mk();
+    for _ in 0..5 {
+        let a = serial.run_round();
+        let b = par.par_round(4);
+        assert_eq!(a, b);
+        assert_eq!(serial.agents(), par.agents());
+    }
+}
