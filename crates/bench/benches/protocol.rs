@@ -1,5 +1,7 @@
-//! Criterion micro-benchmarks for the protocol hot paths: full rounds,
-//! whole epochs, the per-agent step, the biased coin and the wire codec.
+//! Criterion micro-benchmarks for the protocol hot paths: full rounds and
+//! whole epochs on the engine paths the `experiments` figures drive
+//! (`run_until` / `run_until_par` / [`BatchRunner`] — not a bespoke serial
+//! loop), the per-agent step, the biased coin and the wire codec.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
@@ -8,26 +10,41 @@ use popstab_core::message::Message;
 use popstab_core::params::Params;
 use popstab_core::protocol::PopulationStability;
 use popstab_core::state::{AgentState, Color};
+use popstab_sim::batch::job_seed;
 use popstab_sim::rng::rng_from_seed;
-use popstab_sim::{Engine, Protocol, SimConfig};
+use popstab_sim::{BatchRunner, Engine, Protocol, SimConfig};
+
+fn popstab_engine(n: u64, seed: u64) -> Engine<PopulationStability> {
+    let params = Params::for_target(n).unwrap();
+    let cfg = SimConfig::builder()
+        .seed(seed)
+        .target(n)
+        .metrics_every(u64::MAX / 2)
+        .build()
+        .unwrap();
+    Engine::with_population(PopulationStability::new(params), cfg, n as usize)
+}
 
 fn bench_round_throughput(c: &mut Criterion) {
     let mut group = c.benchmark_group("round_throughput");
     group.sample_size(10);
+    let threads = std::thread::available_parallelism()
+        .map(|t| t.get())
+        .unwrap_or(1);
     for n in [1024u64, 4096, 16384] {
-        let params = Params::for_target(n).unwrap();
         group.throughput(Throughput::Elements(n));
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            let cfg = SimConfig::builder()
-                .seed(1)
-                .target(n)
-                .metrics_every(u64::MAX / 2)
-                .build()
-                .unwrap();
-            let mut engine =
-                Engine::with_population(PopulationStability::new(params.clone()), cfg, n as usize);
-            b.iter(|| engine.run_round());
+        group.bench_with_input(BenchmarkId::new("run_until", n), &n, |b, &n| {
+            let mut engine = popstab_engine(n, 1);
+            b.iter(|| engine.run_until(1, |_| false));
         });
+        group.bench_with_input(
+            BenchmarkId::new(format!("run_until_par_{threads}t"), n),
+            &n,
+            |b, &n| {
+                let mut engine = popstab_engine(n, 1);
+                b.iter(|| engine.run_until_par(1, threads, |_| false));
+            },
+        );
     }
     group.finish();
 }
@@ -39,16 +56,27 @@ fn bench_epoch(c: &mut Criterion) {
     let params = Params::for_target(n).unwrap();
     let epoch = u64::from(params.epoch_len());
     group.throughput(Throughput::Elements(epoch * n));
-    group.bench_function("n1024", |b| {
-        let cfg = SimConfig::builder()
-            .seed(2)
-            .target(n)
-            .metrics_every(u64::MAX / 2)
-            .build()
-            .unwrap();
-        let mut engine =
-            Engine::with_population(PopulationStability::new(params.clone()), cfg, n as usize);
-        b.iter(|| engine.run_rounds(epoch));
+    group.bench_function("n1024_run_until", |b| {
+        let mut engine = popstab_engine(n, 2);
+        b.iter(|| engine.run_until(epoch, |_| false));
+    });
+    // One epoch per job across a BatchRunner fan-out — the shape every
+    // experiment sweep (`ksweep`, `gamma`, `attack`, …) actually runs.
+    let jobs = 4u64;
+    group.throughput(Throughput::Elements(epoch * n * jobs));
+    group.bench_function(format!("n1024_batch_{jobs}jobs"), |b| {
+        let runner = BatchRunner::from_env();
+        b.iter(|| {
+            let engines: Vec<_> = (0..jobs)
+                .map(|j| popstab_engine(n, job_seed(2, j)))
+                .collect();
+            runner
+                .run(engines, |_, mut e| {
+                    e.run_until(epoch, |_| false);
+                    e.population()
+                })
+                .len()
+        });
     });
     group.finish();
 }

@@ -1,35 +1,97 @@
 //! Criterion micro-benchmarks for the simulation substrate: matching
-//! sampling, partner tables, metrics observation and the estimator.
+//! sampling (serial and pool-sharded), counter-output agent RNG, metrics
+//! observation, the estimator, and the engine execution paths the
+//! `experiments` binary actually drives (`run_until`, `run_until_par`,
+//! [`BatchRunner`]) — the benches exercise the same code paths as the
+//! figures, not a bespoke serial loop.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 use popstab_analysis::estimator::VarianceEstimator;
 use popstab_core::params::Params;
 use popstab_core::state::AgentState;
-use popstab_sim::matching::{sample_matching, MatchingModel};
-use popstab_sim::rng::rng_from_seed;
-use popstab_sim::RoundStats;
+use popstab_sim::batch::{job_seed, ShardPool};
+use popstab_sim::matching::{
+    sample_matching, sample_matching_into, sample_matching_into_par, Matching, MatchingModel,
+};
+use popstab_sim::protocols::Inert;
+use popstab_sim::rng::counter_seed;
+use popstab_sim::{BatchRunner, Engine, RoundStats, SimConfig};
 
 fn bench_matching(c: &mut Criterion) {
     let mut group = c.benchmark_group("matching");
     for m in [1024usize, 16384, 262_144] {
         group.throughput(Throughput::Elements(m as u64));
-        let mut rng = rng_from_seed(1);
+        let mut out = Matching::default();
+        let mut scratch = Vec::new();
+        let mut round = 0u64;
         group.bench_with_input(BenchmarkId::new("full", m), &m, |b, &m| {
-            b.iter(|| sample_matching(m, MatchingModel::Full, &mut rng))
+            b.iter(|| {
+                round += 1;
+                sample_matching_into(
+                    &mut out,
+                    &mut scratch,
+                    m,
+                    MatchingModel::Full,
+                    counter_seed(1, round, 0),
+                );
+                out.len()
+            })
         });
-        let mut rng = rng_from_seed(2);
+        let mut round = 0u64;
         group.bench_with_input(BenchmarkId::new("quarter", m), &m, |b, &m| {
-            b.iter(|| sample_matching(m, MatchingModel::ExactFraction(0.25), &mut rng))
+            b.iter(|| {
+                round += 1;
+                sample_matching_into(
+                    &mut out,
+                    &mut scratch,
+                    m,
+                    MatchingModel::ExactFraction(0.25),
+                    counter_seed(2, round, 0),
+                );
+                out.len()
+            })
         });
     }
     group.finish();
 }
 
+fn bench_matching_par(c: &mut Criterion) {
+    // The pool-sharded sampler at the largest scale, on every core the
+    // host offers — the configuration `Engine::par_round` runs it in. On a
+    // single-core host this measures the dispatch overhead over the serial
+    // sampler above.
+    let m = 262_144usize;
+    let shards = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut group = c.benchmark_group("matching_par");
+    group.throughput(Throughput::Elements(m as u64));
+    let mut out = Matching::default();
+    let mut scratch = Vec::new();
+    let mut round = 0u64;
+    group.bench_function(BenchmarkId::new(format!("full_{shards}shards"), m), |b| {
+        ShardPool::with(shards, |pool| {
+            b.iter(|| {
+                round += 1;
+                sample_matching_into_par(
+                    &mut out,
+                    &mut scratch,
+                    m,
+                    MatchingModel::Full,
+                    counter_seed(3, round, 0),
+                    pool,
+                );
+                out.len()
+            })
+        })
+    });
+    group.finish();
+}
+
 fn bench_partner_table(c: &mut Criterion) {
     let m = 16384usize;
-    let mut rng = rng_from_seed(3);
-    let matching = sample_matching(m, MatchingModel::Full, &mut rng);
+    let matching = sample_matching(m, MatchingModel::Full, counter_seed(4, 0, 0));
     c.bench_function("partner_table_16k", |b| {
         b.iter(|| matching.partner_table(m))
     });
@@ -38,7 +100,8 @@ fn bench_partner_table(c: &mut Criterion) {
 fn bench_counter_rng(c: &mut Criterion) {
     // Cost of constructing + drawing one value from the per-agent counter
     // stream for every slot of a 64k-agent round (the step phase's fixed
-    // per-agent RNG overhead).
+    // per-agent RNG overhead; since stream v3 construction is free and
+    // each draw is one finalizer).
     use rand::Rng;
     c.bench_function("counter_rng_64k_slots", |b| {
         b.iter(|| {
@@ -50,6 +113,51 @@ fn bench_counter_rng(c: &mut Criterion) {
             acc
         })
     });
+}
+
+fn inert_engine(n: usize, seed: u64) -> Engine<Inert> {
+    let cfg = SimConfig::builder().seed(seed).build().unwrap();
+    Engine::with_population(Inert, cfg, n)
+}
+
+fn bench_engine_paths(c: &mut Criterion) {
+    // The three execution paths the `experiments` binary drives, on the
+    // substrate alone (Inert protocol — pure engine overhead, no protocol
+    // logic): the recording-free serial fast path, the intra-round sharded
+    // path, and a BatchRunner fan-out of independent engines.
+    let n = 16384usize;
+    let rounds = 20u64;
+    let mut group = c.benchmark_group("engine_paths");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(n as u64 * rounds));
+
+    let mut engine = inert_engine(n, 1);
+    group.bench_function("run_until_16k", |b| {
+        b.iter(|| engine.run_until(rounds, |_| false))
+    });
+
+    let threads = std::thread::available_parallelism()
+        .map(|t| t.get())
+        .unwrap_or(1);
+    let mut engine = inert_engine(n, 2);
+    group.bench_function(format!("run_until_par_16k_{threads}t"), |b| {
+        b.iter(|| engine.run_until_par(rounds, threads, |_| false))
+    });
+
+    let jobs = 4u64;
+    let runner = BatchRunner::from_env();
+    group.bench_function(format!("batch_runner_16k_{jobs}jobs"), |b| {
+        b.iter(|| {
+            let engines: Vec<_> = (0..jobs).map(|j| inert_engine(n, job_seed(3, j))).collect();
+            runner
+                .run(engines, |_, mut e| {
+                    e.run_until(rounds, |_| false);
+                    e.population()
+                })
+                .len()
+        })
+    });
+    group.finish();
 }
 
 fn bench_observe(c: &mut Criterion) {
@@ -84,8 +192,10 @@ fn bench_estimator(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_matching,
+    bench_matching_par,
     bench_partner_table,
     bench_counter_rng,
+    bench_engine_paths,
     bench_observe,
     bench_estimator
 );

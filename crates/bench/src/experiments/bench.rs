@@ -99,6 +99,12 @@ fn measure(n: u64, rounds: u64, workers: usize, round_threads: usize, reps: u32)
 
 /// Runs the benchmark, prints the table, and writes `BENCH_engine.json`.
 pub fn run(quick: bool) {
+    // Recorded alongside the numbers so trajectory comparisons across PRs
+    // and hosts are interpretable: rps under different stream versions or
+    // core counts are different experiments, not regressions/improvements.
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let workers = popstab_sim::batch::default_jobs();
     // `--round-threads` override if given (including an explicit 1, which
     // measures the parallel machinery's serial overhead), else every core
@@ -135,6 +141,15 @@ pub fn run(quick: bool) {
     let mut json = String::from("{\n  \"benchmark\": \"engine-rounds-per-sec\",\n");
     json.push_str(&format!("  \"quick\": {quick},\n"));
     json.push_str(&format!("  \"workers\": {workers},\n"));
+    json.push_str(&format!("  \"host_cores\": {host_cores},\n"));
+    json.push_str(&format!(
+        "  \"agent_stream_version\": {},\n",
+        popstab_sim::rng::AGENT_STREAM_VERSION
+    ));
+    json.push_str(&format!(
+        "  \"matching_stream_version\": {},\n",
+        popstab_sim::matching::MATCHING_STREAM_VERSION
+    ));
     json.push_str("  \"workloads\": [\n");
     for (i, w) in workloads.iter().enumerate() {
         json.push_str(&format!(

@@ -8,13 +8,21 @@
 //! and evaluation rounds (§4, memory discussion).
 
 use popstab_sim::SimRng;
-use rand::Rng;
 
 /// Flips a coin that is 1 with probability `2^-bias_exp`, faithfully
 /// implementing Algorithm 4 with `bias_exp` fair flips.
 ///
 /// `bias_exp = 0` always returns `true` (an "all heads" conjunction over zero
 /// flips).
+///
+/// The *accounting* is unchanged from the paper: the protocol is charged
+/// `bias_exp` fair flips and [`scratch_bits`]`(bias_exp)` bits of scratch.
+/// Since agent RNG stream v3 the simulator *draws* those flips 64 to a
+/// 64-bit word (one generator draw per 64 logical flips, each word checked
+/// against an all-heads mask), and may stop at the first word containing a
+/// tail — Algorithm 4 keeps flipping after the first tail, but the
+/// remaining flips cannot change the conjunction and the distribution is
+/// identical.
 ///
 /// ```
 /// let mut rng = popstab_sim::rng::rng_from_seed(1);
@@ -23,17 +31,11 @@ use rand::Rng;
 /// assert!((800..1200).contains(&hits));
 /// ```
 pub fn toss_biased_coin(bias_exp: u32, rng: &mut SimRng) -> bool {
-    let mut c = true;
-    for _ in 0..bias_exp {
-        if !rng.random::<bool>() {
-            // Algorithm 4 keeps flipping after the first tail; we may stop
-            // early because the remaining flips cannot change the outcome
-            // and the distribution is identical.
-            c = false;
-            break;
-        }
-    }
-    c
+    // One word-batched implementation for the whole workspace: the
+    // substrate's subroutine IS the agent-stream mapping the golden
+    // fixtures pin, so this layer adds only the paper's accounting
+    // ([`scratch_bits`]) on top of it.
+    popstab_sim::rng::biased_coin(bias_exp, rng)
 }
 
 /// Scratch memory, in bits, needed by Algorithm 4 to flip a `2^-a` coin:

@@ -223,6 +223,44 @@ impl BatchRunner {
     }
 }
 
+/// A raw pointer that may cross thread boundaries. Used by the intra-round
+/// parallel phases (the engine's step phase, the matching sampler) to hand
+/// each shard its disjoint slice of a shared buffer; every use site
+/// documents why its accesses are disjoint.
+pub(crate) struct SendPtr<T>(pub(crate) *mut T);
+
+impl<T> SendPtr<T> {
+    /// The wrapped pointer. A method (not field access) so closures capture
+    /// the `SendPtr` itself — edition-2021 disjoint capture would otherwise
+    /// grab the bare `*mut T` field, which is not `Sync`.
+    pub(crate) fn get(self) -> *mut T {
+        self.0
+    }
+}
+
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+
+// SAFETY: dereferencing is the caller's responsibility (each unsafe block
+// at the use sites states its disjointness argument); the pointer value
+// itself is freely copyable across threads.
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+/// The slot range shard `s` of `nshards` owns over `n` items: contiguous,
+/// disjoint, covering `0..n`, balanced to within one item.
+#[inline]
+pub(crate) fn shard_range(n: usize, nshards: usize, s: usize) -> (usize, usize) {
+    let chunk = n / nshards;
+    let rem = n % nshards;
+    let lo = s * chunk + s.min(rem);
+    (lo, lo + chunk + usize::from(s < rem))
+}
+
 /// One dispatched shard body, type- and lifetime-erased so the persistent
 /// workers can hold it across their `recv` loop.
 struct ShardTask(*const (dyn Fn(usize) + Sync));

@@ -19,15 +19,19 @@
 //! `(seed, r, s)`, so the step phase has no serial RNG dependency between
 //! agents and can be sharded across threads ([`Engine::run_until_par`],
 //! [`Engine::run_rounds_par`], [`Engine::par_round`]) with results
-//! bit-identical to the serial paths for every worker count.
+//! bit-identical to the serial paths for every worker count. The matching
+//! is counter-keyed the same way (see [`crate::matching`]): round `r`'s
+//! pairs are a pure function of `round_key(match_key, r)`, and for large
+//! populations their construction shards across the same pool as the step
+//! phase.
 
 use std::collections::HashMap;
 
 use crate::adversary::{Adversary, Alteration, NoOpAdversary, RoundContext};
 use crate::agent::{Action, Protocol};
-use crate::batch::ShardPool;
+use crate::batch::{shard_range, SendPtr, ShardPool};
 use crate::config::SimConfig;
-use crate::matching::{sample_matching_into, Matching, UNMATCHED};
+use crate::matching::{sample_matching_into, sample_matching_into_par, Matching, UNMATCHED};
 use crate::metrics::{MetricsRecorder, RoundStats};
 use crate::rng::{derive_seed, derive_stream, round_key, slot_rng, SimRng};
 use crate::trace::Trajectory;
@@ -56,6 +60,10 @@ pub struct RoundReport {
     pub deleted: usize,
     /// Adversarial modifications applied.
     pub modified: usize,
+    /// Agents matched this round (`2 ×` the sampled pairs). Pins the
+    /// matching stream in golden traces even when no agent acts on its
+    /// partner (an inert population's counts are otherwise invariant).
+    pub matched: usize,
     /// Protocol splits this round.
     pub splits: usize,
     /// Protocol deaths this round.
@@ -119,43 +127,6 @@ struct StepShard {
     deaths: Vec<usize>,
 }
 
-/// A raw pointer that may cross thread boundaries. Used by the parallel
-/// step phase to hand each shard its disjoint slice of a shared buffer;
-/// every use site documents why its accesses are disjoint.
-struct SendPtr<T>(*mut T);
-
-impl<T> SendPtr<T> {
-    /// The wrapped pointer. A method (not field access) so closures capture
-    /// the `SendPtr` itself — edition-2021 disjoint capture would otherwise
-    /// grab the bare `*mut T` field, which is not `Sync`.
-    fn get(self) -> *mut T {
-        self.0
-    }
-}
-
-impl<T> Clone for SendPtr<T> {
-    fn clone(&self) -> Self {
-        *self
-    }
-}
-impl<T> Copy for SendPtr<T> {}
-
-// SAFETY: dereferencing is the caller's responsibility (each unsafe block
-// at the use sites states its disjointness argument); the pointer value
-// itself is freely copyable across threads.
-unsafe impl<T> Send for SendPtr<T> {}
-unsafe impl<T> Sync for SendPtr<T> {}
-
-/// The slot range shard `s` of `nshards` owns over `n` items: contiguous,
-/// disjoint, covering `0..n`, balanced to within one item.
-#[inline]
-fn shard_range(n: usize, nshards: usize, s: usize) -> (usize, usize) {
-    let chunk = n / nshards;
-    let rem = n % nshards;
-    let lo = s * chunk + s.min(rem);
-    (lo, lo + chunk + usize::from(s < rem))
-}
-
 /// A running simulation: population, protocol, adversary, RNG streams.
 #[derive(Debug)]
 pub struct Engine<P: Protocol, A: Adversary<P::State> = NoOpAdversary> {
@@ -168,7 +139,10 @@ pub struct Engine<P: Protocol, A: Adversary<P::State> = NoOpAdversary> {
     /// coin flips in round `r` are `slot_rng(round_key(agent_key, r), slot)`
     /// — addressable per agent, independent of execution order.
     agent_key: u64,
-    match_rng: SimRng,
+    /// Master key of the counter-keyed matching stream: round `r`'s pairs
+    /// are a pure function of `round_key(match_key, r)` — addressable per
+    /// round, shardable within one (see [`crate::matching`]).
+    match_key: u64,
     adv_rng: SimRng,
     metrics: MetricsRecorder,
     halted: Option<HaltReason>,
@@ -190,7 +164,7 @@ impl<P: Protocol, A: Adversary<P::State>> Engine<P, A> {
         // a round and runs once); per-round agent flips use the counter key.
         let mut init_rng = derive_stream(cfg.seed, "agents");
         let agent_key = derive_seed(cfg.seed, "agent-counter");
-        let match_rng = derive_stream(cfg.seed, "matching");
+        let match_key = derive_seed(cfg.seed, "matching");
         let adv_rng = derive_stream(cfg.seed, "adversary");
         let agents = (0..population)
             .map(|_| protocol.initial_state(&mut init_rng))
@@ -202,7 +176,7 @@ impl<P: Protocol, A: Adversary<P::State>> Engine<P, A> {
             agents,
             round: 0,
             agent_key,
-            match_rng,
+            match_key,
             adv_rng,
             metrics: MetricsRecorder::new(),
             halted: None,
@@ -414,18 +388,21 @@ impl<P: Protocol, A: Adversary<P::State>> Engine<P, A> {
             report.population_after = self.agents.len();
             return report;
         }
-        self.phase_adversary_and_matching(scratch, &mut report);
+        self.phase_adversary_and_matching(scratch, &mut report, None);
         self.phase_step_serial(scratch);
         self.phase_apply_and_record(scratch, mode, &mut report);
         report
     }
 
     /// Phases 1–2: adversary alterations, then the matching over survivors
-    /// and its compact partner table.
+    /// and its compact partner table. The matching is counter-keyed per
+    /// round, so the serial sampler and the pool-sharded sampler produce
+    /// identical pairs — `pool` only changes who computes them.
     fn phase_adversary_and_matching(
         &mut self,
         scratch: &mut RoundScratch<P::Message>,
         report: &mut RoundReport,
+        pool: Option<&ShardPool>,
     ) {
         // Phase 1: adversary (sees everything, blind to the coming matching).
         let ctx = RoundContext {
@@ -437,13 +414,25 @@ impl<P: Protocol, A: Adversary<P::State>> Engine<P, A> {
         self.apply_alterations(alterations, &mut scratch.to_delete, report);
 
         // Phase 2: matching over survivors.
-        sample_matching_into(
-            &mut scratch.matching,
-            &mut scratch.shuffle,
-            self.agents.len(),
-            self.cfg.matching,
-            &mut self.match_rng,
-        );
+        let mkey = round_key(self.match_key, self.round);
+        match pool {
+            Some(pool) => sample_matching_into_par(
+                &mut scratch.matching,
+                &mut scratch.shuffle,
+                self.agents.len(),
+                self.cfg.matching,
+                mkey,
+                pool,
+            ),
+            None => sample_matching_into(
+                &mut scratch.matching,
+                &mut scratch.shuffle,
+                self.agents.len(),
+                self.cfg.matching,
+                mkey,
+            ),
+        }
+        report.matched = scratch.matching.matched_agents();
         scratch
             .matching
             .partner_table_into(&mut scratch.partners, self.agents.len());
@@ -693,7 +682,7 @@ impl<P: Protocol, A: Adversary<P::State>> Engine<P, A> {
             report.population_after = self.agents.len();
             return report;
         }
-        self.phase_adversary_and_matching(scratch, &mut report);
+        self.phase_adversary_and_matching(scratch, &mut report, Some(pool));
         self.phase_step_parallel(scratch, pool, shard_out);
         self.phase_apply_and_record(scratch, mode, &mut report);
         report
@@ -740,12 +729,14 @@ impl<P: Protocol, A: Adversary<P::State>> Engine<P, A> {
 
 /// Intra-round parallel execution.
 ///
-/// These paths shard the step phase of every round across a persistent
-/// [`ShardPool`]; the per-agent counter RNG makes the results **bit-identical
-/// to the serial paths for every worker count** (asserted by the
-/// `par_round_*` property tests and the CI determinism diff). The other
-/// phases (adversary, matching, split/death application) stay serial — they
-/// are `O(K + matched)` scatter work against the `O(population)` step scan.
+/// These paths shard the two `O(population)` stretches of every round — the
+/// step phase and the matching-pair construction — across one persistent
+/// [`ShardPool`]; the per-agent counter RNG and the counter-keyed matching
+/// permutation make the results **bit-identical to the serial paths for
+/// every worker count** (asserted by the `par_round_*` property tests and
+/// the CI determinism diff). The remaining phases (adversary, partner-table
+/// scatter, split/death application) stay serial — they are `O(K +
+/// matched)` scatter work against the `O(population)` scans.
 ///
 /// Worth it only when single rounds are large: the pool synchronizes twice
 /// per round, so at small populations the serial fast paths win.

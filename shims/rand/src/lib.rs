@@ -1,10 +1,22 @@
 //! Offline stand-in for the subset of the `rand` 0.9 API this workspace
-//! uses: the [`Rng`] extension methods (`random`, `random_bool`,
-//! `random_range`), [`SeedableRng::seed_from_u64`], [`rngs::StdRng`] and
+//! uses: the [`RngCore`] raw-output trait, the [`Rng`] extension methods
+//! (`random`, `random_bool`, `random_range`),
+//! [`SeedableRng::seed_from_u64`], [`rngs::StdRng`] and
 //! [`seq::SliceRandom::shuffle`].
 //!
 //! The build environment has no crates.io access, so the workspace maps the
 //! dependency name `rand` onto this crate (see the root `Cargo.toml`).
+//! Mirroring the real crate, the surface is split in two layers:
+//!
+//! * [`RngCore`] — the object-safe core every generator implements: one
+//!   required method, [`next_u64`](RngCore::next_u64). Downstream crates
+//!   implement this for their own generators (e.g. the simulator's
+//!   counter-output `CounterRng`) and get the full extension surface for
+//!   free.
+//! * [`Rng`] — the user-facing extension trait, blanket-implemented for
+//!   every `RngCore` exactly like `rand`'s `impl<R: RngCore + ?Sized> Rng
+//!   for R`.
+//!
 //! [`rngs::StdRng`] is xoshiro256++ seeded through SplitMix64 — a fast,
 //! high-quality, *non-cryptographic* generator that is deterministic per
 //! seed on every platform, which is the property the simulations rely on.
@@ -21,8 +33,8 @@ pub trait SeedableRng: Sized {
     fn seed_from_u64(seed: u64) -> Self;
 }
 
-/// Random-value generation interface (the `rand` 0.9 method names).
-pub trait Rng {
+/// The raw output stream of a generator (`rand`'s object-safe core trait).
+pub trait RngCore {
     /// The raw 64-bit output stream; everything else derives from it.
     fn next_u64(&mut self) -> u64;
 
@@ -30,7 +42,11 @@ pub trait Rng {
     fn next_f64(&mut self) -> f64 {
         (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
+}
 
+/// Random-value generation interface (the `rand` 0.9 method names),
+/// blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
     /// A uniform value of type `T`.
     fn random<T: Random>(&mut self) -> T
     where
@@ -64,3 +80,5 @@ pub trait Rng {
         range.sample(self)
     }
 }
+
+impl<R: RngCore + ?Sized> Rng for R {}

@@ -1,6 +1,6 @@
 //! Concrete generators.
 
-use crate::{Rng, SeedableRng};
+use crate::{RngCore, SeedableRng};
 
 /// The workspace's standard generator: xoshiro256++ (Blackman–Vigna).
 ///
@@ -31,7 +31,7 @@ impl SeedableRng for StdRng {
     }
 }
 
-impl Rng for StdRng {
+impl RngCore for StdRng {
     fn next_u64(&mut self) -> u64 {
         let out = self.s[0]
             .wrapping_add(self.s[3])

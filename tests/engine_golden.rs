@@ -31,18 +31,19 @@ fn golden_dir() -> PathBuf {
 }
 
 fn format_trace(reports: &[RoundReport]) -> String {
-    let mut out = String::with_capacity(reports.len() * 40);
-    out.push_str("round pop_before pop_after inserted deleted modified splits deaths\n");
+    let mut out = String::with_capacity(reports.len() * 44);
+    out.push_str("round pop_before pop_after inserted deleted modified matched splits deaths\n");
     for r in reports {
         writeln!(
             out,
-            "{} {} {} {} {} {} {} {}",
+            "{} {} {} {} {} {} {} {} {}",
             r.round,
             r.population_before,
             r.population_after,
             r.inserted,
             r.deleted,
             r.modified,
+            r.matched,
             r.splits,
             r.deaths
         )

@@ -85,6 +85,41 @@ fn adversarial_par_fast_path_matches_serial_fast_path() {
 }
 
 #[test]
+fn par_rounds_bit_identical_above_the_keyed_permutation_threshold() {
+    // Populations ≥ 2¹⁶ take the sharded keyed-permutation matching branch
+    // (the smaller suites above all run the inline keyed shuffle), so this
+    // is the one end-to-end check that the *parallel matching* construction
+    // merges bit-identically for every worker count.
+    use population_stability::sim::protocols::Inert;
+    let run = |workers: Option<usize>| {
+        let cfg = SimConfig::builder()
+            .seed(0xBEEF)
+            .matching(MatchingModel::RandomFraction { min_gamma: 0.5 })
+            .build()
+            .unwrap();
+        let mut engine = Engine::with_population(Inert, cfg, 70_000);
+        let mut matched = Vec::new();
+        let collect = |matched: &mut Vec<usize>, r: &population_stability::sim::RoundReport| {
+            matched.push(r.matched);
+            false
+        };
+        match workers {
+            None => engine.run_until(4, |r| collect(&mut matched, r)),
+            Some(w) => engine.run_until_par(4, w, |r| collect(&mut matched, r)),
+        };
+        matched
+    };
+    let serial = run(None);
+    assert!(
+        serial.iter().all(|&m| m >= 35_000),
+        "matching undershoots γ"
+    );
+    for workers in [1usize, 2, 4] {
+        assert_eq!(serial, run(Some(workers)), "{workers} workers diverged");
+    }
+}
+
+#[test]
 fn single_par_round_equals_single_serial_round() {
     let params = Params::for_target(1024).unwrap();
     let mk = || {
