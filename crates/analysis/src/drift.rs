@@ -13,7 +13,7 @@
 
 use popstab_core::params::Params;
 use popstab_core::protocol::PopulationStability;
-use popstab_sim::{Adversary, BatchRunner, Engine, MatchingModel, SimConfig};
+use popstab_sim::{Adversary, BatchRunner, MatchingModel, RunSpec, Scenario, SimConfig};
 
 use crate::equilibrium::{equilibrium_population, exact_epoch_drift};
 use crate::stats::Summary;
@@ -82,8 +82,8 @@ where
             .build()
             .expect("valid drift config");
         let protocol = PopulationStability::new(params.clone());
-        let mut engine = Engine::with_adversary(protocol, make_adversary(), cfg, m0);
-        engine.run_until(epoch, |_| false);
+        let scenario = Scenario::new(protocol, cfg, m0).against(make_adversary());
+        let (engine, _) = scenario.run(RunSpec::rounds(epoch), &mut ());
         engine.population() as f64 - m0 as f64
     });
     let mut summary = Summary::new();

@@ -119,18 +119,16 @@ mod tests {
         // estimator harvests are recorded (phase T−1 of the epoch stride).
         let params = Params::for_target(1024).unwrap();
         let epoch = u64::from(params.epoch_len());
-        let cfg = SimConfig::builder()
-            .seed(31)
-            .target(1024)
-            .metrics_every(epoch)
-            .metrics_phase(epoch - 1)
-            .build()
-            .unwrap();
+        let cfg = SimConfig::builder().seed(31).target(1024).build().unwrap();
         let mut engine =
             Engine::with_population(PopulationStability::new(params.clone()), cfg, 1024);
-        engine.run_rounds(40 * epoch);
+        let mut rec = popstab_sim::MetricsRecorder::new();
+        engine.run(
+            popstab_sim::RunSpec::rounds(40 * epoch),
+            &mut popstab_sim::RecordStats::stride(&mut rec, epoch, epoch - 1),
+        );
         let mut est = VarianceEstimator::new(&params);
-        est.push_trace(&params, engine.metrics().rounds());
+        est.push_trace(&params, rec.rounds());
         assert!(
             est.samples() >= 30,
             "only {} eval rounds seen",

@@ -152,8 +152,12 @@ mod tests {
         let cfg = SimConfig::builder().seed(21).target(1024).build().unwrap();
         let mut engine =
             Engine::with_population(PopulationStability::new(params.clone()), cfg, 1024);
-        engine.run_rounds(4 * epoch);
-        let report = check_invariants(&params, 1.0, engine.metrics().rounds());
+        let mut rec = popstab_sim::MetricsRecorder::new();
+        engine.run(
+            popstab_sim::RunSpec::rounds(4 * epoch),
+            &mut popstab_sim::RecordStats::new(&mut rec),
+        );
+        let report = check_invariants(&params, 1.0, rec.rounds());
         assert!(
             report.lemma3_wrong_round.pass,
             "{:?}",
@@ -176,7 +180,7 @@ mod tests {
         );
         assert!(report.all_pass());
         // And the run actually had active agents (the checks weren't vacuous).
-        assert!(engine.metrics().rounds().iter().any(|s| s.active > 0));
+        assert!(rec.rounds().iter().any(|s| s.active > 0));
     }
 
     #[test]

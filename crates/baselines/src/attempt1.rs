@@ -214,7 +214,7 @@ impl Adversary<A1State> for SignalSuppressor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use popstab_sim::{Engine, HaltReason, SimConfig};
+    use popstab_sim::{Engine, HaltReason, RunSpec, SimConfig};
 
     const N: u64 = 1024;
 
@@ -249,7 +249,9 @@ mod tests {
         let proto = Attempt1::new(N);
         let epoch = u64::from(proto.epoch_len());
         let mut engine = Engine::with_population(proto, cfg(1, 0), N as usize);
-        let (lo, hi) = engine.run_range(30 * epoch);
+        let (lo, hi) = engine
+            .run(RunSpec::rounds(30 * epoch), &mut ())
+            .population_range();
         assert_eq!(engine.halted(), None);
         assert!(lo > N as usize / 3, "fell to {lo}");
         assert!(hi < 3 * N as usize, "rose to {hi}");
@@ -263,7 +265,9 @@ mod tests {
         let epoch = u64::from(proto.epoch_len());
         let adv = crate::ObliviousDeleter::with_period(1, 4);
         let mut engine = Engine::with_adversary(proto, adv, cfg(2, 1), N as usize);
-        let (lo, hi) = engine.run_range(30 * epoch);
+        let (lo, hi) = engine
+            .run(RunSpec::rounds(30 * epoch), &mut ())
+            .population_range();
         assert_eq!(engine.halted(), None);
         assert!(lo > N as usize / 3, "fell to {lo}");
         assert!(hi < 3 * N as usize, "rose to {hi}");
@@ -279,7 +283,10 @@ mod tests {
         // Enough epochs that (1−p_die)^epochs < 1/4; stop as soon as the
         // collapse threshold is crossed.
         let epochs = ((0.25f64).ln() / (1.0 - p_die).ln()).ceil() as u64 * 2;
-        engine.run_until(epochs * epoch, |r| r.population_after < N as usize / 2);
+        engine.run(
+            RunSpec::until(epochs * epoch, |r| r.population_after < N as usize / 2),
+            &mut (),
+        );
         assert!(
             engine.population() < N as usize / 2,
             "population {} did not collapse",
@@ -295,7 +302,10 @@ mod tests {
         // Budget 64 per round is plenty to kill the ~2 leaders per epoch;
         // stop as soon as the explosion threshold is crossed.
         let mut engine = Engine::with_adversary(proto, adv, cfg(4, 64), N as usize);
-        engine.run_until(60 * epoch, |r| r.population_after > 2 * N as usize);
+        engine.run(
+            RunSpec::until(60 * epoch, |r| r.population_after > 2 * N as usize),
+            &mut (),
+        );
         assert!(
             engine.population() > 2 * N as usize || engine.halted() == Some(HaltReason::Exploded),
             "population {} did not explode",

@@ -122,7 +122,7 @@ impl Protocol for Attempt2 {
 mod tests {
     use super::*;
     use popstab_analysis::stats::Summary;
-    use popstab_sim::{Engine, SimConfig};
+    use popstab_sim::{Engine, RunSpec, SimConfig};
 
     const N: u64 = 1024;
 
@@ -142,7 +142,7 @@ mod tests {
         let deltas_vec =
             popstab_sim::BatchRunner::from_env().run((0..20u64).collect(), |_, seed| {
                 let mut engine = Engine::with_population(Attempt2::new(N), cfg(seed), N as usize);
-                engine.run_until(u64::from(EPOCH_LEN), |_| false);
+                engine.run(RunSpec::rounds(u64::from(EPOCH_LEN)), &mut ());
                 engine.population() as f64 - N as f64
             });
         let mut deltas = Summary::new();
@@ -162,10 +162,13 @@ mod tests {
         let devs = popstab_sim::BatchRunner::from_env().run((100..104u64).collect(), |_, seed| {
             let mut engine = Engine::with_population(Attempt2::new(N), cfg(seed), N as usize);
             let mut dev = 0f64;
-            engine.run_until(3000 * u64::from(EPOCH_LEN), |r| {
-                dev = dev.max((r.population_after as f64 - N as f64).abs());
-                dev > N as f64 * 0.2
-            });
+            engine.run(
+                RunSpec::until(3000 * u64::from(EPOCH_LEN), |r| {
+                    dev = dev.max((r.population_after as f64 - N as f64).abs());
+                    dev > N as f64 * 0.2
+                }),
+                &mut (),
+            );
             dev
         });
         let max_dev = devs.into_iter().fold(0f64, f64::max);

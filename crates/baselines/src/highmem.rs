@@ -156,7 +156,7 @@ impl popstab_sim::Adversary<HmState> for IdFlooder {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use popstab_sim::{Engine, SimConfig};
+    use popstab_sim::{Engine, RunSpec, SimConfig};
 
     const N: u64 = 1024;
 
@@ -175,7 +175,9 @@ mod tests {
         let proto = HighMemory::new(N);
         let epoch = u64::from(proto.epoch_len());
         let mut engine = Engine::with_population(proto, cfg(1, 0), N as usize);
-        let (lo, hi) = engine.run_range(10 * epoch);
+        let (lo, hi) = engine
+            .run(RunSpec::rounds(10 * epoch), &mut ())
+            .population_range();
         assert_eq!(engine.halted(), None);
         assert!(lo > (N as usize * 9) / 10, "fell to {lo}");
         assert!(hi < (N as usize * 11) / 10, "rose to {hi}");
@@ -187,7 +189,9 @@ mod tests {
         let epoch = u64::from(proto.epoch_len());
         let adv = crate::ObliviousDeleter::new(4);
         let mut engine = Engine::with_adversary(proto, adv, cfg(2, 4), N as usize);
-        let (lo, _) = engine.run_range(10 * epoch);
+        let (lo, _) = engine
+            .run(RunSpec::rounds(10 * epoch), &mut ())
+            .population_range();
         assert_eq!(engine.halted(), None);
         // 4 deletions/round × 24-round epochs ≈ 96 per epoch. The counter
         // measures the epoch-*start* population, so the steady state sits
@@ -201,7 +205,10 @@ mod tests {
         let epoch = u64::from(proto.epoch_len());
         let mut engine = Engine::with_adversary(proto, IdFlooder, cfg(3, 1), N as usize);
         // Collapse is existential: stop as soon as it happens.
-        engine.run_until(10 * epoch, |r| r.population_after < N as usize / 2);
+        engine.run(
+            RunSpec::until(10 * epoch, |r| r.population_after < N as usize / 2),
+            &mut (),
+        );
         // Every agent that hears the forged set believes the population is
         // ~5N and dies with probability ~1/2 per epoch: collapse.
         assert!(

@@ -88,7 +88,7 @@ mod tests {
             .build()
             .unwrap();
         let mut engine = Engine::with_adversary(Inert, ObliviousDeleter::new(2), cfg, 20);
-        engine.run_rounds(5);
+        engine.run(popstab_sim::RunSpec::rounds(5), &mut ());
         assert_eq!(engine.population(), 10);
     }
 }

@@ -1,7 +1,7 @@
 //! Criterion micro-benchmarks for the protocol hot paths: full rounds and
 //! whole epochs on the engine paths the `experiments` figures drive
-//! (`run_until` / `run_until_par` / [`BatchRunner`] — not a bespoke serial
-//! loop), the per-agent step, the biased coin and the wire codec.
+//! ([`Engine::run`] serial and sharded, [`BatchRunner`] — not a bespoke
+//! serial loop), the per-agent step, the biased coin and the wire codec.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
@@ -12,16 +12,11 @@ use popstab_core::protocol::PopulationStability;
 use popstab_core::state::{AgentState, Color};
 use popstab_sim::batch::job_seed;
 use popstab_sim::rng::rng_from_seed;
-use popstab_sim::{BatchRunner, Engine, Protocol, SimConfig};
+use popstab_sim::{BatchRunner, Engine, Protocol, RunSpec, SimConfig};
 
 fn popstab_engine(n: u64, seed: u64) -> Engine<PopulationStability> {
     let params = Params::for_target(n).unwrap();
-    let cfg = SimConfig::builder()
-        .seed(seed)
-        .target(n)
-        .metrics_every(u64::MAX / 2)
-        .build()
-        .unwrap();
+    let cfg = SimConfig::builder().seed(seed).target(n).build().unwrap();
     Engine::with_population(PopulationStability::new(params), cfg, n as usize)
 }
 
@@ -33,16 +28,16 @@ fn bench_round_throughput(c: &mut Criterion) {
         .unwrap_or(1);
     for n in [1024u64, 4096, 16384] {
         group.throughput(Throughput::Elements(n));
-        group.bench_with_input(BenchmarkId::new("run_until", n), &n, |b, &n| {
+        group.bench_with_input(BenchmarkId::new("run_serial", n), &n, |b, &n| {
             let mut engine = popstab_engine(n, 1);
-            b.iter(|| engine.run_until(1, |_| false));
+            b.iter(|| engine.run(RunSpec::rounds(1), &mut ()));
         });
         group.bench_with_input(
-            BenchmarkId::new(format!("run_until_par_{threads}t"), n),
+            BenchmarkId::new(format!("run_sharded_{threads}t"), n),
             &n,
             |b, &n| {
                 let mut engine = popstab_engine(n, 1);
-                b.iter(|| engine.run_until_par(1, threads, |_| false));
+                b.iter(|| engine.run(RunSpec::rounds(1).sharded(threads), &mut ()));
             },
         );
     }
@@ -56,9 +51,9 @@ fn bench_epoch(c: &mut Criterion) {
     let params = Params::for_target(n).unwrap();
     let epoch = u64::from(params.epoch_len());
     group.throughput(Throughput::Elements(epoch * n));
-    group.bench_function("n1024_run_until", |b| {
+    group.bench_function("n1024_run_serial", |b| {
         let mut engine = popstab_engine(n, 2);
-        b.iter(|| engine.run_until(epoch, |_| false));
+        b.iter(|| engine.run(RunSpec::rounds(epoch), &mut ()));
     });
     // One epoch per job across a BatchRunner fan-out — the shape every
     // experiment sweep (`ksweep`, `gamma`, `attack`, …) actually runs.
@@ -72,7 +67,7 @@ fn bench_epoch(c: &mut Criterion) {
                 .collect();
             runner
                 .run(engines, |_, mut e| {
-                    e.run_until(epoch, |_| false);
+                    e.run(RunSpec::rounds(epoch), &mut ());
                     e.population()
                 })
                 .len()

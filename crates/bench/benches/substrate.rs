@@ -1,9 +1,9 @@
 //! Criterion micro-benchmarks for the simulation substrate: matching
 //! sampling (serial and pool-sharded), counter-output agent RNG, metrics
 //! observation, the estimator, and the engine execution paths the
-//! `experiments` binary actually drives (`run_until`, `run_until_par`,
-//! [`BatchRunner`]) — the benches exercise the same code paths as the
-//! figures, not a bespoke serial loop.
+//! `experiments` binary actually drives ([`Engine::run`] serial and
+//! sharded, [`BatchRunner`]) — the benches exercise the same code paths as
+//! the figures, not a bespoke serial loop.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
@@ -16,7 +16,7 @@ use popstab_sim::matching::{
 };
 use popstab_sim::protocols::Inert;
 use popstab_sim::rng::counter_seed;
-use popstab_sim::{BatchRunner, Engine, RoundStats, SimConfig};
+use popstab_sim::{BatchRunner, Engine, RoundStats, RunSpec, SimConfig};
 
 fn bench_matching(c: &mut Criterion) {
     let mut group = c.benchmark_group("matching");
@@ -58,7 +58,7 @@ fn bench_matching(c: &mut Criterion) {
 
 fn bench_matching_par(c: &mut Criterion) {
     // The pool-sharded sampler at the largest scale, on every core the
-    // host offers — the configuration `Engine::par_round` runs it in. On a
+    // host offers — the configuration a sharded `Engine::run` uses. On a
     // single-core host this measures the dispatch overhead over the serial
     // sampler above.
     let m = 262_144usize;
@@ -132,16 +132,16 @@ fn bench_engine_paths(c: &mut Criterion) {
     group.throughput(Throughput::Elements(n as u64 * rounds));
 
     let mut engine = inert_engine(n, 1);
-    group.bench_function("run_until_16k", |b| {
-        b.iter(|| engine.run_until(rounds, |_| false))
+    group.bench_function("run_serial_16k", |b| {
+        b.iter(|| engine.run(RunSpec::rounds(rounds), &mut ()))
     });
 
     let threads = std::thread::available_parallelism()
         .map(|t| t.get())
         .unwrap_or(1);
     let mut engine = inert_engine(n, 2);
-    group.bench_function(format!("run_until_par_16k_{threads}t"), |b| {
-        b.iter(|| engine.run_until_par(rounds, threads, |_| false))
+    group.bench_function(format!("run_sharded_16k_{threads}t"), |b| {
+        b.iter(|| engine.run(RunSpec::rounds(rounds).sharded(threads), &mut ()))
     });
 
     let jobs = 4u64;
@@ -151,7 +151,7 @@ fn bench_engine_paths(c: &mut Criterion) {
             let engines: Vec<_> = (0..jobs).map(|j| inert_engine(n, job_seed(3, j))).collect();
             runner
                 .run(engines, |_, mut e| {
-                    e.run_until(rounds, |_| false);
+                    e.run(RunSpec::rounds(rounds), &mut ());
                     e.population()
                 })
                 .len()

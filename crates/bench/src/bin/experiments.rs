@@ -3,12 +3,17 @@
 //! ```sh
 //! experiments [--quick] [--jobs N] [--round-threads N] <id>...
 //! experiments all
+//! experiments --list
+//! experiments scenario <name>...
 //! ```
 //!
 //! Ids (see DESIGN.md §4): `stability` (T1), `lemmas` (T2–T6), `drift`
 //! (F1), `attack` (F2), `ksweep` (F3), `baselines` (F4 + T8), `gamma`
 //! (F5), `accounting` (T7), `healing` (F6), `estimator` (F7),
 //! `equilibrium` (F7b), `bench` (B1 → `BENCH_engine.json`).
+//!
+//! `--list` prints the named scenario registry (protocol, adversary,
+//! config summary) and `scenario <name>...` runs registry entries by name.
 //!
 //! `--jobs N` caps the worker count of every `BatchRunner` trial fan-out
 //! (default: `POPSTAB_JOBS` or the machine's available parallelism).
@@ -97,6 +102,7 @@ const IDS: &[Experiment] = &[
 
 fn usage() {
     eprintln!("usage: experiments [--quick] [--jobs N] [--round-threads N] <id>... | all");
+    eprintln!("       experiments --list | scenario <name>...");
     eprintln!("experiments:");
     for (id, desc, _) in IDS {
         eprintln!("  {id:<12} {desc}");
@@ -126,6 +132,10 @@ fn main() -> ExitCode {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" | "-q" => quick = true,
+            "--list" => {
+                popstab_bench::scenario::print_list();
+                return ExitCode::SUCCESS;
+            }
             "--help" | "-h" => {
                 usage();
                 return ExitCode::SUCCESS;
@@ -166,6 +176,22 @@ fn main() -> ExitCode {
     if selected.is_empty() {
         usage();
         return ExitCode::FAILURE;
+    }
+    // `scenario <name>...` runs registry entries instead of experiment ids.
+    if selected[0] == "scenario" {
+        let names = &selected[1..];
+        if names.is_empty() {
+            eprintln!("scenario needs at least one name; see `experiments --list`");
+            return ExitCode::FAILURE;
+        }
+        for name in names {
+            let Some(entry) = popstab_bench::scenario::find(name) else {
+                eprintln!("unknown scenario `{name}`; see `experiments --list`");
+                return ExitCode::FAILURE;
+            };
+            (entry.run)(quick);
+        }
+        return ExitCode::SUCCESS;
     }
     // The two parallelism axes multiply: every batch job spins up its own
     // intra-round pool. Unless the batch width was pinned explicitly, shrink

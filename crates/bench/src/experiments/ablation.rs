@@ -14,7 +14,7 @@ use popstab_analysis::equilibrium::{equilibrium_population, exact_equilibrium};
 use popstab_analysis::report::{fmt_f64, Table};
 use popstab_core::params::Params;
 
-use crate::{run_clean, RunSpec};
+use crate::{run_clean, JobSpec};
 
 /// Runs the experiment and prints its table.
 pub fn run(quick: bool) {
@@ -47,11 +47,11 @@ pub fn run(quick: bool) {
             .unwrap();
         let m_star = equilibrium_population(&params);
         let m_eq = exact_equilibrium(&params, 1.0);
-        let mut spec = RunSpec::new(3141, epochs);
+        let mut spec = JobSpec::new(3141, epochs);
         spec.initial = Some(m_eq as usize);
-        let engine = run_clean(&params, spec);
+        let run = run_clean(&params, spec);
         let epoch = u64::from(params.epoch_len());
-        let pops = engine.trajectory().epoch_end_populations(epoch);
+        let pops = run.trajectory().epoch_end_populations(epoch);
         let tail = &pops[pops.len() / 2..];
         let tail_mean = tail.iter().sum::<usize>() as f64 / tail.len().max(1) as f64;
         table.row([

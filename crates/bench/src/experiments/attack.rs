@@ -11,7 +11,7 @@ use popstab_analysis::report::{fmt_f64, fmt_pass, Table};
 use popstab_core::params::Params;
 use popstab_sim::BatchRunner;
 
-use crate::{run_protocol, RunSpec};
+use crate::{run_protocol, JobSpec};
 
 /// Runs the experiment and prints its table.
 pub fn run(quick: bool) {
@@ -44,11 +44,11 @@ pub fn run(quick: bool) {
                 .nth(idx)
                 .expect("suite index in range");
             let name = adversary.name();
-            let mut spec = RunSpec::new(1234, epochs);
+            let mut spec = JobSpec::new(1234, epochs);
             spec.budget = k;
-            let engine = run_protocol(&params, adversary, spec);
-            let (lo, hi) = engine.metrics().population_range().unwrap();
-            (name, lo, hi, engine.population())
+            let run = run_protocol(&params, adversary, spec);
+            let (lo, hi) = run.population_range().unwrap();
+            (name, lo, hi, run.population())
         });
         for (name, lo, hi, final_pop) in rows {
             let in_band = lo as f64 >= floor && (hi as f64) <= ceiling;

@@ -20,9 +20,9 @@ use popstab_baselines::attempt1::{SignalFlooder, SignalSuppressor};
 use popstab_baselines::highmem::IdFlooder;
 use popstab_baselines::{Attempt1, Attempt2, Empty, HighMemory, ObliviousDeleter};
 use popstab_core::params::Params;
-use popstab_sim::{Adversary, BatchRunner, Engine, NoOpAdversary, Protocol, SimConfig};
+use popstab_sim::{Adversary, BatchRunner, Engine, NoOpAdversary, Protocol, RunSpec, SimConfig};
 
-use crate::{run_protocol, RunSpec};
+use crate::{run_protocol, JobSpec};
 
 const N: u64 = 1024;
 
@@ -39,7 +39,9 @@ struct Case {
 
 fn run_baseline<P, A>(proto: P, adv: A, budget: usize, rounds: u64, seed: u64) -> Row
 where
-    P: Protocol,
+    P: Protocol + Sync,
+    P::State: Send + Sync,
+    P::Message: Send,
     A: Adversary<P::State>,
 {
     let cfg = SimConfig::builder()
@@ -50,7 +52,9 @@ where
         .build()
         .unwrap();
     let mut engine = Engine::with_adversary(proto, adv, cfg, N as usize);
-    let (lo, hi) = engine.run_range(rounds);
+    let (lo, hi) = engine
+        .run(RunSpec::rounds(rounds), &mut ())
+        .population_range();
     (lo, hi, engine.population(), engine.halted().is_some())
 }
 
@@ -197,7 +201,9 @@ pub fn run(quick: bool) {
             .build()
             .unwrap();
         let mut engine = Engine::with_adversary(HighMemory::new(n_hm), adv, cfg, n_hm as usize);
-        let (lo, hi) = engine.run_range(rounds);
+        let (lo, hi) = engine
+            .run(RunSpec::rounds(rounds), &mut ())
+            .population_range();
         (lo, hi, engine.population(), engine.halted().is_some())
     }
     cases.push(Case {
@@ -245,9 +251,9 @@ pub fn run(quick: bool) {
         proto: "paper protocol",
         adv: "none",
         sim: Box::new(move || {
-            let engine = run_protocol(&params_a, NoOpAdversary, RunSpec::new(11, epochs));
-            let (lo, hi) = engine.metrics().population_range().unwrap();
-            (lo, hi, engine.population(), false)
+            let run = run_protocol(&params_a, NoOpAdversary, JobSpec::new(11, epochs));
+            let (lo, hi) = run.population_range().unwrap();
+            (lo, hi, run.population(), false)
         }),
         verdict: Box::new(|_| "holds"),
     });
@@ -260,11 +266,11 @@ pub fn run(quick: bool) {
                 popstab_adversary::RandomDeleter::new(1),
                 params_b.epoch_len(),
             );
-            let mut spec = RunSpec::new(12, epochs);
+            let mut spec = JobSpec::new(12, epochs);
             spec.budget = 1;
-            let engine = run_protocol(&params_b, adv, spec);
-            let (lo, hi) = engine.metrics().population_range().unwrap();
-            (lo, hi, engine.population(), false)
+            let run = run_protocol(&params_b, adv, spec);
+            let (lo, hi) = run.population_range().unwrap();
+            (lo, hi, run.population(), false)
         }),
         verdict: Box::new(|_| "holds"),
     });

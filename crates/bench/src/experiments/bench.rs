@@ -4,30 +4,38 @@
 //! near equilibrium at three scales (the powers of four bracketing 1k, 10k
 //! and 100k agents), in three configurations:
 //!
-//! * `single_recorded_rps` — one engine, default per-round
-//!   [`RoundStats`](popstab_sim::RoundStats) recording (the pre-overhaul
-//!   default path),
-//! * `single_fast_rps` — one engine on the recording-free
-//!   [`run_until`](popstab_sim::Engine::run_until) fast path,
+//! Every path runs through the unified driver ([`Engine::run`] with a
+//! [`RunSpec`]) — the same code the experiments and the integration suites
+//! drive:
+//!
+//! * `single_recorded_rps` — one engine with a per-round
+//!   [`RecordStats`] observer (the recording
+//!   path),
+//! * `single_fast_rps` — one engine with the `()` observer (the
+//!   recording-free fast path; the Observer abstraction must cost nothing
+//!   here, which the committed-baseline check below enforces),
 //! * `batch_rps` — one engine per [`BatchRunner`] worker, aggregate
 //!   throughput (equals `single_fast_rps` on a single-core host),
 //! * `par_rps` — **one** engine with the step phase of every round sharded
 //!   across `round_threads` workers
-//!   ([`run_until_par`](popstab_sim::Engine::run_until_par)): the
-//!   single-run multi-core number the intra-round parallelism exists for.
-//!   On a single-core host this degenerates to the serial fast path run
-//!   through the parallel machinery (measuring its overhead); the ≥3×
-//!   target at `N = 65536` applies to 4+-core hosts.
+//!   ([`Threads::Sharded`](popstab_sim::Threads)): the single-run
+//!   multi-core number the intra-round parallelism exists for. On a
+//!   single-core host this degenerates to the serial fast path run through
+//!   the parallel machinery (measuring its overhead); the ≥3× target at
+//!   `N = 65536` applies to 4+-core hosts.
 //!
 //! The JSON lands in the working directory so CI can archive the perf
 //! trajectory; a `--quick` run uses shorter horizons but the same shape.
+//! Before overwriting, a committed `BENCH_engine.json` from the same kind
+//! of run (non-quick, same stream versions, same core count) serves as a
+//! regression baseline for `single_fast_rps` at `N = 65536`.
 
 use std::time::Instant;
 
 use popstab_core::params::Params;
 use popstab_core::protocol::PopulationStability;
 use popstab_sim::batch::job_seed;
-use popstab_sim::{BatchRunner, Engine, SimConfig};
+use popstab_sim::{BatchRunner, Engine, MetricsRecorder, RecordStats, RunSpec, SimConfig};
 
 /// One scale's measurements.
 struct Workload {
@@ -49,7 +57,7 @@ fn engine_at(n: u64, seed: u64) -> Engine<PopulationStability> {
 
 fn measure(n: u64, rounds: u64, workers: usize, round_threads: usize, reps: u32) -> Workload {
     // Warm-up: populate allocator and branch predictors out of band.
-    engine_at(n, 0).run_until(rounds / 10 + 1, |_| false);
+    engine_at(n, 0).run(RunSpec::rounds(rounds / 10 + 1), &mut ());
 
     // Best-of-`reps` per cell: each rep re-runs the identical simulation,
     // so the max rate is the machine's capability with scheduler noise
@@ -60,28 +68,31 @@ fn measure(n: u64, rounds: u64, workers: usize, round_threads: usize, reps: u32)
     let runner = BatchRunner::new(workers);
     for _ in 0..reps {
         let mut engine = engine_at(n, 1);
+        let mut rec = MetricsRecorder::new();
         let start = Instant::now();
-        engine.run_rounds(rounds);
+        engine.run(RunSpec::rounds(rounds), &mut RecordStats::new(&mut rec));
         single_recorded_rps =
             single_recorded_rps.max(rounds as f64 / start.elapsed().as_secs_f64());
 
         let mut engine = engine_at(n, 1);
         let start = Instant::now();
-        engine.run_until(rounds, |_| false);
+        engine.run(RunSpec::rounds(rounds), &mut ());
         single_fast_rps = single_fast_rps.max(rounds as f64 / start.elapsed().as_secs_f64());
 
         let engines: Vec<_> = (0..workers as u64)
             .map(|job| engine_at(n, job_seed(1, job)))
             .collect();
         let start = Instant::now();
-        runner.run(engines, |_, mut engine| engine.run_until(rounds, |_| false));
+        runner.run(engines, |_, mut engine| {
+            engine.run(RunSpec::rounds(rounds), &mut ())
+        });
         batch_rps = batch_rps.max((rounds * workers as u64) as f64 / start.elapsed().as_secs_f64());
 
         // Intra-round sharding: one simulation, `round_threads` workers
         // inside each round (bit-identical trajectory to `single_fast`).
         let mut engine = engine_at(n, 1);
         let start = Instant::now();
-        engine.run_until_par(rounds, round_threads, |_| false);
+        engine.run(RunSpec::rounds(rounds).sharded(round_threads), &mut ());
         par_rps = par_rps.max(rounds as f64 / start.elapsed().as_secs_f64());
     }
 
@@ -95,6 +106,39 @@ fn measure(n: u64, rounds: u64, workers: usize, round_threads: usize, reps: u32)
         par_rps,
         par_workers: round_threads,
     }
+}
+
+/// Reads the committed `BENCH_engine.json` (if any) and returns its
+/// `single_fast_rps` at `n`, provided the committed run is comparable with
+/// a run of this build: non-quick, same stream versions, same core count.
+/// The JSON is the fixed shape this module writes, so a line scan suffices
+/// (no JSON dependency in the build environment).
+fn committed_single_fast_rps(n: u64, quick: bool, host_cores: usize) -> Option<f64> {
+    let text = std::fs::read_to_string("BENCH_engine.json").ok()?;
+    let field = |name: &str| -> Option<String> {
+        let at = text.find(&format!("\"{name}\":"))?;
+        let rest = &text[at + name.len() + 3..];
+        let end = rest.find([',', '\n', '}'])?;
+        Some(rest[..end].trim().to_string())
+    };
+    if quick || field("quick")?.trim() != "false" {
+        return None;
+    }
+    if field("host_cores")?.parse::<usize>().ok()? != host_cores {
+        return None;
+    }
+    if field("agent_stream_version")?.parse::<u32>().ok()? != popstab_sim::rng::AGENT_STREAM_VERSION
+        || field("matching_stream_version")?.parse::<u32>().ok()?
+            != popstab_sim::matching::MATCHING_STREAM_VERSION
+    {
+        return None;
+    }
+    // Find the workload line for this `n` and pull its single_fast_rps.
+    let line = text.lines().find(|l| l.contains(&format!("\"n\": {n},")))?;
+    let at = line.find("\"single_fast_rps\":")?;
+    let rest = &line[at + "\"single_fast_rps\":".len()..];
+    let end = rest.find(',')?;
+    rest[..end].trim().parse::<f64>().ok()
 }
 
 /// Runs the benchmark, prints the table, and writes `BENCH_engine.json`.
@@ -125,6 +169,8 @@ pub fn run(quick: bool) {
          {round_threads} intra-round threads, best of {reps})\n",
         workers
     );
+    // Read the regression baseline *before* overwriting the file below.
+    let baseline_fast_65536 = committed_single_fast_rps(65536, quick, host_cores);
     let workloads: Vec<Workload> = plan
         .iter()
         .map(|&(n, rounds)| {
@@ -137,6 +183,27 @@ pub fn run(quick: bool) {
             w
         })
         .collect();
+
+    // Observer-indirection regression gate: on a host comparable to the one
+    // that recorded the committed file, the fast path through the generic
+    // driver must stay within noise of the committed `single_fast_rps` at
+    // the largest scale (0.6x covers container-to-container jitter; a real
+    // abstraction cost would show up far below that).
+    if let Some(committed) = baseline_fast_65536 {
+        let fresh = workloads
+            .iter()
+            .find(|w| w.n == 65536)
+            .map(|w| w.single_fast_rps)
+            .unwrap_or(0.0);
+        println!(
+            "\nbaseline check: single_fast_rps @ N=65536 fresh {fresh:.0} vs committed {committed:.0} ({:+.0}%)",
+            100.0 * (fresh - committed) / committed
+        );
+        assert!(
+            fresh >= 0.6 * committed,
+            "single_fast_rps at N=65536 regressed beyond noise: {fresh:.0} vs committed {committed:.0}"
+        );
+    }
 
     let mut json = String::from("{\n  \"benchmark\": \"engine-rounds-per-sec\",\n");
     json.push_str(&format!("  \"quick\": {quick},\n"));

@@ -9,7 +9,7 @@ use popstab_analysis::report::{fmt_f64, Table};
 use popstab_core::params::Params;
 use popstab_sim::BatchRunner;
 
-use crate::{run_clean, RunSpec};
+use crate::{run_clean, JobSpec};
 
 /// Runs the experiment and prints its table.
 pub fn run(quick: bool) {
@@ -29,11 +29,11 @@ pub fn run(quick: bool) {
     let measured = BatchRunner::from_env().run(measured_ns.to_vec(), |_, n| {
         let params = Params::for_target(n).unwrap();
         let m_eq = exact_equilibrium(&params, 1.0);
-        let mut spec = RunSpec::new(31, sim_epochs).record_epoch_ends(&params);
+        let mut spec = JobSpec::new(31, sim_epochs).record_epoch_ends(&params);
         spec.initial = Some(m_eq as usize);
-        let engine = run_clean(&params, spec);
+        let run = run_clean(&params, spec);
         let epoch = u64::from(params.epoch_len());
-        let pops = engine.trajectory().epoch_end_populations(epoch);
+        let pops = run.trajectory().epoch_end_populations(epoch);
         (
             n,
             pops.iter().sum::<usize>() as f64 / pops.len().max(1) as f64,

@@ -9,7 +9,7 @@ use popstab_analysis::report::{fmt_f64, Table};
 use popstab_core::params::Params;
 use popstab_sim::BatchRunner;
 
-use crate::{run_clean, RunSpec};
+use crate::{run_clean, JobSpec};
 
 /// Runs the experiment and prints its table.
 pub fn run(quick: bool) {
@@ -31,9 +31,9 @@ pub fn run(quick: bool) {
     // evaluation snapshots — the quantity `E[d²] = m·√N/8` is about.
     let rows = BatchRunner::from_env().run(ns.to_vec(), |_, n| {
         let params = Params::for_target(n).unwrap();
-        let spec = RunSpec::new(2718, epochs).record_eval_rounds(&params);
-        let engine = run_clean(&params, spec);
-        let stats = engine.metrics().rounds();
+        let spec = JobSpec::new(2718, epochs).record_eval_rounds(&params);
+        let run = run_clean(&params, spec);
+        let stats = run.metrics.rounds();
         let true_mean =
             stats.iter().map(|s| s.population).sum::<usize>() as f64 / stats.len().max(1) as f64;
         let mut est = VarianceEstimator::new(&params);

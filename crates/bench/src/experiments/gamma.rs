@@ -10,7 +10,7 @@ use popstab_analysis::report::{fmt_f64, fmt_pass, Table};
 use popstab_core::params::Params;
 use popstab_sim::{BatchRunner, MatchingModel};
 
-use crate::{run_clean, RunSpec};
+use crate::{run_clean, JobSpec};
 
 /// Runs the experiment and prints its table.
 pub fn run(quick: bool) {
@@ -29,29 +29,12 @@ pub fn run(quick: bool) {
         (1.0, MatchingModel::Full),
     ];
     let rows = BatchRunner::from_env().run(configs.to_vec(), |_, (gamma, model)| {
-        let mut spec = RunSpec::new(88, epochs);
+        let mut spec = JobSpec::new(88, epochs);
         spec.gamma = gamma;
-        // run_clean maps gamma < 1.0 to ExactFraction; for the random model
-        // drive the engine directly.
-        let engine = if matches!(model, MatchingModel::RandomFraction { .. }) {
-            let cfg = popstab_sim::SimConfig::builder()
-                .seed(88)
-                .target(n)
-                .matching(model)
-                .build()
-                .unwrap();
-            let mut e = popstab_sim::Engine::with_population(
-                popstab_core::protocol::PopulationStability::new(params.clone()),
-                cfg,
-                n as usize,
-            );
-            e.run_rounds(epochs * u64::from(params.epoch_len()));
-            e
-        } else {
-            run_clean(&params, spec)
-        };
-        let (lo, hi) = engine.metrics().population_range().unwrap();
-        (gamma, model, lo, hi, engine.population())
+        spec.matching = Some(model);
+        let run = run_clean(&params, spec);
+        let (lo, hi) = run.population_range().unwrap();
+        (gamma, model, lo, hi, run.population())
     });
     for (gamma, model, lo, hi, final_pop) in rows {
         let m_eq = exact_equilibrium(&params, gamma);

@@ -13,7 +13,7 @@ use popstab_analysis::report::{fmt_f64, Table};
 use popstab_core::params::Params;
 use popstab_sim::BatchRunner;
 
-use crate::{run_protocol, RunSpec};
+use crate::{run_protocol, JobSpec};
 
 /// Runs the experiment and prints its tables.
 pub fn run(quick: bool) {
@@ -33,10 +33,10 @@ pub fn run(quick: bool) {
     ];
     let outcomes = BatchRunner::from_env().run(shocks.to_vec(), |_, (label, kind, fraction)| {
         let adv = Trauma::new(params.clone(), kind, fraction, 2 * epoch);
-        let mut spec = RunSpec::new(99, 2 + post_epochs).record_epoch_ends(&params);
+        let mut spec = JobSpec::new(99, 2 + post_epochs).record_epoch_ends(&params);
         spec.budget = usize::MAX;
-        let engine = run_protocol(&params, adv, spec);
-        (label, engine.trajectory().epoch_end_populations(epoch))
+        let run = run_protocol(&params, adv, spec);
+        (label, run.trajectory().epoch_end_populations(epoch))
     });
     for (label, pops) in outcomes {
         let wounded = pops[2] as f64;

@@ -14,7 +14,7 @@ use popstab_analysis::report::{fmt_f64, Table};
 use popstab_core::params::Params;
 use popstab_sim::BatchRunner;
 
-use crate::{run_protocol, RunSpec};
+use crate::{run_protocol, JobSpec};
 
 /// Runs the experiment and prints its table.
 pub fn run(quick: bool) {
@@ -34,7 +34,7 @@ pub fn run(quick: bool) {
     let finals = BatchRunner::from_env().run(grid, |_, (n, k)| {
         let params = Params::for_target(n).unwrap();
         let adv = Throttle::per_epoch(RandomDeleter::new(k), params.epoch_len());
-        let mut spec = RunSpec::new(777, epochs).record_epoch_ends(&params);
+        let mut spec = JobSpec::new(777, epochs).record_epoch_ends(&params);
         spec.budget = k;
         run_protocol(&params, adv, spec).population()
     });

@@ -17,7 +17,7 @@ use popstab_core::params::Params;
 use popstab_core::state::Color;
 use popstab_sim::NoOpAdversary;
 
-use crate::{run_protocol, RunSpec};
+use crate::{run_protocol, JobSpec};
 
 /// A named, deferred protocol run producing its recorded metrics.
 type Scenario = (
@@ -39,11 +39,7 @@ pub fn run(quick: bool) {
             "no adversary",
             Box::new({
                 let params = params.clone();
-                move || {
-                    run_protocol(&params, NoOpAdversary, RunSpec::new(5, epochs))
-                        .metrics()
-                        .clone()
-                }
+                move || run_protocol(&params, NoOpAdversary, JobSpec::new(5, epochs)).metrics
             }),
         ),
         (
@@ -55,9 +51,9 @@ pub fn run(quick: bool) {
                         DesyncInserter::new(params.clone(), k, params.epoch_len() / 2),
                         params.epoch_len(),
                     );
-                    let mut spec = RunSpec::new(6, epochs);
+                    let mut spec = JobSpec::new(6, epochs);
                     spec.budget = k;
-                    run_protocol(&params, adv, spec).metrics().clone()
+                    run_protocol(&params, adv, spec).metrics
                 }
             }),
         ),
@@ -70,9 +66,9 @@ pub fn run(quick: bool) {
                         ColorFlooder::new(params.clone(), k, Color::Zero),
                         params.epoch_len(),
                     );
-                    let mut spec = RunSpec::new(7, epochs);
+                    let mut spec = JobSpec::new(7, epochs);
                     spec.budget = k;
-                    run_protocol(&params, adv, spec).metrics().clone()
+                    run_protocol(&params, adv, spec).metrics
                 }
             }),
         ),
@@ -115,7 +111,7 @@ pub fn run(quick: bool) {
             cfg,
             n as usize,
         );
-        engine.run_until(epoch - 1, |_| false);
+        engine.run(popstab_sim::RunSpec::rounds(epoch - 1), &mut ());
         let active = engine.agents().iter().filter(|a| a.active).count() as u64;
         let incomplete = engine
             .agents()

@@ -9,7 +9,7 @@ use popstab_analysis::report::{fmt_pass, Table};
 use popstab_core::params::Params;
 use popstab_core::protocol::PopulationStability;
 use popstab_extensions::{malicious_count, MaliciousInserter, WithMalice};
-use popstab_sim::{Engine, MatchingModel, SimConfig};
+use popstab_sim::{Engine, MatchingModel, RunSpec, SimConfig, Threads};
 
 /// Runs the experiment and prints its table.
 pub fn run(quick: bool) {
@@ -57,7 +57,10 @@ pub fn run(quick: bool) {
             .build()
             .unwrap();
         let mut engine = Engine::with_adversary(proto, adv, cfg, n as usize);
-        engine.run_rounds(epochs * epoch);
+        engine.run(
+            RunSpec::rounds(epochs * epoch).threads(Threads::from_env()),
+            &mut (),
+        );
         let mal = malicious_count(engine.agents());
         let contained = engine.halted().is_none() && mal < 100;
         let predicted_contained = 1.0 / f64::from(rho) < gamma * 0.9;

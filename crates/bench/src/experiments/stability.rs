@@ -10,7 +10,7 @@ use popstab_analysis::equilibrium::exact_equilibrium;
 use popstab_analysis::report::{fmt_f64, fmt_pass, Table};
 use popstab_core::params::Params;
 
-use crate::{run_clean, RunSpec};
+use crate::{run_clean, JobSpec};
 
 /// Runs the experiment and prints its table.
 pub fn run(quick: bool) {
@@ -47,9 +47,9 @@ pub fn run(quick: bool) {
         let epoch = u64::from(params.epoch_len());
         let m_star = n as f64 - 8.0 * params.sqrt_n() as f64;
         let m_eq = exact_equilibrium(&params, 1.0);
-        let engine = run_clean(&params, RunSpec::new(seed * 1031 + 7, epochs));
-        let (lo, hi) = engine.metrics().population_range().unwrap();
-        let max_dev = engine.trajectory().max_epoch_deviation(epoch).unwrap_or(0);
+        let run = run_clean(&params, JobSpec::new(seed * 1031 + 7, epochs));
+        let (lo, hi) = run.population_range().unwrap();
+        let max_dev = run.trajectory().max_epoch_deviation(epoch).unwrap_or(0);
         let in_band = lo as f64 >= 0.6 * m_eq && (hi as f64) <= 1.4 * m_eq.max(n as f64);
         [
             n.to_string(),
@@ -58,7 +58,7 @@ pub fn run(quick: bool) {
             fmt_f64(m_eq, 0),
             lo.to_string(),
             hi.to_string(),
-            engine.population().to_string(),
+            run.population().to_string(),
             max_dev.to_string(),
             fmt_f64(params.sqrt_n() as f64 * f64::from(params.log2_n()), 0),
             fmt_pass(in_band),

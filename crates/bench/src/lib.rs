@@ -7,45 +7,63 @@
 //! ```sh
 //! cargo run --release -p popstab-bench --bin experiments -- all
 //! cargo run --release -p popstab-bench --bin experiments -- drift --quick
+//! cargo run --release -p popstab-bench --bin experiments -- --list
+//! cargo run --release -p popstab-bench --bin experiments -- scenario clean-1024
 //! ```
 //!
+//! Experiment drivers are declarative: a [`JobSpec`] describes one
+//! protocol run (seed, matching, budget, epochs, recording stride),
+//! [`run_protocol`] lowers it onto a [`Scenario`] +
+//! [`Engine::run`](popstab_sim::Engine::run) with a
+//! [`RecordStats`] observer, and the [`scenario`] module names ready-made
+//! protocol/adversary/config combos the binary resolves by name.
 //! Criterion micro-benchmarks for the hot paths live in `benches/`.
 
 pub mod experiments;
+pub mod scenario;
 
 use popstab_core::params::Params;
 use popstab_core::protocol::PopulationStability;
 use popstab_core::state::AgentState;
-use popstab_sim::{Adversary, Engine, MatchingModel, NoOpAdversary, SimConfig};
+use popstab_sim::{
+    Adversary, Engine, MatchingModel, MetricsRecorder, NoOpAdversary, RecordStats, RunOutcome,
+    RunSpec, Scenario, SimConfig, Threads, Trajectory,
+};
 
-/// Shared run configuration for experiment drivers.
+/// Declarative description of one protocol experiment job.
 #[derive(Debug, Clone, Copy)]
-pub struct RunSpec {
+pub struct JobSpec {
     /// RNG seed.
     pub seed: u64,
     /// Initial population (defaults to the target `N` if `None`).
     pub initial: Option<usize>,
-    /// Matched fraction (1.0 = full matching).
+    /// Matched fraction (1.0 = full matching), used when `matching` is
+    /// `None`.
     pub gamma: f64,
+    /// Explicit matching-model override (e.g. `RandomFraction`); takes
+    /// precedence over `gamma`.
+    pub matching: Option<MatchingModel>,
     /// Per-round adversary budget enforced by the engine.
     pub budget: usize,
     /// Number of epochs to run.
     pub epochs: u64,
-    /// Recording stride as `(metrics_every, metrics_phase)`; `None` records
-    /// every round. Experiments that only consume per-epoch samples (e.g.
-    /// via `epoch_end_populations` or the variance estimator) set a stride
-    /// and skip the per-round observation scan.
+    /// Recording stride as `(every, phase)` for the
+    /// [`RecordStats`] observer; `None` records every round. Experiments
+    /// that only consume per-epoch samples (e.g. via
+    /// `epoch_end_populations` or the variance estimator) set a stride and
+    /// skip the per-round observation scan.
     pub metrics: Option<(u64, u64)>,
 }
 
-impl RunSpec {
+impl JobSpec {
     /// A default spec: start at `N`, full matching, no adversary budget,
     /// full recording.
-    pub fn new(seed: u64, epochs: u64) -> RunSpec {
-        RunSpec {
+    pub fn new(seed: u64, epochs: u64) -> JobSpec {
+        JobSpec {
             seed,
             initial: None,
             gamma: 1.0,
+            matching: None,
             budget: 0,
             epochs,
             metrics: None,
@@ -54,7 +72,7 @@ impl RunSpec {
 
     /// Records only epoch-end rounds (the `epoch_end_populations` /
     /// `max_epoch_deviation` sampling points) instead of every round.
-    pub fn record_epoch_ends(mut self, params: &Params) -> RunSpec {
+    pub fn record_epoch_ends(mut self, params: &Params) -> JobSpec {
         self.metrics = Some((u64::from(params.epoch_len()), 0));
         self
     }
@@ -62,14 +80,43 @@ impl RunSpec {
     /// Records only the evaluation-round snapshots the variance estimator
     /// harvests: the rounds whose stats report `majority_round ==
     /// eval_round` are those executed one round before the epoch boundary.
-    pub fn record_eval_rounds(mut self, params: &Params) -> RunSpec {
+    pub fn record_eval_rounds(mut self, params: &Params) -> JobSpec {
         let epoch = u64::from(params.epoch_len());
         self.metrics = Some((epoch, epoch - 1));
         self
     }
 }
 
-/// Builds and runs a protocol engine per `spec`, returning it for
+/// A finished protocol run: the engine (for state inspection), the metrics
+/// the [`RecordStats`] observer collected, and the driver outcome.
+#[derive(Debug)]
+pub struct ProtocolRun<A: Adversary<AgentState> = NoOpAdversary> {
+    /// The engine after the run.
+    pub engine: Engine<PopulationStability, A>,
+    /// The recorded metrics (per the [`JobSpec::metrics`] stride).
+    pub metrics: MetricsRecorder,
+    /// What the driver did.
+    pub outcome: RunOutcome,
+}
+
+impl<A: Adversary<AgentState>> ProtocolRun<A> {
+    /// Final population.
+    pub fn population(&self) -> usize {
+        self.engine.population()
+    }
+
+    /// `(min, max)` of the population over every recorded round.
+    pub fn population_range(&self) -> Option<(usize, usize)> {
+        self.metrics.population_range()
+    }
+
+    /// Trajectory view over the recorded metrics.
+    pub fn trajectory(&self) -> Trajectory<'_> {
+        self.metrics.trajectory()
+    }
+}
+
+/// Builds and runs a protocol engine per `spec`, returning the run for
 /// inspection. Rounds execute serially unless an intra-round worker count
 /// was configured (`experiments --round-threads` /
 /// [`popstab_sim::batch::round_threads`]), in which case the step phase of
@@ -78,43 +125,41 @@ impl RunSpec {
 pub fn run_protocol<A: Adversary<AgentState>>(
     params: &Params,
     adversary: A,
-    spec: RunSpec,
-) -> Engine<PopulationStability, A> {
+    spec: JobSpec,
+) -> ProtocolRun<A> {
     let epoch = u64::from(params.epoch_len());
-    let mut builder = SimConfig::builder();
-    builder
+    let matching = spec.matching.unwrap_or(if spec.gamma >= 1.0 {
+        MatchingModel::Full
+    } else {
+        MatchingModel::ExactFraction(spec.gamma)
+    });
+    let cfg = SimConfig::builder()
         .seed(spec.seed)
         .target(params.target())
         .adversary_budget(spec.budget)
-        .matching(if spec.gamma >= 1.0 {
-            MatchingModel::Full
-        } else {
-            MatchingModel::ExactFraction(spec.gamma)
-        })
-        .max_population(64 * params.target() as usize);
-    if let Some((every, phase)) = spec.metrics {
-        builder.metrics_every(every).metrics_phase(phase);
-    }
-    let cfg = builder.build().expect("valid experiment config");
+        .matching(matching)
+        .max_population(64 * params.target() as usize)
+        .build()
+        .expect("valid experiment config");
     let initial = spec.initial.unwrap_or(params.target() as usize);
-    let mut engine = Engine::with_adversary(
-        PopulationStability::new(params.clone()),
-        adversary,
-        cfg,
-        initial,
+    let scenario =
+        Scenario::new(PopulationStability::new(params.clone()), cfg, initial).against(adversary);
+    let run_spec = RunSpec::rounds(spec.epochs * epoch).threads(Threads::from_env());
+    let mut metrics = MetricsRecorder::new();
+    let (every, phase) = spec.metrics.unwrap_or((1, 0));
+    let (engine, outcome) = scenario.run(
+        run_spec,
+        &mut RecordStats::stride(&mut metrics, every, phase),
     );
-    let rounds = spec.epochs * epoch;
-    let threads = popstab_sim::batch::round_threads();
-    if threads > 1 {
-        engine.run_rounds_par(rounds, threads);
-    } else {
-        engine.run_rounds(rounds);
+    ProtocolRun {
+        engine,
+        metrics,
+        outcome,
     }
-    engine
 }
 
 /// Convenience: run with no adversary.
-pub fn run_clean(params: &Params, spec: RunSpec) -> Engine<PopulationStability, NoOpAdversary> {
+pub fn run_clean(params: &Params, spec: JobSpec) -> ProtocolRun {
     run_protocol(params, NoOpAdversary, spec)
 }
 
@@ -125,17 +170,26 @@ mod tests {
     #[test]
     fn run_clean_executes_requested_epochs() {
         let params = Params::for_target(1024).unwrap();
-        let engine = run_clean(&params, RunSpec::new(1, 2));
-        assert_eq!(engine.round(), 2 * u64::from(params.epoch_len()));
-        assert!(engine.population() > 0);
+        let run = run_clean(&params, JobSpec::new(1, 2));
+        assert_eq!(run.engine.round(), 2 * u64::from(params.epoch_len()));
+        assert_eq!(run.outcome.executed, run.engine.round());
+        assert!(run.population() > 0);
+        assert_eq!(run.metrics.len() as u64, run.outcome.executed);
     }
 
     #[test]
-    fn run_spec_initial_override() {
+    fn job_spec_initial_override() {
         let params = Params::for_target(1024).unwrap();
-        let mut spec = RunSpec::new(2, 0);
+        let mut spec = JobSpec::new(2, 0);
         spec.initial = Some(300);
-        let engine = run_clean(&params, spec);
-        assert_eq!(engine.population(), 300);
+        let run = run_clean(&params, spec);
+        assert_eq!(run.population(), 300);
+    }
+
+    #[test]
+    fn epoch_end_stride_records_once_per_epoch() {
+        let params = Params::for_target(1024).unwrap();
+        let run = run_clean(&params, JobSpec::new(3, 2).record_epoch_ends(&params));
+        assert_eq!(run.metrics.len(), 2);
     }
 }

@@ -1,0 +1,252 @@
+//! The named scenario registry.
+//!
+//! Each entry is a ready-made `(protocol, adversary, config)` combo built
+//! on [`popstab_sim::Scenario`] and the [`JobSpec`] layer, runnable by name:
+//!
+//! ```sh
+//! experiments --list              # print the registry
+//! experiments scenario clean-1024 # run one entry
+//! ```
+//!
+//! Scenario output is deterministic (no wall-clock lines), so the CI
+//! determinism diff can run a registry entry at different `--round-threads`
+//! values and require byte-identical reports.
+
+use popstab_adversary::{DesyncInserter, RandomDeleter, Throttle, Trauma, TraumaKind};
+use popstab_baselines::attempt1::SignalFlooder;
+use popstab_baselines::Attempt1;
+use popstab_core::params::Params;
+use popstab_core::protocol::PopulationStability;
+use popstab_core::state::AgentState;
+use popstab_extensions::{malicious_count, MaliciousInserter, WithMalice};
+use popstab_sim::{Adversary, MatchingModel, RunSpec, Scenario, SimConfig, Threads};
+
+use crate::{run_clean, run_protocol, JobSpec, ProtocolRun};
+
+/// One registry entry: a named, self-describing scenario.
+pub struct NamedScenario {
+    /// Registry key (`experiments scenario <name>`).
+    pub name: &'static str,
+    /// Protocol label for `--list`.
+    pub protocol: &'static str,
+    /// Adversary label for `--list`.
+    pub adversary: &'static str,
+    /// One-line config summary for `--list`.
+    pub summary: &'static str,
+    /// Runs the scenario and prints its report (`quick` shortens horizons).
+    pub run: fn(bool),
+}
+
+/// Every named scenario, in listing order.
+pub fn registry() -> &'static [NamedScenario] {
+    REGISTRY
+}
+
+/// Looks a scenario up by name.
+pub fn find(name: &str) -> Option<&'static NamedScenario> {
+    REGISTRY.iter().find(|s| s.name == name)
+}
+
+/// Prints the registry as the `--list` table.
+pub fn print_list() {
+    println!("named scenarios (run with `experiments scenario <name>`):");
+    for s in REGISTRY {
+        println!(
+            "  {:<22} {:<20} {:<22} {}",
+            s.name, s.protocol, s.adversary, s.summary
+        );
+    }
+}
+
+/// Standard report line for a protocol-run scenario.
+fn report<A: Adversary<AgentState>>(name: &str, run: &ProtocolRun<A>) {
+    let (lo, hi) = run.population_range().unwrap_or_else(|| {
+        let p = run.population();
+        (p, p)
+    });
+    println!(
+        "scenario {name}: rounds={} population={} band=[{lo}, {hi}] halted={}",
+        run.outcome.executed,
+        run.population(),
+        match run.outcome.halted {
+            None => "no".to_string(),
+            Some(reason) => format!("{reason:?}"),
+        }
+    );
+}
+
+fn clean(n: u64, seed: u64, quick: bool, name: &str) {
+    let params = Params::for_target(n).unwrap();
+    let epochs = if quick { 8 } else { 20 };
+    report(name, &run_clean(&params, JobSpec::new(seed, epochs)));
+}
+
+const REGISTRY: &[NamedScenario] = &[
+    NamedScenario {
+        name: "clean-1024",
+        protocol: "PopulationStability",
+        adversary: "none",
+        summary: "N=1024, full matching, 20 epochs",
+        run: |quick| clean(1024, 11, quick, "clean-1024"),
+    },
+    NamedScenario {
+        name: "clean-4096",
+        protocol: "PopulationStability",
+        adversary: "none",
+        summary: "N=4096, full matching, 20 epochs",
+        run: |quick| clean(4096, 12, quick, "clean-4096"),
+    },
+    NamedScenario {
+        name: "deleter-throttled-1024",
+        protocol: "PopulationStability",
+        adversary: "RandomDeleter 2/epoch",
+        summary: "N=1024, per-epoch metered deletion",
+        run: |quick| {
+            let params = Params::for_target(1024).unwrap();
+            let adv = Throttle::per_epoch(RandomDeleter::new(2), params.epoch_len());
+            let mut spec = JobSpec::new(13, if quick { 10 } else { 25 });
+            spec.budget = 2;
+            report("deleter-throttled-1024", &run_protocol(&params, adv, spec));
+        },
+    },
+    NamedScenario {
+        name: "trauma-injury-4096",
+        protocol: "PopulationStability",
+        adversary: "Trauma injury -70%",
+        summary: "N=4096, one-shot shock at epoch 2, healing horizon",
+        run: |quick| {
+            let params = Params::for_target(4096).unwrap();
+            let epoch = u64::from(params.epoch_len());
+            let adv = Trauma::new(params.clone(), TraumaKind::Injury, 0.7, 2 * epoch);
+            let mut spec = JobSpec::new(14, if quick { 20 } else { 60 }).record_epoch_ends(&params);
+            spec.budget = usize::MAX;
+            report("trauma-injury-4096", &run_protocol(&params, adv, spec));
+        },
+    },
+    NamedScenario {
+        name: "gamma-quarter-1024",
+        protocol: "PopulationStability",
+        adversary: "none",
+        summary: "N=1024, ExactFraction(0.25) matching",
+        run: |quick| {
+            let params = Params::for_target(1024).unwrap();
+            let mut spec = JobSpec::new(15, if quick { 10 } else { 25 });
+            spec.gamma = 0.25;
+            report("gamma-quarter-1024", &run_clean(&params, spec));
+        },
+    },
+    NamedScenario {
+        name: "gamma-random-1024",
+        protocol: "PopulationStability",
+        adversary: "none",
+        summary: "N=1024, RandomFraction{min 0.5} matching",
+        run: |quick| {
+            let params = Params::for_target(1024).unwrap();
+            let mut spec = JobSpec::new(16, if quick { 10 } else { 25 });
+            spec.matching = Some(MatchingModel::RandomFraction { min_gamma: 0.5 });
+            report("gamma-random-1024", &run_clean(&params, spec));
+        },
+    },
+    NamedScenario {
+        name: "desync-purge-1024",
+        protocol: "PopulationStability",
+        adversary: "DesyncInserter 4/epoch",
+        summary: "N=1024, Algorithm-7 purge under clock-skew insertion",
+        run: |quick| {
+            let params = Params::for_target(1024).unwrap();
+            let adv = Throttle::per_epoch(
+                DesyncInserter::new(params.clone(), 4, params.epoch_len() / 2),
+                params.epoch_len(),
+            );
+            let mut spec = JobSpec::new(17, if quick { 8 } else { 16 });
+            spec.budget = 4;
+            report("desync-purge-1024", &run_protocol(&params, adv, spec));
+        },
+    },
+    NamedScenario {
+        name: "attempt1-flood-1024",
+        protocol: "Attempt1 (baseline)",
+        adversary: "SignalFlooder 1/epoch",
+        summary: "N=1024, the paper's predicted collapse",
+        run: |quick| {
+            let proto = Attempt1::new(1024);
+            let epoch = u64::from(proto.epoch_len());
+            let rounds = if quick { 40 * epoch } else { 150 * epoch };
+            let cfg = SimConfig::builder()
+                .seed(18)
+                .target(1024)
+                .adversary_budget(1)
+                .max_population(64 * 1024)
+                .build()
+                .unwrap();
+            let (engine, outcome) = Scenario::new(proto, cfg, 1024)
+                .against(SignalFlooder::new(epoch as u32))
+                .run(
+                    RunSpec::until(rounds, |r| r.population_after < 512)
+                        .threads(Threads::from_env()),
+                    &mut (),
+                );
+            println!(
+                "scenario attempt1-flood-1024: rounds={} population={} band=[{}, {}] collapsed={}",
+                outcome.executed,
+                engine.population(),
+                outcome.min_population,
+                outcome.max_population,
+                outcome.stopped_early || engine.population() < 512
+            );
+        },
+    },
+    NamedScenario {
+        name: "malice-rho4-1024",
+        protocol: "WithMalice (ext. model)",
+        adversary: "MaliciousInserter rho=4",
+        summary: "N=1024, contact-kill containment race",
+        run: |quick| {
+            let params = Params::for_target(1024).unwrap();
+            let epoch = u64::from(params.epoch_len());
+            let epochs = if quick { 3 } else { 8 };
+            let cfg = SimConfig::builder()
+                .seed(19)
+                .target(1024)
+                .adversary_budget(1)
+                .max_population(16 * 1024)
+                .build()
+                .unwrap();
+            let proto = WithMalice::new(PopulationStability::new(params));
+            let (engine, outcome) = Scenario::new(proto, cfg, 1024)
+                .against(MaliciousInserter::new(1, 4))
+                .run(
+                    RunSpec::rounds(epochs * epoch).threads(Threads::from_env()),
+                    &mut (),
+                );
+            println!(
+                "scenario malice-rho4-1024: rounds={} population={} malicious={} contained={}",
+                outcome.executed,
+                engine.population(),
+                malicious_count(engine.agents()),
+                outcome.halted.is_none() && malicious_count(engine.agents()) < 100
+            );
+        },
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_are_unique_and_resolvable() {
+        let mut names: Vec<_> = registry().iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        let len = names.len();
+        names.dedup();
+        assert_eq!(names.len(), len, "duplicate scenario names");
+        assert!(find("clean-1024").is_some());
+        assert!(find("no-such-scenario").is_none());
+    }
+
+    #[test]
+    fn a_registry_scenario_runs_quickly() {
+        (find("gamma-quarter-1024").unwrap().run)(true);
+    }
+}

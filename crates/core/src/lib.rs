@@ -34,7 +34,7 @@
 //!
 //! ```
 //! use popstab_core::{params::Params, protocol::PopulationStability};
-//! use popstab_sim::{Engine, SimConfig};
+//! use popstab_sim::{Engine, RunSpec, SimConfig};
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let params = Params::for_target(1024)?;
@@ -42,7 +42,7 @@
 //! let protocol = PopulationStability::new(params);
 //! let cfg = SimConfig::builder().seed(1).target(1024).build()?;
 //! let mut engine = Engine::with_population(protocol, cfg, 1024);
-//! engine.run_rounds(2 * epoch);
+//! engine.run(RunSpec::rounds(2 * epoch), &mut ());
 //! assert!(engine.population() > 512 && engine.population() < 2048);
 //! # Ok(())
 //! # }

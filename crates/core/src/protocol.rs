@@ -462,7 +462,7 @@ mod tests {
         let cfg = SimConfig::builder().seed(99).target(1024).build().unwrap();
         let mut engine = Engine::with_population(PopulationStability::new(params), cfg, 1024);
         // Run up to (but not including) the evaluation round.
-        engine.run_rounds(epoch - 1);
+        engine.run(popstab_sim::RunSpec::rounds(epoch - 1), &mut ());
         // Group active agents by lineage: every complete cluster has √N members.
         use std::collections::HashMap;
         let mut clusters: HashMap<u64, u64> = HashMap::new();
@@ -492,9 +492,9 @@ mod tests {
         let epoch = u64::from(params.epoch_len());
         let cfg = SimConfig::builder().seed(5).target(1024).build().unwrap();
         let mut engine = Engine::with_population(PopulationStability::new(params), cfg, 1024);
-        engine.run_rounds(5 * epoch);
+        let outcome = engine.run(popstab_sim::RunSpec::rounds(5 * epoch), &mut ());
         assert_eq!(engine.halted(), None);
-        let (lo, hi) = engine.metrics().population_range().unwrap();
+        let (lo, hi) = outcome.population_range();
         // Equilibrium for N=1024 is m* = N − 8√N = 768; allow a wide band.
         assert!(lo > 512, "population fell to {lo}");
         assert!(hi < 1536, "population rose to {hi}");

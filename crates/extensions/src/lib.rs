@@ -270,7 +270,7 @@ mod tests {
             .build()
             .unwrap();
         let mut engine = Engine::with_adversary(proto, adv, cfg, N as usize);
-        engine.run_rounds(4 * epoch);
+        engine.run(popstab_sim::RunSpec::rounds(4 * epoch), &mut ());
         assert_eq!(engine.halted(), None);
         let mal = malicious_count(engine.agents());
         assert!(mal < 50, "malicious cohort grew to {mal}");
@@ -327,7 +327,7 @@ mod tests {
             .build()
             .unwrap();
         let mut engine = Engine::with_adversary(proto, adv, cfg, N as usize);
-        engine.run_rounds(3 * epoch);
+        engine.run(popstab_sim::RunSpec::rounds(3 * epoch), &mut ());
         let mal = malicious_count(engine.agents());
         // 1 inserted/round, doubling every 32 rounds, never killed: the
         // cohort dwarfs any bound the defended model keeps.
@@ -353,7 +353,7 @@ mod tests {
             .build()
             .unwrap();
         let mut engine = Engine::with_adversary(proto, adv, cfg, N as usize);
-        engine.run_rounds(200);
+        engine.run(popstab_sim::RunSpec::rounds(200), &mut ());
         assert!(
             engine.halted() == Some(popstab_sim::HaltReason::Exploded)
                 || malicious_count(engine.agents()) > N as usize,

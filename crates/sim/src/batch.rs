@@ -14,7 +14,7 @@
 //! schedules the workers:
 //!
 //! * every job carries its own seed (derive it with [`job_seed`] or any
-//!   scheme of your choosing) and builds its own [`Engine`](crate::Engine) /
+//!   scheme of your choosing) and builds its own [`Engine`] /
 //!   RNG streams from it — jobs share no mutable state,
 //! * workers claim jobs from an atomic counter, but each result is written
 //!   to the slot of *its own* job index, so the output `Vec` order never
@@ -28,15 +28,14 @@
 //! same tables.
 //!
 //! ```
-//! use popstab_sim::batch::{job_seed, BatchRunner};
-//! use popstab_sim::{protocols::Inert, Engine, SimConfig};
+//! use popstab_sim::batch::{job_seed, BatchRunner, Scenario};
+//! use popstab_sim::{protocols::Inert, RunSpec, SimConfig};
 //!
 //! let jobs: Vec<u64> = (0..8).map(|i| job_seed(42, i)).collect();
 //! let runner = BatchRunner::new(4);
 //! let finals = runner.run(jobs.clone(), |_, seed| {
 //!     let cfg = SimConfig::builder().seed(seed).build().unwrap();
-//!     let mut engine = Engine::with_population(Inert, cfg, 64);
-//!     engine.run_until(50, |_| false);
+//!     let (engine, _) = Scenario::new(Inert, cfg, 64).run(RunSpec::rounds(50), &mut ());
 //!     engine.population()
 //! });
 //! assert_eq!(finals, BatchRunner::new(1).run(jobs, |_, _| 64));
@@ -45,6 +44,11 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
 
+use crate::adversary::{Adversary, NoOpAdversary};
+use crate::agent::Protocol;
+use crate::config::SimConfig;
+use crate::driver::{Observer, RunOutcome, RunSpec};
+use crate::engine::{Engine, RoundReport};
 use crate::rng::derive_seed;
 
 /// Process-wide default worker count override (0 = unset).
@@ -60,11 +64,12 @@ pub fn set_round_threads(threads: usize) {
     ROUND_THREADS.store(threads, Ordering::Relaxed);
 }
 
-/// The intra-round worker count drivers should pass to
-/// `Engine::run_rounds_par` and friends: the [`set_round_threads`] override
-/// if set, else the `POPSTAB_ROUND_THREADS` environment variable, else `1`
-/// (serial rounds — intra-round sharding only pays off on large
-/// populations, so it is strictly opt-in, unlike the batch default).
+/// The intra-round worker count behind
+/// [`Threads::from_env`](crate::Threads::from_env): the
+/// [`set_round_threads`] override if set, else the
+/// `POPSTAB_ROUND_THREADS` environment variable, else `1` (serial rounds —
+/// intra-round sharding only pays off on large populations, so it is
+/// strictly opt-in, unlike the batch default).
 pub fn round_threads() -> usize {
     round_threads_override().unwrap_or(1)
 }
@@ -220,6 +225,83 @@ impl BatchRunner {
                     .expect("job finished without a result")
             })
             .collect()
+    }
+}
+
+/// A declarative, self-contained simulation job: the `(protocol, adversary,
+/// config, initial population)` tuple every trial loop in the workspace
+/// used to hand-roll.
+///
+/// A `Scenario` is plain data (`Clone` when its parts are), so sweeps can
+/// build one per grid cell and fan them out over a [`BatchRunner`] — each
+/// job builds its own [`Engine`] from its own seed, which is exactly the
+/// batch determinism contract. Named, concrete scenarios (the paper's
+/// protocol against each suite adversary, the baselines, …) live in the
+/// `popstab-bench` registry (`experiments --list`); this type is the
+/// generic substrate they are built from.
+///
+/// ```
+/// use popstab_sim::{protocols::Inert, RunSpec, Scenario, SimConfig};
+///
+/// let cfg = SimConfig::builder().seed(3).build().unwrap();
+/// let (engine, outcome) = Scenario::new(Inert, cfg, 32).run(RunSpec::rounds(5), &mut ());
+/// assert_eq!(outcome.executed, 5);
+/// assert_eq!(engine.population(), 32);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Scenario<P, A = NoOpAdversary> {
+    /// The protocol every agent runs.
+    pub protocol: P,
+    /// The adversary acting each round.
+    pub adversary: A,
+    /// Engine configuration (seed, matching model, budget, caps).
+    pub config: SimConfig,
+    /// Initial population size.
+    pub initial: usize,
+}
+
+impl<P: Protocol> Scenario<P, NoOpAdversary> {
+    /// A scenario with no adversary.
+    pub fn new(protocol: P, config: SimConfig, initial: usize) -> Self {
+        Scenario {
+            protocol,
+            adversary: NoOpAdversary,
+            config,
+            initial,
+        }
+    }
+}
+
+impl<P: Protocol, A: Adversary<P::State>> Scenario<P, A> {
+    /// Replaces the adversary (builder-style, so `Scenario::new(..)
+    /// .against(adv)` reads declaratively).
+    pub fn against<B: Adversary<P::State>>(self, adversary: B) -> Scenario<P, B> {
+        Scenario {
+            protocol: self.protocol,
+            adversary,
+            config: self.config,
+            initial: self.initial,
+        }
+    }
+
+    /// Builds the engine this scenario describes.
+    pub fn engine(self) -> Engine<P, A> {
+        Engine::with_adversary(self.protocol, self.adversary, self.config, self.initial)
+    }
+
+    /// Builds the engine and drives it through `spec` under `obs`,
+    /// returning the engine (for state inspection) and the outcome.
+    pub fn run<F, O>(self, spec: RunSpec<F>, obs: &mut O) -> (Engine<P, A>, RunOutcome)
+    where
+        P: Sync,
+        P::State: Send + Sync,
+        P::Message: Send,
+        F: FnMut(&RoundReport) -> bool,
+        O: Observer<P>,
+    {
+        let mut engine = self.engine();
+        let outcome = engine.run(spec, obs);
+        (engine, outcome)
     }
 }
 
@@ -602,14 +684,20 @@ mod tests {
         });
     }
 
+    /// The only test that touches the process-global round-thread override
+    /// (a second one would race it across test threads); also covers
+    /// `Threads::from_env`, which reads the same global.
     #[test]
     fn round_threads_default_is_serial() {
+        use crate::Threads;
         set_round_threads(0);
         if std::env::var_os("POPSTAB_ROUND_THREADS").is_none() {
             assert_eq!(round_threads(), 1);
+            assert_eq!(Threads::from_env(), Threads::Serial);
         }
         set_round_threads(5);
         assert_eq!(round_threads(), 5);
+        assert_eq!(Threads::from_env(), Threads::Sharded(5));
         set_round_threads(0);
     }
 

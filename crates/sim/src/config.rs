@@ -6,7 +6,9 @@ use crate::matching::MatchingModel;
 /// Configuration of a simulation run.
 ///
 /// Construct with [`SimConfig::builder`]; all fields have sensible defaults
-/// (full matching, no adversary budget, generous safety caps).
+/// (full matching, no adversary budget, generous safety caps). Metrics
+/// recording is not configured here: it is an observer concern — see
+/// [`RecordStats`](crate::RecordStats).
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimConfig {
     /// How the per-round random matching is sampled.
@@ -22,16 +24,6 @@ pub struct SimConfig {
     ///
     /// [`HaltReason::Exploded`]: crate::engine::HaltReason::Exploded
     pub max_population: usize,
-    /// Record metrics every this many rounds (1 = every round).
-    pub metrics_every: u64,
-    /// Phase offset of the recording stride: a round is recorded when the
-    /// post-round counter satisfies `rounds_executed % metrics_every ==
-    /// metrics_phase`. The default `0` samples epoch *ends* when
-    /// `metrics_every` is the epoch length; protocols whose interesting
-    /// round sits elsewhere in the epoch (e.g. the evaluation round the
-    /// variance estimator harvests) set a nonzero phase and keep the
-    /// recording-light stride instead of recording every round.
-    pub metrics_phase: u64,
     /// The population target `N` exposed to adversaries via
     /// [`RoundContext::target`](crate::RoundContext::target).
     pub target: u64,
@@ -59,8 +51,6 @@ pub struct SimConfigBuilder {
     adversary_budget: usize,
     seed: u64,
     max_population: usize,
-    metrics_every: u64,
-    metrics_phase: u64,
     target: u64,
 }
 
@@ -71,8 +61,6 @@ impl Default for SimConfigBuilder {
             adversary_budget: 0,
             seed: 0,
             max_population: 1 << 28,
-            metrics_every: 1,
-            metrics_phase: 0,
             target: 0,
         }
     }
@@ -103,19 +91,6 @@ impl SimConfigBuilder {
         self
     }
 
-    /// Records metrics every `every` rounds.
-    pub fn metrics_every(&mut self, every: u64) -> &mut Self {
-        self.metrics_every = every;
-        self
-    }
-
-    /// Offsets the recording stride by `phase` rounds (must be smaller than
-    /// `metrics_every`; see [`SimConfig::metrics_phase`]).
-    pub fn metrics_phase(&mut self, phase: u64) -> &mut Self {
-        self.metrics_phase = phase;
-        self
-    }
-
     /// Sets the population target `N` exposed to adversaries.
     pub fn target(&mut self, n: u64) -> &mut Self {
         self.target = n;
@@ -127,7 +102,7 @@ impl SimConfigBuilder {
     /// # Errors
     ///
     /// Returns [`SimError::InvalidConfig`] if the matching fraction is out of
-    /// range, the cap is zero, or `metrics_every` is zero.
+    /// range or the cap is zero.
     pub fn build(&self) -> Result<SimConfig, SimError> {
         self.matching.validate()?;
         if self.max_population == 0 {
@@ -136,28 +111,11 @@ impl SimConfigBuilder {
                 "must be positive",
             ));
         }
-        if self.metrics_every == 0 {
-            return Err(SimError::invalid_config(
-                "metrics_every",
-                "must be positive",
-            ));
-        }
-        if self.metrics_phase >= self.metrics_every {
-            return Err(SimError::invalid_config(
-                "metrics_phase",
-                format!(
-                    "phase {} must be smaller than the stride {}",
-                    self.metrics_phase, self.metrics_every
-                ),
-            ));
-        }
         Ok(SimConfig {
             matching: self.matching,
             adversary_budget: self.adversary_budget,
             seed: self.seed,
             max_population: self.max_population,
-            metrics_every: self.metrics_every,
-            metrics_phase: self.metrics_phase,
             target: self.target,
         })
     }
@@ -172,7 +130,7 @@ mod tests {
         let cfg = SimConfig::default();
         assert_eq!(cfg.adversary_budget, 0);
         assert_eq!(cfg.matching, MatchingModel::Full);
-        assert_eq!(cfg.metrics_every, 1);
+        assert_eq!(cfg.target, 0);
     }
 
     #[test]
@@ -182,7 +140,6 @@ mod tests {
             .adversary_budget(7)
             .seed(99)
             .max_population(1000)
-            .metrics_every(5)
             .target(512)
             .build()
             .unwrap();
@@ -190,7 +147,6 @@ mod tests {
         assert_eq!(cfg.adversary_budget, 7);
         assert_eq!(cfg.seed, 99);
         assert_eq!(cfg.max_population, 1000);
-        assert_eq!(cfg.metrics_every, 5);
         assert_eq!(cfg.target, 512);
     }
 
@@ -205,26 +161,5 @@ mod tests {
     #[test]
     fn builder_rejects_zero_cap() {
         assert!(SimConfig::builder().max_population(0).build().is_err());
-    }
-
-    #[test]
-    fn builder_rejects_zero_metrics_stride() {
-        assert!(SimConfig::builder().metrics_every(0).build().is_err());
-    }
-
-    #[test]
-    fn builder_rejects_phase_outside_stride() {
-        assert!(SimConfig::builder()
-            .metrics_every(5)
-            .metrics_phase(5)
-            .build()
-            .is_err());
-        assert!(SimConfig::builder().metrics_phase(1).build().is_err());
-        let cfg = SimConfig::builder()
-            .metrics_every(5)
-            .metrics_phase(4)
-            .build()
-            .unwrap();
-        assert_eq!(cfg.metrics_phase, 4);
     }
 }

@@ -10,31 +10,34 @@
 //!    pre-round states; every agent then **steps** once,
 //! 4. **splits** and **deaths** decided during the step are applied.
 //!
-//! The engine is generic over the [`Protocol`] and the [`Adversary`], records
-//! [`RoundStats`] each round, and halts on extinction or population explosion
-//! (a safety cap for baselines that are *supposed* to diverge).
+//! The engine is generic over the [`Protocol`] and the [`Adversary`] and
+//! halts on extinction or population explosion (a safety cap for baselines
+//! that are *supposed* to diverge).
+//!
+//! All execution goes through one generic driver, [`Engine::run`], which
+//! takes a [`RunSpec`] (stop condition + thread configuration) and a
+//! composable [`Observer`] (see [`crate::driver`]). Recording is an
+//! observer concern ([`RecordStats`](crate::RecordStats)); the engine
+//! itself holds no metrics.
 //!
 //! Agent randomness is **counter-based** (see [`crate::rng::counter_seed`]):
 //! agent slot `s` in round `r` flips coins from a stateless stream keyed on
 //! `(seed, r, s)`, so the step phase has no serial RNG dependency between
-//! agents and can be sharded across threads ([`Engine::run_until_par`],
-//! [`Engine::run_rounds_par`], [`Engine::par_round`]) with results
+//! agents and can be sharded across threads
+//! ([`Threads::Sharded`]) with results
 //! bit-identical to the serial paths for every worker count. The matching
 //! is counter-keyed the same way (see [`crate::matching`]): round `r`'s
 //! pairs are a pure function of `round_key(match_key, r)`, and for large
 //! populations their construction shards across the same pool as the step
 //! phase.
 
-use std::collections::HashMap;
-
 use crate::adversary::{Adversary, Alteration, NoOpAdversary, RoundContext};
 use crate::agent::{Action, Protocol};
 use crate::batch::{shard_range, SendPtr, ShardPool};
 use crate::config::SimConfig;
+use crate::driver::{EngineView, Observer, RunOutcome, RunSpec, Stop, Threads};
 use crate::matching::{sample_matching_into, sample_matching_into_par, Matching, UNMATCHED};
-use crate::metrics::{MetricsRecorder, RoundStats};
 use crate::rng::{derive_seed, derive_stream, round_key, slot_rng, SimRng};
-use crate::trace::Trajectory;
 
 /// Why a run stopped early.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -88,7 +91,6 @@ struct RoundScratch<M> {
     splits: Vec<usize>,
     deaths: Vec<usize>,
     to_delete: Vec<usize>,
-    round_counts: HashMap<u32, usize>,
 }
 
 impl<M> Default for RoundScratch<M> {
@@ -101,21 +103,8 @@ impl<M> Default for RoundScratch<M> {
             splits: Vec::new(),
             deaths: Vec::new(),
             to_delete: Vec::new(),
-            round_counts: HashMap::new(),
         }
     }
-}
-
-/// Whether a round records [`RoundStats`].
-#[derive(Clone, Copy, PartialEq, Eq)]
-enum RecordMode {
-    /// Record on the `metrics_every` stride and on extinction (the
-    /// historical [`Engine::run_round`] behavior).
-    Stride,
-    /// Record this round unconditionally (epoch boundaries).
-    Force,
-    /// Skip recording entirely (the fast paths).
-    Skip,
 }
 
 /// Per-shard output of the parallel step phase: the split/death work lists
@@ -144,9 +133,7 @@ pub struct Engine<P: Protocol, A: Adversary<P::State> = NoOpAdversary> {
     /// round, shardable within one (see [`crate::matching`]).
     match_key: u64,
     adv_rng: SimRng,
-    metrics: MetricsRecorder,
     halted: Option<HaltReason>,
-    recording: bool,
     scratch: RoundScratch<P::Message>,
 }
 
@@ -178,9 +165,7 @@ impl<P: Protocol, A: Adversary<P::State>> Engine<P, A> {
             agent_key,
             match_key,
             adv_rng,
-            metrics: MetricsRecorder::new(),
             halted: None,
-            recording: true,
             scratch: RoundScratch::default(),
         }
     }
@@ -215,170 +200,128 @@ impl<P: Protocol, A: Adversary<P::State>> Engine<P, A> {
         self.halted
     }
 
-    /// Recorded metrics.
-    pub fn metrics(&self) -> &MetricsRecorder {
-        &self.metrics
-    }
-
-    /// Trajectory view over the recorded metrics.
-    pub fn trajectory(&self) -> Trajectory<'_> {
-        Trajectory::new(self.metrics.rounds())
-    }
-
-    /// Clears recorded metrics (e.g. after warm-up).
-    pub fn reset_metrics(&mut self) {
-        self.metrics.clear();
-    }
-
-    /// Enables or disables [`RoundStats`] recording. With recording off the
-    /// engine never observes the population (an `O(population)` scan per
-    /// recorded round), which roughly doubles throughput at large `N`; the
-    /// per-round [`RoundReport`]s are unaffected.
-    pub fn set_recording(&mut self, on: bool) {
-        self.recording = on;
-    }
-
-    /// Whether [`RoundStats`] recording is enabled (the default).
-    pub fn is_recording(&self) -> bool {
-        self.recording
-    }
-
-    /// Executes one round; returns its report. A halted engine is inert and
-    /// returns a report describing no activity.
-    pub fn run_round(&mut self) -> RoundReport {
-        let mode = if self.recording {
-            RecordMode::Stride
-        } else {
-            RecordMode::Skip
-        };
-        let mut scratch = std::mem::take(&mut self.scratch);
-        let report = self.round_impl(&mut scratch, mode);
-        self.scratch = scratch;
-        report
-    }
-
-    /// Identical to [`run_round`](Engine::run_round) but with freshly
-    /// allocated per-round buffers. Exists only so property tests can assert
-    /// that scratch-buffer reuse never changes behavior; not part of the
-    /// supported API.
-    #[doc(hidden)]
-    pub fn run_round_fresh(&mut self) -> RoundReport {
-        let mode = if self.recording {
-            RecordMode::Stride
-        } else {
-            RecordMode::Skip
-        };
-        let mut scratch = RoundScratch::default();
-        self.round_impl(&mut scratch, mode)
-    }
-
-    /// Runs up to `n` rounds, stopping early if the engine halts. Returns the
-    /// number of rounds actually executed.
-    pub fn run_rounds(&mut self, n: u64) -> u64 {
-        let mut scratch = std::mem::take(&mut self.scratch);
-        let mode = if self.recording {
-            RecordMode::Stride
-        } else {
-            RecordMode::Skip
-        };
-        let mut executed = 0;
-        while executed < n {
-            if self.halted.is_some() {
-                break;
-            }
-            self.round_impl(&mut scratch, mode);
-            executed += 1;
-        }
-        self.scratch = scratch;
-        executed
-    }
-
-    /// Fast path: runs up to `max_rounds` rounds with **no** stats recording,
-    /// stopping early when the engine halts or `stop` returns `true` for the
-    /// round just executed. Returns the number of rounds executed.
-    ///
-    /// The simulation trajectory is bit-identical to [`run_rounds`]; only the
-    /// [`MetricsRecorder`] side channel is skipped. Use this for trial loops
-    /// that only need the final state (or fold what they need out of the
-    /// per-round reports inside `stop`).
-    pub fn run_until<F>(&mut self, max_rounds: u64, mut stop: F) -> u64
+    /// The generic run loop shared by the serial and sharded drivers:
+    /// executes rounds through `exec` until the spec is exhausted, the
+    /// engine halts, or an [`Stop::Until`] predicate fires, notifying `obs`
+    /// after every round.
+    fn drive<F, O>(
+        &mut self,
+        spec: RunSpec<F>,
+        obs: &mut O,
+        scratch: &mut RoundScratch<P::Message>,
+        mut exec: impl FnMut(&mut Self, &mut RoundScratch<P::Message>) -> RoundReport,
+    ) -> RunOutcome
     where
         F: FnMut(&RoundReport) -> bool,
+        O: Observer<P>,
     {
-        let mut scratch = std::mem::take(&mut self.scratch);
-        let mut executed = 0;
+        let max_rounds = spec.max_rounds();
+        let mut stop = spec.stop;
+        let mut executed = 0u64;
+        let (mut lo, mut hi) = (usize::MAX, 0usize);
+        let mut last: Option<RoundReport> = None;
+        let mut stopped_early = false;
         while executed < max_rounds {
             if self.halted.is_some() {
                 break;
             }
-            let report = self.round_impl(&mut scratch, RecordMode::Skip);
+            let report = exec(self, scratch);
             executed += 1;
-            if stop(&report) {
-                break;
-            }
-        }
-        self.scratch = scratch;
-        executed
-    }
-
-    /// Fast path: runs up to `max_rounds` rounds (no recording) and returns
-    /// the `(min, max)` of the post-round population over the executed
-    /// rounds — the band the stability suites assert on — or the current
-    /// population twice if no round executed. Folds the range out of the
-    /// per-round reports in `O(1)` per round instead of recording stats.
-    pub fn run_range(&mut self, max_rounds: u64) -> (usize, usize) {
-        let (mut lo, mut hi) = (usize::MAX, 0);
-        let executed = self.run_until(max_rounds, |r| {
-            lo = lo.min(r.population_after);
-            hi = hi.max(r.population_after);
-            false
-        });
-        if executed == 0 {
-            (self.agents.len(), self.agents.len())
-        } else {
-            (lo, hi)
-        }
-    }
-
-    /// Fast path: runs `epochs` epochs of `epoch_len` rounds each, recording
-    /// one [`RoundStats`] at each epoch's final round (skipping the per-round
-    /// `metrics_every` stride entirely), halting early as usual. Returns the
-    /// number of rounds executed.
-    ///
-    /// This is the natural shape for trial loops over the paper's protocol:
-    /// per-epoch population samples at a fraction of the full recording cost.
-    /// With recording disabled ([`set_recording`](Engine::set_recording))
-    /// even the boundary samples are skipped.
-    pub fn run_epochs(&mut self, epochs: u64, epoch_len: u64) -> u64 {
-        let mut scratch = std::mem::take(&mut self.scratch);
-        let mut executed = 0;
-        'epochs: for _ in 0..epochs {
-            for round_in_epoch in 0..epoch_len {
-                if self.halted.is_some() {
-                    break 'epochs;
+            lo = lo.min(report.population_after);
+            hi = hi.max(report.population_after);
+            let view = EngineView {
+                agents: &self.agents,
+                round: self.round,
+                halted: self.halted,
+            };
+            obs.on_round(&report, &view);
+            last = Some(report);
+            if let Stop::Until { stop, .. } = &mut stop {
+                if stop(&report) {
+                    stopped_early = true;
+                    break;
                 }
-                let mode = if self.recording && round_in_epoch + 1 == epoch_len {
-                    RecordMode::Force
-                } else {
-                    RecordMode::Skip
-                };
-                self.round_impl(&mut scratch, mode);
-                executed += 1;
             }
         }
-        self.scratch = scratch;
-        executed
+        let population = self.agents.len();
+        if executed == 0 {
+            lo = population;
+            hi = population;
+        }
+        RunOutcome {
+            executed,
+            halted: self.halted,
+            stopped_early,
+            last: last.unwrap_or(RoundReport {
+                round: self.round,
+                population_before: population,
+                population_after: population,
+                ..RoundReport::default()
+            }),
+            min_population: lo,
+            max_population: hi,
+        }
     }
 
-    /// One synchronous round against explicit scratch buffers. All serial
-    /// fast paths and the public `run_*` methods funnel through here; the
-    /// parallel paths funnel through [`par_round_impl`](Self::par_round_impl),
-    /// which differs *only* in how the step phase is executed.
-    fn round_impl(
-        &mut self,
-        scratch: &mut RoundScratch<P::Message>,
-        mode: RecordMode,
-    ) -> RoundReport {
+    /// The serial driver core: [`Engine::run`] minus the
+    /// [`Threads::Sharded`] arm, so it needs none of that arm's
+    /// `Send`/`Sync` bounds. `spec.threads` is ignored (rounds execute
+    /// serially).
+    fn run_serial<F, O>(&mut self, spec: RunSpec<F>, obs: &mut O) -> RunOutcome
+    where
+        F: FnMut(&RoundReport) -> bool,
+        O: Observer<P>,
+    {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let outcome = self.drive(spec, obs, &mut scratch, |e, s| e.round_impl(s));
+        self.scratch = scratch;
+        outcome
+    }
+
+    /// Executes one round; returns its report. A halted engine is inert and
+    /// returns a report describing no activity.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `Engine::run(RunSpec::rounds(1), &mut obs).last` instead"
+    )]
+    pub fn run_round(&mut self) -> RoundReport {
+        self.run_serial(RunSpec::rounds(1), &mut ()).last
+    }
+
+    /// Runs up to `n` rounds, stopping early if the engine halts. Returns
+    /// the number of rounds actually executed.
+    ///
+    /// Stats are no longer recorded implicitly; pass a
+    /// [`RecordStats`](crate::RecordStats) observer to [`Engine::run`] for
+    /// that.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `Engine::run(RunSpec::rounds(n), &mut obs)` instead"
+    )]
+    pub fn run_rounds(&mut self, n: u64) -> u64 {
+        self.run_serial(RunSpec::rounds(n), &mut ()).executed
+    }
+
+    /// Runs up to `max_rounds` rounds, stopping early when the engine halts
+    /// or `stop` returns `true` for the round just executed. Returns the
+    /// number of rounds executed.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `Engine::run(RunSpec::until(max_rounds, stop), &mut obs)` instead"
+    )]
+    pub fn run_until<F>(&mut self, max_rounds: u64, stop: F) -> u64
+    where
+        F: FnMut(&RoundReport) -> bool,
+    {
+        self.run_serial(RunSpec::until(max_rounds, stop), &mut ())
+            .executed
+    }
+
+    /// One synchronous round against explicit scratch buffers. The serial
+    /// driver funnels through here; the sharded driver funnels through
+    /// [`par_round_impl`](Self::par_round_impl), which differs *only* in how
+    /// the step phase is executed.
+    fn round_impl(&mut self, scratch: &mut RoundScratch<P::Message>) -> RoundReport {
         let mut report = RoundReport {
             round: self.round,
             population_before: self.agents.len(),
@@ -390,7 +333,7 @@ impl<P: Protocol, A: Adversary<P::State>> Engine<P, A> {
         }
         self.phase_adversary_and_matching(scratch, &mut report, None);
         self.phase_step_serial(scratch);
-        self.phase_apply_and_record(scratch, mode, &mut report);
+        self.phase_apply(scratch, &mut report);
         report
     }
 
@@ -485,20 +428,10 @@ impl<P: Protocol, A: Adversary<P::State>> Engine<P, A> {
 
     /// Phase 4 plus bookkeeping: apply splits (append daughters) then
     /// deaths (swap-remove, descending index order so earlier indices stay
-    /// valid; kills may duplicate an own-death, so dedup first), record
-    /// stats per `mode`, and check the halt conditions.
-    fn phase_apply_and_record(
-        &mut self,
-        scratch: &mut RoundScratch<P::Message>,
-        mode: RecordMode,
-        report: &mut RoundReport,
-    ) {
-        let RoundScratch {
-            splits,
-            deaths,
-            round_counts,
-            ..
-        } = scratch;
+    /// valid; kills may duplicate an own-death, so dedup first), and check
+    /// the halt conditions.
+    fn phase_apply(&mut self, scratch: &mut RoundScratch<P::Message>, report: &mut RoundReport) {
+        let RoundScratch { splits, deaths, .. } = scratch;
         deaths.sort_unstable();
         deaths.dedup();
         report.splits = splits.len();
@@ -513,24 +446,6 @@ impl<P: Protocol, A: Adversary<P::State>> Engine<P, A> {
 
         report.population_after = self.agents.len();
         self.round += 1;
-
-        let record = match mode {
-            RecordMode::Stride => {
-                self.round % self.cfg.metrics_every == self.cfg.metrics_phase
-                    || self.agents.is_empty()
-            }
-            RecordMode::Force => true,
-            RecordMode::Skip => false,
-        };
-        if record {
-            let mut stats = RoundStats::observe_with(report.round, &self.agents, round_counts);
-            stats.splits = report.splits;
-            stats.deaths = report.deaths;
-            stats.adv_inserted = report.inserted;
-            stats.adv_deleted = report.deleted;
-            stats.adv_modified = report.modified;
-            self.metrics.record(stats);
-        }
 
         if self.agents.is_empty() {
             self.halted = Some(HaltReason::Extinct);
@@ -664,7 +579,6 @@ impl<P: Protocol, A: Adversary<P::State>> Engine<P, A> {
     fn par_round_impl(
         &mut self,
         scratch: &mut RoundScratch<P::Message>,
-        mode: RecordMode,
         pool: &ShardPool,
         shard_out: &mut [StepShard],
     ) -> RoundReport
@@ -684,7 +598,7 @@ impl<P: Protocol, A: Adversary<P::State>> Engine<P, A> {
         }
         self.phase_adversary_and_matching(scratch, &mut report, Some(pool));
         self.phase_step_parallel(scratch, pool, shard_out);
-        self.phase_apply_and_record(scratch, mode, &mut report);
+        self.phase_apply(scratch, &mut report);
         report
     }
 
@@ -727,19 +641,19 @@ impl<P: Protocol, A: Adversary<P::State>> Engine<P, A> {
     }
 }
 
-/// Intra-round parallel execution.
+/// The unified run driver.
 ///
-/// These paths shard the two `O(population)` stretches of every round — the
-/// step phase and the matching-pair construction — across one persistent
-/// [`ShardPool`]; the per-agent counter RNG and the counter-keyed matching
-/// permutation make the results **bit-identical to the serial paths for
-/// every worker count** (asserted by the `par_round_*` property tests and
-/// the CI determinism diff). The remaining phases (adversary, partner-table
-/// scatter, split/death application) stay serial — they are `O(K +
-/// matched)` scatter work against the `O(population)` scans.
-///
-/// Worth it only when single rounds are large: the pool synchronizes twice
-/// per round, so at small populations the serial fast paths win.
+/// The `Send`/`Sync` bounds come from [`Threads::Sharded`], whose step scan
+/// shards the two `O(population)` stretches of every round — the step phase
+/// and the matching-pair construction — across one persistent [`ShardPool`];
+/// the per-agent counter RNG and the counter-keyed matching permutation make
+/// the results **bit-identical to the serial loop for every worker count**
+/// (asserted by the `sharded_run_*` property tests and the CI determinism
+/// diff). The remaining phases (adversary, partner-table scatter,
+/// split/death application) stay serial — they are `O(K + matched)` scatter
+/// work against the `O(population)` scans. Sharding is worth it only when
+/// single rounds are large: the pool synchronizes twice per round, so at
+/// small populations [`Threads::Serial`] wins.
 impl<P, A> Engine<P, A>
 where
     P: Protocol + Sync,
@@ -747,82 +661,47 @@ where
     P::Message: Send,
     A: Adversary<P::State>,
 {
-    /// Executes one round with the step phase sharded over `workers`
-    /// threads. Spins a pool up per call — prefer
-    /// [`run_rounds_par`](Engine::run_rounds_par) /
-    /// [`run_until_par`](Engine::run_until_par), which keep one pool alive
-    /// across all their rounds.
-    pub fn par_round(&mut self, workers: usize) -> RoundReport {
-        let mode = if self.recording {
-            RecordMode::Stride
-        } else {
-            RecordMode::Skip
-        };
-        let mut scratch = std::mem::take(&mut self.scratch);
-        let workers = workers.max(1);
-        let mut shard_out: Vec<StepShard> = (0..workers).map(|_| StepShard::default()).collect();
-        let report = ShardPool::with(workers, |pool| {
-            self.par_round_impl(&mut scratch, mode, pool, &mut shard_out)
-        });
-        self.scratch = scratch;
-        report
-    }
-
-    /// As [`run_rounds`](Engine::run_rounds) (stride recording, early halt)
-    /// with intra-round sharding over a pool of `workers` threads that
-    /// persists for all `n` rounds.
-    pub fn run_rounds_par(&mut self, n: u64, workers: usize) -> u64 {
-        let mode = if self.recording {
-            RecordMode::Stride
-        } else {
-            RecordMode::Skip
-        };
-        let mut scratch = std::mem::take(&mut self.scratch);
-        let workers = workers.max(1);
-        let mut shard_out: Vec<StepShard> = (0..workers).map(|_| StepShard::default()).collect();
-        let executed = ShardPool::with(workers, |pool| {
-            let mut executed = 0;
-            while executed < n {
-                if self.halted.is_some() {
-                    break;
-                }
-                self.par_round_impl(&mut scratch, mode, pool, &mut shard_out);
-                executed += 1;
-            }
-            executed
-        });
-        self.scratch = scratch;
-        executed
-    }
-
-    /// As [`run_until`](Engine::run_until) (no recording, early exit on a
-    /// per-round predicate) with intra-round sharding over a pool of
-    /// `workers` threads that persists for the whole run. The trajectory is
-    /// bit-identical to the serial fast path for every worker count.
-    pub fn run_until_par<F>(&mut self, max_rounds: u64, workers: usize, mut stop: F) -> u64
+    /// Runs the engine per `spec`, notifying `obs` after every executed
+    /// round.
+    ///
+    /// This is the one execution entry point: the stop condition
+    /// ([`Stop::Rounds`] / [`Stop::Until`] / [`Stop::Epochs`]) and the
+    /// thread configuration ([`Threads::Serial`] /
+    /// [`Threads::Sharded`], one pool persisting across all rounds) live in
+    /// the [`RunSpec`]; recording and any other instrumentation live in the
+    /// [`Observer`]. With the `()` observer the loop is the allocation-free
+    /// fast path; with [`RecordStats`](crate::RecordStats) it reproduces the
+    /// engine's former built-in stats recording. The trajectory is a pure
+    /// function of the seed: the spec's thread configuration and the
+    /// observer never change it.
+    ///
+    /// The `Send`/`Sync` bounds on this impl block exist for the
+    /// [`Threads::Sharded`] arm (they are satisfied by every protocol in
+    /// this workspace). A protocol with non-thread-safe state can still
+    /// execute serially through the deprecated
+    /// [`run_rounds`](Engine::run_rounds) /
+    /// [`run_until`](Engine::run_until) wrappers, which are bound-free.
+    pub fn run<F, O>(&mut self, spec: RunSpec<F>, obs: &mut O) -> RunOutcome
     where
         F: FnMut(&RoundReport) -> bool,
+        O: Observer<P>,
     {
-        let mut scratch = std::mem::take(&mut self.scratch);
-        let workers = workers.max(1);
-        let mut shard_out: Vec<StepShard> = (0..workers).map(|_| StepShard::default()).collect();
-        let executed = ShardPool::with(workers, |pool| {
-            let mut executed = 0;
-            while executed < max_rounds {
-                if self.halted.is_some() {
-                    break;
-                }
-                let report =
-                    self.par_round_impl(&mut scratch, RecordMode::Skip, pool, &mut shard_out);
-                executed += 1;
-                if stop(&report) {
-                    break;
-                }
+        match spec.threads {
+            Threads::Serial => self.run_serial(spec, obs),
+            Threads::Sharded(workers) => {
+                let workers = workers.max(1);
+                let mut scratch = std::mem::take(&mut self.scratch);
+                let mut shard_out: Vec<StepShard> =
+                    (0..workers).map(|_| StepShard::default()).collect();
+                let outcome = ShardPool::with(workers, |pool| {
+                    self.drive(spec, obs, &mut scratch, |e, s| {
+                        e.par_round_impl(s, pool, &mut shard_out)
+                    })
+                });
+                self.scratch = scratch;
+                outcome
             }
-            executed
-        });
-        self.scratch = scratch;
-        executed
+        }
     }
 }
 
@@ -893,20 +772,33 @@ mod tests {
         SimConfig::builder().seed(seed).build().unwrap()
     }
 
+    /// One round through the driver, returning its report.
+    fn round<P, A>(engine: &mut Engine<P, A>) -> RoundReport
+    where
+        P: Protocol + Sync,
+        P::State: Send + Sync,
+        P::Message: Send,
+        A: Adversary<P::State>,
+    {
+        engine.run(RunSpec::rounds(1), &mut ()).last
+    }
+
     #[test]
     fn inert_population_is_stable() {
         let mut engine = Engine::with_population(Inert, cfg(1), 50);
-        let executed = engine.run_rounds(20);
-        assert_eq!(executed, 20);
+        let mut rec = crate::MetricsRecorder::new();
+        let outcome = engine.run(RunSpec::rounds(20), &mut crate::RecordStats::new(&mut rec));
+        assert_eq!(outcome.executed, 20);
         assert_eq!(engine.population(), 50);
         assert_eq!(engine.halted(), None);
-        assert_eq!(engine.metrics().len(), 20);
+        assert_eq!(outcome.population_range(), (50, 50));
+        assert_eq!(rec.len(), 20);
     }
 
     #[test]
     fn splits_double_matched_agents() {
         let mut engine = Engine::with_population(SplitOnce, cfg(2), 10);
-        let report = engine.run_round();
+        let report = round(&mut engine);
         // Full matching on 10 agents: all matched, all split.
         assert_eq!(report.splits, 10);
         assert_eq!(engine.population(), 20);
@@ -915,13 +807,16 @@ mod tests {
     #[test]
     fn extinction_halts_engine() {
         let mut engine = Engine::with_population(DieAll, cfg(3), 8);
-        let report = engine.run_round();
+        let report = round(&mut engine);
         assert_eq!(report.deaths, 8);
         assert_eq!(engine.population(), 0);
         assert_eq!(engine.halted(), Some(HaltReason::Extinct));
         // Further rounds are inert.
-        let executed = engine.run_rounds(5);
-        assert_eq!(executed, 0);
+        let outcome = engine.run(RunSpec::rounds(5), &mut ());
+        assert_eq!(outcome.executed, 0);
+        assert_eq!(outcome.halted, Some(HaltReason::Extinct));
+        assert_eq!(outcome.population_range(), (0, 0));
+        assert_eq!(outcome.last.population_before, 0);
     }
 
     #[test]
@@ -945,7 +840,7 @@ mod tests {
             .build()
             .unwrap();
         let mut engine = Engine::with_population(Exploder, cfg, 10);
-        engine.run_rounds(10);
+        engine.run(RunSpec::rounds(10), &mut ());
         assert_eq!(engine.halted(), Some(HaltReason::Exploded));
         assert!(engine.population() > 100);
     }
@@ -972,7 +867,7 @@ mod tests {
             .build()
             .unwrap();
         let mut engine = Engine::with_adversary(Inert, GreedyDeleter, cfg, 10);
-        let report = engine.run_round();
+        let report = round(&mut engine);
         assert_eq!(report.deleted, 3);
         assert_eq!(engine.population(), 7);
     }
@@ -1003,7 +898,7 @@ mod tests {
             .build()
             .unwrap();
         let mut engine = Engine::with_adversary(Inert, Sloppy, cfg, 5);
-        let report = engine.run_round();
+        let report = round(&mut engine);
         assert_eq!(report.deleted, 1);
         assert_eq!(engine.population(), 4);
     }
@@ -1034,7 +929,7 @@ mod tests {
             .build()
             .unwrap();
         let mut engine = Engine::with_adversary(Inert, Meddler, cfg, 5);
-        let report = engine.run_round();
+        let report = round(&mut engine);
         assert_eq!(report.inserted, 2);
         assert_eq!(report.modified, 1);
         assert_eq!(engine.population(), 7);
@@ -1099,7 +994,7 @@ mod tests {
             .build()
             .unwrap();
         let mut engine = Engine::with_adversary(Killer, ArmHalf, cfg, 20);
-        let report = engine.run_round();
+        let report = round(&mut engine);
         // Full matching pairs all 20 agents: with k killer-killer pairs there
         // are also k victim-victim pairs (no deaths) and 10 − 2k mixed pairs
         // (victim dies), so exactly 2k + (10 − 2k) = 10 agents die whatever
@@ -1137,7 +1032,7 @@ mod tests {
         }
         let cfg = SimConfig::builder().seed(22).build().unwrap();
         let mut engine = Engine::with_population(AllKill, cfg, 10);
-        let report = engine.run_round();
+        let report = round(&mut engine);
         assert_eq!(report.deaths, 10);
         assert_eq!(engine.halted(), Some(HaltReason::Extinct));
     }
@@ -1174,7 +1069,7 @@ mod tests {
         let mut engine = Engine::with_adversary(SplitOnce, Churn, cfg, 30);
         for _ in 0..20 {
             let before = engine.population();
-            let r = engine.run_round();
+            let r = round(&mut engine);
             assert_eq!(r.population_before, before);
             assert_eq!(
                 r.population_after,
@@ -1188,14 +1083,13 @@ mod tests {
 
     #[test]
     fn metrics_stride_reduces_records() {
-        let cfg = SimConfig::builder()
-            .seed(9)
-            .metrics_every(5)
-            .build()
-            .unwrap();
-        let mut engine = Engine::with_population(Inert, cfg, 10);
-        engine.run_rounds(20);
-        assert_eq!(engine.metrics().len(), 4);
+        let mut engine = Engine::with_population(Inert, cfg(9), 10);
+        let mut rec = crate::MetricsRecorder::new();
+        engine.run(
+            RunSpec::rounds(20),
+            &mut crate::RecordStats::stride(&mut rec, 5, 0),
+        );
+        assert_eq!(rec.len(), 4);
     }
 
     #[test]
@@ -1208,8 +1102,12 @@ mod tests {
                 .build()
                 .unwrap();
             let mut e = Engine::with_population(SplitOnce, cfg, 64);
-            e.run_rounds(5);
-            e.trajectory().population_series()
+            let mut pops = Vec::new();
+            e.run(
+                RunSpec::rounds(5),
+                &mut crate::OnRound(|r: &RoundReport| pops.push(r.population_after)),
+            );
+            pops
         };
         assert_eq!(run(42), run(42));
         assert_ne!(run(42), run(43));
@@ -1223,9 +1121,57 @@ mod tests {
             .build()
             .unwrap();
         let mut engine = Engine::with_population(SplitOnce, cfg, 100);
-        let report = engine.run_round();
+        let report = round(&mut engine);
         // Exactly half are matched; only those split.
         assert_eq!(report.splits, 50);
+    }
+
+    #[test]
+    fn serial_and_sharded_specs_agree() {
+        let run = |threads: Threads| {
+            let cfg = SimConfig::builder()
+                .seed(77)
+                .matching(MatchingModel::RandomFraction { min_gamma: 0.4 })
+                .build()
+                .unwrap();
+            let mut e = Engine::with_population(SplitOnce, cfg, 120);
+            let mut trace = Vec::new();
+            let outcome = e.run(
+                RunSpec::rounds(12).threads(threads),
+                &mut crate::OnRound(|r: &RoundReport| trace.push(*r)),
+            );
+            (
+                trace,
+                outcome.executed,
+                outcome.population_range(),
+                e.population(),
+            )
+        };
+        let serial = run(Threads::Serial);
+        for workers in [1usize, 2, 4] {
+            assert_eq!(serial, run(Threads::Sharded(workers)), "{workers} workers");
+        }
+    }
+
+    #[test]
+    fn until_spec_stops_early_and_reports_it() {
+        let mut engine = Engine::with_population(SplitOnce, cfg(14), 64);
+        let outcome = engine.run(RunSpec::until(50, |r| r.population_after > 100), &mut ());
+        assert!(outcome.stopped_early);
+        assert_eq!(outcome.executed, 1);
+        assert!(outcome.last.population_after > 100);
+        // Exhausting the cap is not an early stop.
+        let outcome = engine.run(RunSpec::until(3, |_| false), &mut ());
+        assert!(!outcome.stopped_early);
+        assert_eq!(outcome.executed, 3);
+    }
+
+    #[test]
+    fn epochs_spec_runs_the_full_grid() {
+        let mut engine = Engine::with_population(Inert, cfg(15), 10);
+        let outcome = engine.run(RunSpec::epochs(4, 7), &mut ());
+        assert_eq!(outcome.executed, 28);
+        assert_eq!(engine.round(), 28);
     }
 
     #[test]
@@ -1245,7 +1191,7 @@ mod tests {
             }
         }
         let mut engine = Engine::with_adversary(Inert, Deleter, cfg(11), 5);
-        let report = engine.run_round();
+        let report = round(&mut engine);
         assert_eq!(report.deleted, 0);
         assert_eq!(engine.population(), 5);
     }

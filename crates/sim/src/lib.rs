@@ -20,15 +20,33 @@
 //!
 //! # Quick example
 //!
+//! One generic driver runs everything: [`Engine::run`] takes a [`RunSpec`]
+//! (stop condition + thread configuration) and an [`Observer`] (what to
+//! watch — `()` for nothing, [`RecordStats`] for a metrics trace, composed
+//! with [`Stride`]/[`Tee`]/[`OnRound`]).
+//!
 //! ```
-//! use popstab_sim::{Engine, SimConfig, protocols::Inert};
+//! use popstab_sim::{protocols::Inert, Engine, MetricsRecorder, RecordStats, RunSpec, SimConfig};
 //!
 //! // An inert population: nobody splits, nobody dies.
 //! let cfg = SimConfig::builder().seed(7).build().unwrap();
 //! let mut engine = Engine::with_population(Inert, cfg, 100);
-//! engine.run_rounds(10);
+//!
+//! // Recording-free fast path; the outcome carries the population band.
+//! let outcome = engine.run(RunSpec::rounds(10), &mut ());
+//! assert_eq!(outcome.executed, 10);
+//! assert_eq!(outcome.population_range(), (100, 100));
+//!
+//! // Same trajectory with a full metrics trace, owned by the caller.
+//! let mut rec = MetricsRecorder::new();
+//! engine.run(RunSpec::rounds(10), &mut RecordStats::new(&mut rec));
+//! assert_eq!(rec.len(), 10);
 //! assert_eq!(engine.population(), 100);
 //! ```
+//!
+//! A declarative [`batch::Scenario`] bundles the `(protocol, adversary,
+//! config, initial population)` tuple so sweeps and registries can build
+//! jobs without hand-rolling engine construction.
 //!
 //! # Parallel execution and the determinism contract
 //!
@@ -51,29 +69,27 @@
 //!   from a stateless stream keyed on `(seed, r, s)`, never from a shared
 //!   sequential stream. Because no agent's coins depend on any other
 //!   agent having drawn first, the engine's step phase shards across a
-//!   persistent [`batch::ShardPool`] ([`Engine::run_until_par`],
-//!   [`Engine::run_rounds_par`], [`Engine::par_round`]) with per-shard
-//!   split/death lists merged in slot order. The matching is
-//!   counter-*keyed* the same way ([`matching::MATCHING_STREAM_VERSION`]):
-//!   each round's pairs are a pure function of its round key, and above
+//!   persistent [`batch::ShardPool`] ([`Threads::Sharded`] in the
+//!   [`RunSpec`]) with per-shard split/death lists merged in slot order.
+//!   The matching is counter-*keyed* the same way
+//!   ([`matching::MATCHING_STREAM_VERSION`]): each round's pairs are a
+//!   pure function of its round key, and above
 //!   [`matching::KEYED_PERMUTATION_MIN_POPULATION`] their construction
 //!   shards across the same pool — `--round-threads 32` and
 //!   `--round-threads 1` produce the same trajectory byte for byte (CI
 //!   diffs them every push).
 //!
-//! Inside a single job, the engine additionally offers allocation-free fast
-//! paths for the hot loop: [`Engine::run_until`] (no stats recording, early
-//! exit on a per-round predicate) and [`Engine::run_epochs`] (records one
-//! [`RoundStats`] per epoch boundary); [`SimConfig::metrics_phase`] offsets
-//! the recording stride so suites that consume one specific round per epoch
-//! (e.g. the variance estimator's evaluation snapshots) can keep recording
-//! on at a per-epoch cost. All of these execute bit-identical rounds to
-//! [`Engine::run_round`] — they only change the recording side channel.
+//! Observers never perturb the trajectory: the round loop is identical
+//! whether a run records everything or nothing, so a recording run, a
+//! sharded run and the `()` fast path replay the same simulation from the
+//! same seed (golden fixtures under `tests/golden/` pin this byte for
+//! byte).
 
 pub mod adversary;
 pub mod agent;
 pub mod batch;
 pub mod config;
+pub mod driver;
 pub mod engine;
 pub mod error;
 pub mod matching;
@@ -84,8 +100,11 @@ pub mod trace;
 
 pub use adversary::{Adversary, Alteration, NoOpAdversary, RoundContext};
 pub use agent::{Action, Observable, Observation, Protocol};
-pub use batch::BatchRunner;
+pub use batch::{BatchRunner, Scenario};
 pub use config::{SimConfig, SimConfigBuilder};
+pub use driver::{
+    EngineView, Observer, OnRound, RecordStats, RunOutcome, RunSpec, Stop, Stride, Tee, Threads,
+};
 pub use engine::{Engine, HaltReason, RoundReport};
 pub use error::SimError;
 pub use matching::{Matching, MatchingModel};

@@ -19,7 +19,7 @@
 //! space ([`SlotPermutation`]). Because `perm(i)` is a stateless function
 //! of `(key, i)`, pair `p` of a large matching can be computed
 //! independently of every other pair — so the construction shards across
-//! the engine's [`ShardPool`](crate::batch::ShardPool)
+//! the engine's [`ShardPool`]
 //! ([`sample_matching_into_par`]) with results **bit-identical to the
 //! serial sampler for every worker count**, removing the last serial
 //! `O(population)` stretch from the parallel round exactly where
@@ -300,7 +300,7 @@ impl SlotPermutation {
     /// power-of-two domain, so iterating it from `i` must re-enter
     /// `[0, n)` (at worst by coming back around to `i` itself); the
     /// expected walk length is `domain / n < 2` once the domain exceeds
-    /// the [`MIN_DOMAIN_BITS`] floor. The induced map on `[0, n)` is a
+    /// the `MIN_DOMAIN_BITS` floor. The induced map on `[0, n)` is a
     /// bijection — the classic format-preserving-encryption argument.
     #[inline]
     pub fn apply(&self, i: u64) -> u64 {

@@ -148,6 +148,11 @@ impl MetricsRecorder {
         self.stats.clear();
     }
 
+    /// Trajectory view over the recorded rounds.
+    pub fn trajectory(&self) -> crate::trace::Trajectory<'_> {
+        crate::trace::Trajectory::new(self.rounds())
+    }
+
     /// Minimum and maximum population over all records, if any.
     pub fn population_range(&self) -> Option<(usize, usize)> {
         let mut it = self.stats.iter().map(|s| s.population);

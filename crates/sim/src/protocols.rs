@@ -47,7 +47,7 @@ mod tests {
     fn inert_never_changes_population() {
         let cfg = SimConfig::builder().seed(13).build().unwrap();
         let mut engine = Engine::with_population(Inert, cfg, 33);
-        engine.run_rounds(50);
+        engine.run(crate::RunSpec::rounds(50), &mut ());
         assert_eq!(engine.population(), 33);
     }
 

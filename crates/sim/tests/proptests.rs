@@ -9,8 +9,8 @@ use popstab_sim::matching::{sample_matching, MatchingModel, UNMATCHED};
 use popstab_sim::protocols::{Inert, InertState};
 use popstab_sim::rng::counter_seed;
 use popstab_sim::{
-    Action, Adversary, Alteration, Engine, Observable, Observation, Protocol, RoundContext,
-    SimConfig, SimRng,
+    Action, Adversary, Alteration, Engine, MetricsRecorder, Observable, Observation, OnRound,
+    Protocol, RecordStats, RoundContext, RoundReport, RunSpec, SimConfig, SimRng, Stride, Tee,
 };
 
 /// Splits, dies, or kills its partner when matched and the coin lands
@@ -90,10 +90,12 @@ fn chaos_config(seed: u64, budget: usize) -> SimConfig {
 fn chaos_trial(seed: u64, start: usize, rounds: u64) -> Vec<(u64, usize, usize, usize)> {
     let mut engine = Engine::with_adversary(Flaky, Chaos, chaos_config(seed, 3), start);
     let mut trace = Vec::new();
-    engine.run_until(rounds, |r| {
-        trace.push((r.round, r.population_after, r.splits, r.deaths));
-        false
-    });
+    engine.run(
+        RunSpec::rounds(rounds),
+        &mut OnRound(|r: &RoundReport| {
+            trace.push((r.round, r.population_after, r.splits, r.deaths))
+        }),
+    );
     trace
 }
 
@@ -153,7 +155,7 @@ proptest! {
         let mut engine = Engine::with_adversary(Flaky, Chaos, cfg, start);
         for _ in 0..rounds {
             let before = engine.population();
-            let r = engine.run_round();
+            let r = engine.run(RunSpec::rounds(1), &mut ()).last;
             prop_assert_eq!(r.population_before, before);
             prop_assert_eq!(
                 r.population_after as i64,
@@ -174,8 +176,9 @@ proptest! {
                 .build()
                 .unwrap();
             let mut e = Engine::with_population(Inert, cfg, start);
-            e.run_rounds(5);
-            e.metrics().rounds().to_vec()
+            let mut rec = MetricsRecorder::new();
+            e.run(RunSpec::rounds(5), &mut RecordStats::new(&mut rec));
+            rec.rounds().to_vec()
         };
         prop_assert_eq!(run(seed), run(seed));
     }
@@ -191,7 +194,7 @@ proptest! {
         }
         let cfg = SimConfig::builder().seed(seed).adversary_budget(0).build().unwrap();
         let mut engine = Engine::with_adversary(Inert, Greedy, cfg, start);
-        engine.run_rounds(5);
+        engine.run(RunSpec::rounds(5), &mut ());
         prop_assert_eq!(engine.population(), start);
     }
 
@@ -214,120 +217,144 @@ proptest! {
         prop_assert_eq!(&serial, &native);
     }
 
-    /// Scratch-buffer reuse is semantically invisible: an engine stepped
-    /// through the persistent-scratch path matches an engine stepped with
-    /// freshly allocated buffers round-for-round on random configurations.
+    /// Scratch-buffer reuse across driver calls is semantically invisible:
+    /// an engine driven one round per `run` call (reusing its persistent
+    /// scratch between calls) matches an engine driven in one shot.
     #[test]
-    fn scratch_engine_matches_fresh_allocation_engine(
+    fn incremental_runs_match_one_shot_run(
         seed in 0u64..300,
         start in 1usize..120,
         budget in 0usize..8,
         rounds in 1u64..40,
     ) {
-        let mut reused = Engine::with_adversary(Flaky, Chaos, chaos_config(seed, budget), start);
-        let mut fresh = Engine::with_adversary(Flaky, Chaos, chaos_config(seed, budget), start);
+        let mut stepped = Engine::with_adversary(Flaky, Chaos, chaos_config(seed, budget), start);
+        let mut trace = Vec::new();
         for _ in 0..rounds {
-            let a = reused.run_round();
-            let b = fresh.run_round_fresh();
-            prop_assert_eq!(a, b);
-            prop_assert_eq!(reused.population(), fresh.population());
-            prop_assert_eq!(reused.halted(), fresh.halted());
-            if reused.halted().is_some() {
+            let outcome = stepped.run(RunSpec::rounds(1), &mut ());
+            if outcome.executed == 0 {
                 break;
             }
+            trace.push(outcome.last);
         }
-        prop_assert_eq!(reused.metrics().rounds(), fresh.metrics().rounds());
-    }
-
-    /// The satellite guarantee of the counter-RNG refactor: `par_round` at
-    /// **one** worker executes the parallel code path inline and must equal
-    /// the serial `run_round` byte for byte — reports, metrics, halt state.
-    #[test]
-    fn par_round_at_one_worker_equals_serial_round(
-        seed in 0u64..300,
-        start in 1usize..120,
-        budget in 0usize..8,
-        rounds in 1u64..30,
-    ) {
-        let mut serial = Engine::with_adversary(Flaky, Chaos, chaos_config(seed, budget), start);
-        let mut par = Engine::with_adversary(Flaky, Chaos, chaos_config(seed, budget), start);
-        for _ in 0..rounds {
-            let a = serial.run_round();
-            let b = par.par_round(1);
-            prop_assert_eq!(a, b);
-            prop_assert_eq!(serial.population(), par.population());
-            prop_assert_eq!(serial.halted(), par.halted());
-            if serial.halted().is_some() {
-                break;
-            }
-        }
-        prop_assert_eq!(serial.metrics().rounds(), par.metrics().rounds());
+        let mut oneshot = Engine::with_adversary(Flaky, Chaos, chaos_config(seed, budget), start);
+        let mut oneshot_trace = Vec::new();
+        oneshot.run(
+            RunSpec::rounds(rounds),
+            &mut OnRound(|r: &RoundReport| oneshot_trace.push(*r)),
+        );
+        prop_assert_eq!(trace, oneshot_trace);
+        prop_assert_eq!(stepped.population(), oneshot.population());
+        prop_assert_eq!(stepped.halted(), oneshot.halted());
     }
 
     /// The tentpole guarantee: intra-round sharding is bit-identical to the
-    /// serial engine for every worker count — same per-round trajectory
-    /// under adversarial churn, splits, deaths and partner-kills.
+    /// serial driver for every worker count (including one, which executes
+    /// the parallel code path inline) — same per-round trajectory under
+    /// adversarial churn, splits, deaths and partner-kills.
     #[test]
-    fn run_until_par_matches_serial_for_every_worker_count(
+    fn sharded_run_matches_serial_for_every_worker_count(
         seed in 0u64..300,
         start in 2usize..120,
         rounds in 1u64..40,
-        workers in 2usize..6,
+        workers in 1usize..6,
     ) {
         let serial_trace = chaos_trial(seed, start, rounds);
         let mut engine = Engine::with_adversary(Flaky, Chaos, chaos_config(seed, 3), start);
         let mut par_trace = Vec::new();
-        engine.run_until_par(rounds, workers, |r| {
-            par_trace.push((r.round, r.population_after, r.splits, r.deaths));
-            false
-        });
+        engine.run(
+            RunSpec::rounds(rounds).sharded(workers),
+            &mut OnRound(|r: &RoundReport| par_trace.push((r.round, r.population_after, r.splits, r.deaths))),
+        );
         prop_assert_eq!(serial_trace, par_trace);
     }
 
-    /// `run_rounds_par` records through the same stride as `run_rounds`:
-    /// identical metrics and final state for any worker count.
+    /// Sharded runs feed observers the same views as serial runs: identical
+    /// recorded metrics and final state for any worker count.
     #[test]
-    fn run_rounds_par_matches_run_rounds_with_recording(
+    fn sharded_run_records_identically(
         seed in 0u64..200,
         start in 2usize..100,
         rounds in 1u64..30,
         workers in 1usize..5,
     ) {
         let mut serial = Engine::with_adversary(Flaky, Chaos, chaos_config(seed, 2), start);
-        serial.run_rounds(rounds);
+        let mut serial_rec = MetricsRecorder::new();
+        serial.run(RunSpec::rounds(rounds), &mut RecordStats::new(&mut serial_rec));
         let mut par = Engine::with_adversary(Flaky, Chaos, chaos_config(seed, 2), start);
-        par.run_rounds_par(rounds, workers);
+        let mut par_rec = MetricsRecorder::new();
+        par.run(
+            RunSpec::rounds(rounds).sharded(workers),
+            &mut RecordStats::new(&mut par_rec),
+        );
         prop_assert_eq!(serial.population(), par.population());
         prop_assert_eq!(serial.round(), par.round());
         prop_assert_eq!(serial.halted(), par.halted());
-        prop_assert_eq!(serial.metrics().rounds(), par.metrics().rounds());
+        prop_assert_eq!(serial_rec.rounds(), par_rec.rounds());
     }
 
-    /// The fast paths execute bit-identical rounds to `run_rounds`; they only
-    /// skip the recording side channel.
+    /// Observers are spectators: wrapping a run in `Stride`/`Tee`/recording
+    /// combinators never perturbs the trajectory, and the observed reports
+    /// are exactly the fast path's.
     #[test]
-    fn fast_paths_match_run_rounds(
+    fn stride_and_tee_observers_do_not_perturb_the_run(
+        seed in 0u64..300,
+        start in 2usize..100,
+        rounds in 1u64..30,
+        every in 1u64..7,
+    ) {
+        let bare_trace = chaos_trial(seed, start, rounds);
+        let mut observed = Engine::with_adversary(Flaky, Chaos, chaos_config(seed, 3), start);
+        let mut full = Vec::new();
+        let mut strided = Vec::new();
+        let mut rec = MetricsRecorder::new();
+        observed.run(
+            RunSpec::rounds(rounds),
+            &mut Tee::new(
+                OnRound(|r: &RoundReport| full.push((r.round, r.population_after, r.splits, r.deaths))),
+                Stride::new(every, Tee::new(
+                    OnRound(|r: &RoundReport| strided.push(r.round)),
+                    RecordStats::new(&mut rec),
+                )),
+            ),
+        );
+        prop_assert_eq!(&full, &bare_trace);
+        // The strided observer saw exactly every `every`-th round, and the
+        // recording observer recorded exactly those rounds.
+        let expect: Vec<u64> = bare_trace
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| (i + 1) % every as usize == 0)
+            .map(|(_, r)| r.0)
+            .collect();
+        prop_assert_eq!(&strided, &expect);
+        let recorded: Vec<u64> = rec.rounds().iter().map(|s| s.round).collect();
+        prop_assert_eq!(&recorded, &expect);
+    }
+
+    /// `Stop::Epochs` is `Stop::Rounds` on the epoch grid, and an epoch-end
+    /// `Stride` records exactly one sample per completed epoch.
+    #[test]
+    fn epoch_specs_match_round_specs(
         seed in 0u64..300,
         start in 2usize..100,
         epochs in 1u64..5,
         epoch_len in 1u64..12,
     ) {
         let rounds = epochs * epoch_len;
-        let mut slow = Engine::with_adversary(Flaky, Chaos, chaos_config(seed, 2), start);
-        slow.run_rounds(rounds);
-        let mut until = Engine::with_adversary(Flaky, Chaos, chaos_config(seed, 2), start);
-        until.run_until(rounds, |_| false);
+        let mut flat = Engine::with_adversary(Flaky, Chaos, chaos_config(seed, 2), start);
+        flat.run(RunSpec::rounds(rounds), &mut ());
         let mut epoched = Engine::with_adversary(Flaky, Chaos, chaos_config(seed, 2), start);
-        epoched.run_epochs(epochs, epoch_len);
-        prop_assert_eq!(slow.population(), until.population());
-        prop_assert_eq!(slow.population(), epoched.population());
-        prop_assert_eq!(slow.round(), until.round());
-        prop_assert_eq!(slow.round(), epoched.round());
-        prop_assert_eq!(slow.halted(), until.halted());
-        prop_assert_eq!(slow.halted(), epoched.halted());
-        // run_epochs records exactly one sample per completed epoch.
+        let mut rec = MetricsRecorder::new();
+        epoched.run(
+            RunSpec::epochs(epochs, epoch_len),
+            &mut Stride::new(epoch_len, RecordStats::new(&mut rec)),
+        );
+        prop_assert_eq!(flat.population(), epoched.population());
+        prop_assert_eq!(flat.round(), epoched.round());
+        prop_assert_eq!(flat.halted(), epoched.halted());
+        // One sample per completed epoch.
         if epoched.halted().is_none() {
-            prop_assert_eq!(epoched.metrics().len() as u64, epochs);
+            prop_assert_eq!(rec.len() as u64, epochs);
         }
     }
 }

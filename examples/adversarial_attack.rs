@@ -13,6 +13,7 @@ use population_stability::adversary::{
     throttled_suite, ColorFlooder, Composite, DesyncInserter, LeaderSniper, Throttle,
 };
 use population_stability::prelude::*;
+use population_stability::sim::RunSpec;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n: u64 = 4096;
@@ -38,8 +39,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .adversary_budget(k)
             .build()?;
         let mut engine = Engine::with_adversary(protocol, adversary, cfg, n as usize);
-        engine.run_rounds(12 * epoch);
-        let (lo, hi) = engine.metrics().population_range().expect("metrics");
+        let outcome = engine.run(RunSpec::rounds(12 * epoch), &mut ());
+        let (lo, hi) = outcome.population_range();
         let in_band = lo as f64 > 0.5 * m_star && (hi as f64) < 1.5 * m_star;
         println!(
             "{:<22} {:>10} {:>10} {:>10} {:>8}",
@@ -71,8 +72,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .adversary_budget(k)
         .build()?;
     let mut engine = Engine::with_adversary(protocol, combo, cfg, n as usize);
-    engine.run_rounds(12 * epoch);
-    let (lo, hi) = engine.metrics().population_range().expect("metrics");
+    let outcome = engine.run(RunSpec::rounds(12 * epoch), &mut ());
+    let (lo, hi) = outcome.population_range();
     println!(
         "{:<22} {:>10} {:>10} {:>10} {:>8}",
         "combined-assault",

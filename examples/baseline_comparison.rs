@@ -13,6 +13,7 @@
 use population_stability::baselines::attempt1::SignalFlooder;
 use population_stability::baselines::{Attempt1, Attempt2};
 use population_stability::prelude::*;
+use population_stability::sim::RunSpec;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n: u64 = 1024;
@@ -31,8 +32,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let cfg = SimConfig::builder().seed(1).target(n).build()?;
         let mut e =
             Engine::with_population(PopulationStability::new(params.clone()), cfg, n as usize);
-        e.run_rounds(rounds);
-        let (lo, hi) = e.metrics().population_range().expect("metrics");
+        let (lo, hi) = e.run(RunSpec::rounds(rounds), &mut ()).population_range();
         println!(
             "{:<36} {:>9} {:>9} {:>9}",
             "paper protocol / none",
@@ -50,8 +50,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .max_population(64 * n as usize)
             .build()?;
         let mut e = Engine::with_population(Attempt2::new(n), cfg, n as usize);
-        e.run_rounds(rounds);
-        let (lo, hi) = e.metrics().population_range().expect("metrics");
+        let (lo, hi) = e.run(RunSpec::rounds(rounds), &mut ()).population_range();
         println!(
             "{:<36} {:>9} {:>9} {:>9}",
             "attempt 2 (indep. colors) / none",
@@ -71,8 +70,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .max_population(64 * n as usize)
             .build()?;
         let mut e = Engine::with_population(a1.clone(), cfg, n as usize);
-        e.run_rounds(rounds);
-        let (lo, hi) = e.metrics().population_range().expect("metrics");
+        let (lo, hi) = e.run(RunSpec::rounds(rounds), &mut ()).population_range();
         println!(
             "{:<36} {:>9} {:>9} {:>9}",
             "attempt 1 (leader bit) / none",
@@ -92,8 +90,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .build()?;
         let mut e =
             Engine::with_adversary(a1.clone(), SignalFlooder::new(a1_epoch), cfg, n as usize);
-        e.run_rounds(rounds);
-        let (lo, hi) = e.metrics().population_range().expect("metrics");
+        let (lo, hi) = e.run(RunSpec::rounds(rounds), &mut ()).population_range();
         println!(
             "{:<36} {:>9} {:>9} {:>9}",
             "attempt 1 / 1 forged signal/epoch",
@@ -123,8 +120,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             cfg,
             n as usize,
         );
-        e.run_rounds(rounds);
-        let (lo, hi) = e.metrics().population_range().expect("metrics");
+        let (lo, hi) = e.run(RunSpec::rounds(rounds), &mut ()).population_range();
         println!(
             "{:<36} {:>9} {:>9} {:>9}",
             format!("paper protocol / amplifier K={k}/epoch"),

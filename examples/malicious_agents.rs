@@ -14,6 +14,7 @@
 
 use population_stability::extensions::{malicious_count, MaliciousInserter, WithMalice};
 use population_stability::prelude::*;
+use population_stability::sim::RunSpec;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n: u64 = 1024;
@@ -36,7 +37,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .max_population(16 * n as usize)
             .build()?;
         let mut engine = Engine::with_adversary(protocol, adversary, cfg, n as usize);
-        engine.run_rounds(4 * epoch);
+        engine.run(RunSpec::rounds(4 * epoch), &mut ());
         let mal = malicious_count(engine.agents());
         let outcome = if engine.halted().is_some() {
             "EXPLODED"

@@ -6,6 +6,7 @@
 //! ```
 
 use population_stability::prelude::*;
+use population_stability::sim::{MetricsRecorder, RecordStats, RunSpec};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n: u64 = 4096;
@@ -30,12 +31,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cfg = SimConfig::builder().seed(2024).target(n).build()?;
     let mut engine = Engine::with_population(protocol, cfg, n as usize);
 
+    // Metrics live with the caller: a RecordStats observer fills this
+    // recorder while the driver runs.
+    let mut rec = MetricsRecorder::new();
     println!("epoch  population  active   c0     c1   |c0-c1|");
     for e in 0..10 {
-        engine.run_rounds(epoch - 1);
+        engine.run(RunSpec::rounds(epoch - 1), &mut RecordStats::new(&mut rec));
         // Peek at the coloring right before the evaluation round.
-        let pre_eval = engine.metrics().last().copied().unwrap_or_default();
-        engine.run_rounds(1);
+        let pre_eval = rec.last().copied().unwrap_or_default();
+        engine.run(RunSpec::rounds(1), &mut RecordStats::new(&mut rec));
         println!(
             "{:>5}  {:>10}  {:>6}  {:>5}  {:>5}  {:>6}",
             e,
@@ -47,11 +51,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    let traj = engine.trajectory();
-    let (lo, hi) = engine
-        .metrics()
-        .population_range()
-        .expect("metrics recorded");
+    let traj = rec.trajectory();
+    let (lo, hi) = rec.population_range().expect("metrics recorded");
     println!();
     println!(
         "population range over {} rounds: [{lo}, {hi}]",

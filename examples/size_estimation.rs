@@ -12,6 +12,7 @@
 //! ```
 
 use population_stability::prelude::*;
+use population_stability::sim::{MetricsRecorder, RecordStats, RunSpec};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n: u64 = 4096;
@@ -24,15 +25,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut engine = Engine::with_population(protocol, cfg, n as usize);
 
     let mut estimator = VarianceEstimator::new(&params);
+    // The caller owns the metrics: one recorder accumulates across runs.
+    let mut rec = MetricsRecorder::new();
     println!("true equilibrium m* = {m_star}");
     println!();
     println!("epochs  estimate   rel.err   (expected rel. stderr)");
     for e in 1..=60u64 {
-        engine.run_rounds(epoch);
+        engine.run(RunSpec::rounds(epoch), &mut RecordStats::new(&mut rec));
         if e % 10 == 0 {
             // Re-harvest every evaluation-round record seen so far.
             estimator = VarianceEstimator::new(&params);
-            estimator.push_trace(&params, engine.metrics().rounds());
+            estimator.push_trace(&params, rec.rounds());
             if let Some(m_hat) = estimator.estimate() {
                 println!(
                     "{:>6}  {:>8.0}  {:>7.1}%   (±{:.0}%)",

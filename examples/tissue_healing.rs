@@ -15,6 +15,7 @@
 use population_stability::adversary::{Trauma, TraumaKind};
 use population_stability::analysis::equilibrium::{exact_epoch_drift, exact_equilibrium};
 use population_stability::prelude::*;
+use population_stability::sim::RunSpec;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n: u64 = 4096;
@@ -44,14 +45,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .build()?;
         let mut engine = Engine::with_adversary(protocol, trauma, cfg, n as usize);
 
-        engine.run_rounds(3 * epoch + 1);
+        engine.run(RunSpec::rounds(3 * epoch + 1), &mut ());
         let wounded = engine.population() as f64;
         let rate = exact_epoch_drift(&params, wounded, 1.0);
         println!("population after shock: {wounded:.0} (model drift there: {rate:+.1}/epoch)");
         println!("epoch  population  deficit healed");
         let deficit0 = m_eq - wounded;
         for e in (13..=total_epochs).step_by(10) {
-            engine.run_rounds(10 * epoch);
+            engine.run(RunSpec::rounds(10 * epoch), &mut ());
             let pop = engine.population() as f64;
             let healed = (pop - wounded) / deficit0;
             println!("{e:>5}  {:>10.0}  {:>13.0}%", pop, 100.0 * healed);

@@ -15,7 +15,7 @@ where
     VecStrategy { element, len }
 }
 
-/// Output of [`vec`].
+/// Output of [`vec()`].
 pub struct VecStrategy<S, L> {
     element: S,
     len: L,

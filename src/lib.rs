@@ -8,7 +8,8 @@
 //! on a single crate:
 //!
 //! * [`sim`] — the synchronous population-model substrate (rounds, random
-//!   matchings, split/die semantics, adversary interface, metrics),
+//!   matchings, split/die semantics, adversary interface, the unified
+//!   `RunSpec`/`Observer` run driver, metrics),
 //! * [`core`] — the paper's protocol (Algorithms 1–7): coloring epochs,
 //!   three-bit messages, `polylog(N)` states,
 //! * [`adversary`] — the attack library (leader snipers, color flooders,
@@ -23,6 +24,13 @@
 //!
 //! # Quickstart
 //!
+//! Everything runs through one driver: build an [`Engine`](prelude::Engine),
+//! describe the run with a [`RunSpec`](prelude::RunSpec) (stop condition +
+//! thread configuration) and watch it with an
+//! [`Observer`](prelude::Observer) (`()` observes nothing; a
+//! [`RecordStats`](prelude::RecordStats) adapter collects a
+//! [`MetricsRecorder`](prelude::MetricsRecorder) trace).
+//!
 //! ```
 //! use population_stability::prelude::*;
 //!
@@ -33,15 +41,55 @@
 //! let cfg = SimConfig::builder().seed(7).target(1024).build()?;
 //! let mut engine = Engine::with_population(protocol, cfg, 1024);
 //!
-//! // Run three epochs and check the population stayed near the finite-size
-//! // equilibrium m* = N − 8√N.
-//! engine.run_rounds(3 * u64::from(params.epoch_len()));
+//! // Run three epochs on the recording-free fast path and check the
+//! // population stayed near the finite-size equilibrium m* = N − 8√N.
+//! let epoch = u64::from(params.epoch_len());
+//! let outcome = engine.run(RunSpec::rounds(3 * epoch), &mut ());
 //! let m_star = equilibrium_population(&params);
-//! let pop = engine.population() as f64;
-//! assert!((pop - m_star).abs() < 0.5 * m_star);
+//! assert!((engine.population() as f64 - m_star).abs() < 0.5 * m_star);
+//!
+//! // Same API, now with a metrics trace (recorded every round) and the
+//! // step phase of each round sharded over 2 workers — the trajectory is
+//! // bit-identical by the determinism contract.
+//! let (min, max) = outcome.population_range();
+//! let mut rec = MetricsRecorder::new();
+//! engine.run(
+//!     RunSpec::rounds(epoch).sharded(2),
+//!     &mut RecordStats::new(&mut rec),
+//! );
+//! assert_eq!(rec.len() as u64, epoch);
+//! assert!(min <= max);
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! # Migrating from the pre-driver API
+//!
+//! PR 5 collapsed the engine's eight `run_*` entry points and two recording
+//! side channels into `Engine::run(RunSpec, &mut impl Observer)`:
+//!
+//! | old entry point | replacement |
+//! |---|---|
+//! | `engine.run_round()` | `engine.run(RunSpec::rounds(1), &mut obs).last` |
+//! | `engine.run_rounds(n)` | `engine.run(RunSpec::rounds(n), &mut obs).executed` |
+//! | `engine.run_until(max, pred)` | `engine.run(RunSpec::until(max, pred), &mut obs)` |
+//! | `engine.run_range(n)` | `engine.run(RunSpec::rounds(n), &mut ()).population_range()` |
+//! | `engine.run_epochs(e, len)` | `engine.run(RunSpec::epochs(e, len), &mut Stride::new(len, RecordStats::new(&mut rec)))` |
+//! | `engine.par_round(w)` | `engine.run(RunSpec::rounds(1).sharded(w), &mut obs).last` |
+//! | `engine.run_rounds_par(n, w)` | `engine.run(RunSpec::rounds(n).sharded(w), &mut obs)` |
+//! | `engine.run_until_par(max, w, pred)` | `engine.run(RunSpec::until(max, pred).sharded(w), &mut obs)` |
+//! | `engine.set_recording(false)` | pass `&mut ()` as the observer |
+//! | `engine.metrics()` / `engine.trajectory()` | own a `MetricsRecorder`, fill it via `RecordStats::new(&mut rec)` |
+//! | `SimConfig::metrics_every` / `metrics_phase` | `RecordStats::stride(&mut rec, every, phase)` |
+//!
+//! `Engine::run` carries the `P: Sync, P::State: Send + Sync, P::Message:
+//! Send` bounds the sharded arm needs (every protocol in this workspace
+//! satisfies them); a protocol with non-thread-safe state can still run
+//! serially through the deprecated bound-free wrappers.
+//!
+//! The named `(protocol, adversary, config)` combos the experiment harness
+//! runs are declared as [`sim::Scenario`] values; `experiments --list`
+//! prints the registry and `experiments scenario <name>` runs one.
 
 pub use popstab_adversary as adversary;
 pub use popstab_analysis as analysis;
@@ -60,7 +108,9 @@ pub mod prelude {
     pub use popstab_core::protocol::PopulationStability;
     pub use popstab_core::state::{AgentState, Color};
     pub use popstab_sim::{
-        Action, Adversary, Alteration, BatchRunner, Engine, HaltReason, MatchingModel, Observable,
-        Observation, Protocol, RoundContext, SimConfig, SimRng, Trajectory,
+        Action, Adversary, Alteration, BatchRunner, Engine, HaltReason, MatchingModel,
+        MetricsRecorder, Observable, Observation, Observer, OnRound, Protocol, RecordStats,
+        RoundContext, RunOutcome, RunSpec, Scenario, SimConfig, SimRng, Stride, Tee, Threads,
+        Trajectory,
     };
 }

@@ -4,6 +4,7 @@
 use std::collections::HashMap;
 
 use population_stability::prelude::*;
+use population_stability::sim::RunSpec;
 
 const N: u64 = 4096;
 
@@ -12,7 +13,7 @@ fn run_to_pre_eval(seed: u64) -> Engine<PopulationStability> {
     let epoch = u64::from(params.epoch_len());
     let cfg = SimConfig::builder().seed(seed).target(N).build().unwrap();
     let mut engine = Engine::with_population(PopulationStability::new(params), cfg, N as usize);
-    engine.run_rounds(epoch - 1);
+    engine.run(RunSpec::rounds(epoch - 1), &mut ());
     engine
 }
 
@@ -105,7 +106,7 @@ fn epoch_boundary_resets_all_agents() {
     let epoch = u64::from(params.epoch_len());
     let cfg = SimConfig::builder().seed(46).target(N).build().unwrap();
     let mut engine = Engine::with_population(PopulationStability::new(params), cfg, N as usize);
-    engine.run_rounds(epoch);
+    engine.run(RunSpec::rounds(epoch), &mut ());
     for a in engine.agents() {
         assert!(
             !a.active && !a.recruiting && !a.is_leader,

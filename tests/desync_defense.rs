@@ -3,6 +3,17 @@
 
 use population_stability::adversary::{DesyncInserter, Throttle};
 use population_stability::prelude::*;
+use population_stability::sim::{MetricsRecorder, RecordStats, RunSpec};
+
+/// Runs `rounds` rounds recording every round into a fresh recorder.
+fn run_recorded<A: population_stability::sim::Adversary<AgentState>>(
+    engine: &mut Engine<PopulationStability, A>,
+    rounds: u64,
+) -> MetricsRecorder {
+    let mut rec = MetricsRecorder::new();
+    engine.run(RunSpec::rounds(rounds), &mut RecordStats::new(&mut rec));
+    rec
+}
 
 const N: u64 = 1024;
 
@@ -27,19 +38,19 @@ fn desynced_agents_are_purged_and_bounded() {
         cfg,
         N as usize,
     );
-    engine.run_rounds(12 * epoch);
+    let rec = run_recorded(&mut engine, 12 * epoch);
 
     // Lemma 3 (scale-adjusted): survivors bounded by the purge residue plus
     // one epoch's insertions — slack·((1+γ⁻¹)N^{1/4} + k).
     let bound = 4.0 * (2.0 * (N as f64).powf(0.25) + k as f64);
-    let max_wrong = engine.metrics().max_wrong_round() as f64;
+    let max_wrong = rec.max_wrong_round() as f64;
     assert!(
         max_wrong <= bound,
         "wrong-round agents peaked at {max_wrong} > {bound}"
     );
 
     // And the population still held.
-    let (lo, hi) = engine.metrics().population_range().unwrap();
+    let (lo, hi) = rec.population_range().unwrap();
     assert!(lo > N as usize / 2, "fell to {lo}");
     assert!(hi < 2 * N as usize, "rose to {hi}");
 }
@@ -67,17 +78,15 @@ fn continuous_desync_insertion_saturates_at_one_epochs_volume() {
         cfg,
         N as usize,
     );
-    engine.run_rounds(12 * epoch);
+    let rec = run_recorded(&mut engine, 12 * epoch);
     let cap = (2 * k as u64 * epoch) as usize; // 2× one epoch's insertions
-    let max_wrong = engine.metrics().max_wrong_round();
+    let max_wrong = rec.max_wrong_round();
     assert!(max_wrong <= cap, "cohort compounded: {max_wrong} > {cap}");
     // Compounding would also show as monotone growth of the cohort across
     // epochs; check the last epoch's peak is no bigger than 2× the first's.
     let peaks: Vec<usize> = (0..12u64)
         .map(|e| {
-            engine
-                .metrics()
-                .rounds()
+            rec.rounds()
                 .iter()
                 .filter(|s| s.round / epoch == e)
                 .map(|s| s.wrong_round)
@@ -147,10 +156,10 @@ fn a_burst_of_desynced_agents_dies_out() {
         cfg,
         N as usize,
     );
-    engine.run_rounds(3 * epoch);
+    let rec = run_recorded(&mut engine, 3 * epoch);
 
     // After three epochs every surviving agent should agree on the clock.
-    let last = engine.metrics().last().unwrap();
+    let last = rec.last().unwrap();
     assert_eq!(
         last.wrong_round, 0,
         "desynced stragglers remain: {}",
@@ -182,7 +191,7 @@ fn honest_casualties_of_the_purge_are_limited() {
         cfg,
         N as usize,
     );
-    engine.run_rounds(10 * epoch);
-    let (lo, _) = engine.metrics().population_range().unwrap();
+    let rec = run_recorded(&mut engine, 10 * epoch);
+    let (lo, _) = rec.population_range().unwrap();
     assert!(lo > (N as usize * 6) / 10, "fell to {lo}");
 }

@@ -4,10 +4,14 @@
 //! [`RoundReport`] as one line; the concatenation must match the committed
 //! fixture under `tests/golden/` **byte for byte**, so any change to the
 //! round semantics, the RNG consumption order, or the matching sampler
-//! shows up here as a diff. The fixtures are pinned to agent RNG stream
-//! version `popstab_sim::rng::AGENT_STREAM_VERSION` (currently v2, the
-//! counter-based per-agent streams); see `tests/golden/README.md` for the
-//! version history and the re-capture protocol.
+//! shows up here as a diff. Every scenario is driven twice through the
+//! unified driver — `Threads::Serial` and `Threads::Sharded(3)` — and both
+//! trajectories must match the fixture, pinning the engine's determinism
+//! contract alongside its semantics. The fixtures are pinned to the stream
+//! versions `popstab_sim::rng::AGENT_STREAM_VERSION` and
+//! `popstab_sim::matching::MATCHING_STREAM_VERSION`; see
+//! `tests/golden/README.md` for the version history and the re-capture
+//! protocol.
 //!
 //! To regenerate after an *intentional* semantic change:
 //!
@@ -24,7 +28,7 @@ use population_stability::adversary::{Trauma, TraumaKind};
 use population_stability::baselines::Attempt1;
 use population_stability::prelude::*;
 use population_stability::sim::protocols::Inert;
-use population_stability::sim::RoundReport;
+use population_stability::sim::{Adversary, OnRound, Protocol, RoundReport, RunSpec, Threads};
 
 fn golden_dir() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
@@ -92,44 +96,69 @@ fn check_golden(name: &str, reports: &[RoundReport]) {
     }
 }
 
-fn collect_rounds<P, A>(engine: &mut Engine<P, A>, rounds: u64) -> Vec<RoundReport>
+fn collect_rounds<P, A>(
+    engine: &mut Engine<P, A>,
+    rounds: u64,
+    threads: Threads,
+) -> Vec<RoundReport>
 where
-    P: Protocol,
-    A: population_stability::sim::Adversary<P::State>,
+    P: Protocol + Sync,
+    P::State: Send + Sync,
+    P::Message: Send,
+    A: Adversary<P::State>,
 {
-    (0..rounds)
-        .map(|_| engine.run_round())
-        .take_while(|r| r.population_before > 0)
-        .collect()
+    let mut reports = Vec::new();
+    engine.run(
+        RunSpec::rounds(rounds).threads(threads),
+        &mut OnRound(|r: &RoundReport| reports.push(*r)),
+    );
+    reports
+}
+
+/// Runs the scenario built by `build` through the serial *and* the sharded
+/// driver and requires both trajectories to match the fixture byte for
+/// byte: the `RunSpec` thread configuration must never change a
+/// simulation.
+fn check_golden_all_specs<P, A>(name: &str, rounds: u64, build: impl Fn() -> Engine<P, A>)
+where
+    P: Protocol + Sync,
+    P::State: Send + Sync,
+    P::Message: Send,
+    A: Adversary<P::State>,
+{
+    check_golden(name, &collect_rounds(&mut build(), rounds, Threads::Serial));
+    check_golden(
+        name,
+        &collect_rounds(&mut build(), rounds, Threads::Sharded(3)),
+    );
 }
 
 #[test]
 fn golden_inert_partial_matching() {
-    let cfg = SimConfig::builder()
-        .seed(0xA11CE)
-        .matching(MatchingModel::RandomFraction { min_gamma: 0.4 })
-        .build()
-        .unwrap();
-    let mut engine = Engine::with_population(Inert, cfg, 192);
-    let reports = collect_rounds(&mut engine, 64);
-    check_golden("inert_partial_matching", &reports);
+    check_golden_all_specs("inert_partial_matching", 64, || {
+        let cfg = SimConfig::builder()
+            .seed(0xA11CE)
+            .matching(MatchingModel::RandomFraction { min_gamma: 0.4 })
+            .build()
+            .unwrap();
+        Engine::with_population(Inert, cfg, 192)
+    });
 }
 
 #[test]
 fn golden_popstab_n1024() {
     let params = Params::for_target(1024).unwrap();
     let epoch = u64::from(params.epoch_len());
-    let cfg = SimConfig::builder()
-        .seed(0xB0B)
-        .target(1024)
-        .metrics_every(epoch)
-        .build()
-        .unwrap();
-    let mut engine = Engine::with_population(PopulationStability::new(params), cfg, 1024);
     // One full epoch plus a few rounds of the next (crosses the epoch
     // boundary: leader selection, recruitment, evaluation all exercised).
-    let reports = collect_rounds(&mut engine, epoch + 17);
-    check_golden("popstab_n1024", &reports);
+    check_golden_all_specs("popstab_n1024", epoch + 17, || {
+        let cfg = SimConfig::builder()
+            .seed(0xB0B)
+            .target(1024)
+            .build()
+            .unwrap();
+        Engine::with_population(PopulationStability::new(params.clone()), cfg, 1024)
+    });
 }
 
 #[test]
@@ -137,31 +166,35 @@ fn golden_attempt1_oblivious_deleter() {
     use population_stability::baselines::ObliviousDeleter;
     let proto = Attempt1::new(1024);
     let epoch = u64::from(proto.epoch_len());
-    let cfg = SimConfig::builder()
-        .seed(0xC0FFEE)
-        .adversary_budget(2)
-        .target(1024)
-        .max_population(16 * 1024)
-        .build()
-        .unwrap();
-    let mut engine = Engine::with_adversary(proto, ObliviousDeleter::with_period(2, 3), cfg, 1024);
-    let reports = collect_rounds(&mut engine, 2 * epoch);
-    check_golden("attempt1_oblivious_deleter", &reports);
+    check_golden_all_specs("attempt1_oblivious_deleter", 2 * epoch, || {
+        let cfg = SimConfig::builder()
+            .seed(0xC0FFEE)
+            .adversary_budget(2)
+            .target(1024)
+            .max_population(16 * 1024)
+            .build()
+            .unwrap();
+        Engine::with_adversary(
+            proto.clone(),
+            ObliviousDeleter::with_period(2, 3),
+            cfg,
+            1024,
+        )
+    });
 }
 
 #[test]
 fn golden_popstab_trauma_adversary() {
     let params = Params::for_target(1024).unwrap();
     let epoch = u64::from(params.epoch_len());
-    let adv = Trauma::new(params.clone(), TraumaKind::Injury, 0.5, epoch / 2);
-    let cfg = SimConfig::builder()
-        .seed(0xDEAD)
-        .target(1024)
-        .adversary_budget(usize::MAX)
-        .metrics_every(epoch)
-        .build()
-        .unwrap();
-    let mut engine = Engine::with_adversary(PopulationStability::new(params), adv, cfg, 1024);
-    let reports = collect_rounds(&mut engine, epoch + 11);
-    check_golden("popstab_trauma_adversary", &reports);
+    check_golden_all_specs("popstab_trauma_adversary", epoch + 11, || {
+        let adv = Trauma::new(params.clone(), TraumaKind::Injury, 0.5, epoch / 2);
+        let cfg = SimConfig::builder()
+            .seed(0xDEAD)
+            .target(1024)
+            .adversary_budget(usize::MAX)
+            .build()
+            .unwrap();
+        Engine::with_adversary(PopulationStability::new(params.clone()), adv, cfg, 1024)
+    });
 }

@@ -16,7 +16,7 @@
 use population_stability::analysis::drift::{drift_field, measure_drift};
 use population_stability::analysis::equilibrium::{exact_epoch_drift, exact_equilibrium};
 use population_stability::prelude::*;
-use population_stability::sim::BatchRunner;
+use population_stability::sim::{BatchRunner, MetricsRecorder, RecordStats, RunSpec, Stride};
 
 #[test]
 fn drift_field_is_monotone_restoring() {
@@ -103,16 +103,20 @@ fn drift_scales_with_n() {
 #[test]
 fn exact_equilibrium_matches_long_run_fixed_point() {
     // Run 200 epochs from the exact equilibrium; the time-average should
-    // stay near it (within the wide OU wander of this small system). The
-    // engine's `run_epochs` fast path records exactly one sample per epoch.
+    // stay near it (within the wide OU wander of this small system). An
+    // epoch-end `Stride` observer records exactly one sample per epoch.
     let params = Params::for_target(1024).unwrap();
     let epoch = u64::from(params.epoch_len());
     let m_eq = exact_equilibrium(&params, 1.0);
     let cfg = SimConfig::builder().seed(17).target(1024).build().unwrap();
     let mut engine =
         Engine::with_population(PopulationStability::new(params.clone()), cfg, m_eq as usize);
-    engine.run_epochs(200, epoch);
-    let pops = engine.trajectory().population_series();
+    let mut rec = MetricsRecorder::new();
+    engine.run(
+        RunSpec::epochs(200, epoch),
+        &mut Stride::new(epoch, RecordStats::new(&mut rec)),
+    );
+    let pops = rec.trajectory().population_series();
     assert_eq!(pops.len(), 200);
     let mean = pops.iter().sum::<usize>() as f64 / pops.len() as f64;
     assert!(
@@ -125,9 +129,9 @@ fn exact_equilibrium_matches_long_run_fixed_point() {
 fn variance_estimator_tracks_population_changes() {
     // Run two systems of very different sizes as one batch; the estimator
     // must order them correctly and land within a factor 2.5 of each.
-    // Each run records on the evaluation-round stride (`metrics_every` =
-    // epoch, phase = eval round) — the recording-light path that captures
-    // exactly the snapshots `push_trace` harvests.
+    // Each run records on the evaluation-round stride (`RecordStats` with
+    // every = epoch, phase = eval round) — the recording-light path that
+    // captures exactly the snapshots `push_trace` harvests.
     let params = Params::for_target(1024).unwrap();
     let epoch = u64::from(params.epoch_len());
     let estimates = BatchRunner::from_env().run(vec![(700usize, 5u64), (1500, 6)], |_, job| {
@@ -135,15 +139,17 @@ fn variance_estimator_tracks_population_changes() {
         let cfg = SimConfig::builder()
             .seed(seed)
             .target(1024)
-            .metrics_every(epoch)
-            .metrics_phase(epoch - 1)
             .build()
             .unwrap();
         let mut engine =
             Engine::with_population(PopulationStability::new(params.clone()), cfg, pop0);
-        engine.run_rounds(50 * epoch);
+        let mut rec = MetricsRecorder::new();
+        engine.run(
+            RunSpec::rounds(50 * epoch),
+            &mut RecordStats::stride(&mut rec, epoch, epoch - 1),
+        );
         let mut est = VarianceEstimator::new(&params);
-        est.push_trace(&params, engine.metrics().rounds());
+        est.push_trace(&params, rec.rounds());
         (est.estimate().unwrap(), engine.population())
     });
     let (m_small, final_small) = estimates[0];
@@ -173,16 +179,18 @@ fn eval_round_stride_records_exactly_the_estimator_samples() {
     let epoch = u64::from(params.epoch_len());
     let eval = params.eval_round();
     let run = |strided: bool| {
-        let mut builder = SimConfig::builder();
-        builder.seed(41).target(1024);
-        if strided {
-            builder.metrics_every(epoch).metrics_phase(epoch - 1);
-        }
-        let cfg = builder.build().unwrap();
+        let cfg = SimConfig::builder().seed(41).target(1024).build().unwrap();
         let mut engine =
             Engine::with_population(PopulationStability::new(params.clone()), cfg, 1024);
-        engine.run_rounds(20 * epoch);
-        engine.metrics().rounds().to_vec()
+        let mut rec = MetricsRecorder::new();
+        let mut obs = if strided {
+            RecordStats::stride(&mut rec, epoch, epoch - 1)
+        } else {
+            RecordStats::new(&mut rec)
+        };
+        engine.run(RunSpec::rounds(20 * epoch), &mut obs);
+        drop(obs);
+        rec.rounds().to_vec()
     };
     let full = run(false);
     let strided = run(true);
@@ -232,9 +240,9 @@ fn trauma_recovery_moves_toward_equilibrium() {
             .unwrap();
         let mut engine =
             Engine::with_adversary(PopulationStability::new(params.clone()), adv, cfg, 4096);
-        engine.run_until(2 * epoch + 1, |_| false);
+        engine.run(RunSpec::rounds(2 * epoch + 1), &mut ());
         let wounded = engine.population() as f64;
-        engine.run_until(100 * epoch, |_| false);
+        engine.run(RunSpec::rounds(100 * epoch), &mut ());
         (wounded, engine.population() as f64)
     });
     let seeds_run = outcomes.len() as f64;

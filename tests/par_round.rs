@@ -13,7 +13,9 @@
 use population_stability::adversary::{Trauma, TraumaKind};
 use population_stability::core::state::AgentState;
 use population_stability::prelude::*;
-use population_stability::sim::RoundStats;
+use population_stability::sim::{
+    MetricsRecorder, OnRound, RecordStats, RoundReport, RoundStats, RunSpec, Stride, Threads,
+};
 
 type Snapshot = (Vec<AgentState>, Vec<RoundStats>, u64, usize);
 
@@ -23,18 +25,22 @@ fn run_clean(workers: Option<usize>) -> Snapshot {
     let cfg = SimConfig::builder()
         .seed(0xFEED)
         .target(1024)
-        .metrics_every(epoch)
         .build()
         .unwrap();
     let mut engine = Engine::with_population(PopulationStability::new(params), cfg, 1024);
     let rounds = 2 * epoch + 5;
-    match workers {
-        None => engine.run_rounds(rounds),
-        Some(w) => engine.run_rounds_par(rounds, w),
+    let threads = match workers {
+        None => Threads::Serial,
+        Some(w) => Threads::Sharded(w),
     };
+    let mut rec = MetricsRecorder::new();
+    engine.run(
+        RunSpec::rounds(rounds).threads(threads),
+        &mut Stride::new(epoch, RecordStats::new(&mut rec)),
+    );
     (
         engine.agents().to_vec(),
-        engine.metrics().rounds().to_vec(),
+        rec.rounds().to_vec(),
         engine.round(),
         engine.population(),
     )
@@ -72,10 +78,14 @@ fn adversarial_par_fast_path_matches_serial_fast_path() {
             trace.push((r.round, r.population_after, r.splits, r.deaths));
             false
         };
-        match workers {
-            None => engine.run_until(epoch + 11, |r| collect(&mut trace, r)),
-            Some(w) => engine.run_until_par(epoch + 11, w, |r| collect(&mut trace, r)),
+        let threads = match workers {
+            None => Threads::Serial,
+            Some(w) => Threads::Sharded(w),
         };
+        engine.run(
+            RunSpec::until(epoch + 11, |r| collect(&mut trace, r)).threads(threads),
+            &mut (),
+        );
         (trace, engine.agents().to_vec(), engine.population())
     };
     let serial = run(None);
@@ -99,14 +109,14 @@ fn par_rounds_bit_identical_above_the_keyed_permutation_threshold() {
             .unwrap();
         let mut engine = Engine::with_population(Inert, cfg, 70_000);
         let mut matched = Vec::new();
-        let collect = |matched: &mut Vec<usize>, r: &population_stability::sim::RoundReport| {
-            matched.push(r.matched);
-            false
+        let threads = match workers {
+            None => Threads::Serial,
+            Some(w) => Threads::Sharded(w),
         };
-        match workers {
-            None => engine.run_until(4, |r| collect(&mut matched, r)),
-            Some(w) => engine.run_until_par(4, w, |r| collect(&mut matched, r)),
-        };
+        engine.run(
+            RunSpec::rounds(4).threads(threads),
+            &mut OnRound(|r: &RoundReport| matched.push(r.matched)),
+        );
         matched
     };
     let serial = run(None);
@@ -120,7 +130,7 @@ fn par_rounds_bit_identical_above_the_keyed_permutation_threshold() {
 }
 
 #[test]
-fn single_par_round_equals_single_serial_round() {
+fn single_sharded_round_equals_single_serial_round() {
     let params = Params::for_target(1024).unwrap();
     let mk = || {
         let cfg = SimConfig::builder().seed(9).target(1024).build().unwrap();
@@ -129,8 +139,8 @@ fn single_par_round_equals_single_serial_round() {
     let mut serial = mk();
     let mut par = mk();
     for _ in 0..5 {
-        let a = serial.run_round();
-        let b = par.par_round(4);
+        let a = serial.run(RunSpec::rounds(1), &mut ()).last;
+        let b = par.run(RunSpec::rounds(1).sharded(4), &mut ()).last;
         assert_eq!(a, b);
         assert_eq!(serial.agents(), par.agents());
     }

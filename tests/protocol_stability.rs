@@ -16,7 +16,7 @@ use population_stability::adversary::{
     throttled_suite, ColorFlooder, Composite, DesyncInserter, LeaderSniper, Throttle,
 };
 use population_stability::prelude::*;
-use population_stability::sim::BatchRunner;
+use population_stability::sim::{BatchRunner, MetricsRecorder, RecordStats, RunSpec};
 
 const N: u64 = 1024;
 
@@ -33,7 +33,9 @@ fn stable_without_adversary_across_seeds() {
         let cfg = SimConfig::builder().seed(seed).target(N).build().unwrap();
         let mut engine =
             Engine::with_population(PopulationStability::new(params.clone()), cfg, N as usize);
-        let range = engine.run_range(20 * epoch);
+        let range = engine
+            .run(RunSpec::rounds(20 * epoch), &mut ())
+            .population_range();
         (seed, engine.halted(), range)
     });
     for (seed, halted, (lo, hi)) in outcomes {
@@ -70,7 +72,9 @@ fn stable_under_every_suite_adversary_per_epoch_budget() {
             cfg,
             N as usize,
         );
-        let range = engine.run_range(15 * epoch);
+        let range = engine
+            .run(RunSpec::rounds(15 * epoch), &mut ())
+            .population_range();
         (name, engine.halted(), range)
     });
     for (name, halted, (lo, hi)) in outcomes {
@@ -117,7 +121,9 @@ fn stable_under_combined_assault() {
         cfg,
         N as usize,
     );
-    let (lo, hi) = engine.run_range(15 * epoch);
+    let (lo, hi) = engine
+        .run(RunSpec::rounds(15 * epoch), &mut ())
+        .population_range();
     assert!(lo as f64 >= 0.55 * m_star, "fell to {lo}");
     assert!(hi as f64 <= 1.7 * m_star, "rose to {hi}");
 }
@@ -145,11 +151,9 @@ fn lemma_invariants_hold_under_attack() {
             cfg,
             N as usize,
         );
-        engine.run_rounds(10 * epoch);
-        (
-            name,
-            check_invariants(&params, 1.0, engine.metrics().rounds()),
-        )
+        let mut rec = MetricsRecorder::new();
+        engine.run(RunSpec::rounds(10 * epoch), &mut RecordStats::new(&mut rec));
+        (name, check_invariants(&params, 1.0, rec.rounds()))
     });
     for (name, report) in reports {
         assert!(
@@ -187,7 +191,9 @@ fn partial_matching_gamma_quarter_still_stable() {
         .unwrap();
     let mut engine =
         Engine::with_population(PopulationStability::new(params.clone()), cfg, N as usize);
-    let (lo, hi) = engine.run_range(20 * epoch);
+    let (lo, hi) = engine
+        .run(RunSpec::rounds(20 * epoch), &mut ())
+        .population_range();
     assert_eq!(engine.halted(), None);
     // γ = 1/4 quarters both drift and noise; recruitment still completes
     // because T_inner = log²N ≫ 1/γ·log N. Constants shift, so use a loose
@@ -219,7 +225,7 @@ fn sustained_pressure_beyond_capacity_breaks_the_protocol() {
         cfg,
         N as usize,
     );
-    engine.run_until(80 * epoch, |_| false);
+    engine.run(RunSpec::rounds(80 * epoch), &mut ());
     assert!(
         (engine.population() as f64) < 0.55 * m_star,
         "population {} should have been dragged below the band by -8/epoch \
