@@ -148,14 +148,19 @@ impl Adversary<AgentState> for Churn {
 }
 
 /// Samples up to `k` distinct indices from `0..len` (all of them if
-/// `k ≥ len`).
+/// `k ≥ len`), returned in ascending order.
 pub(crate) fn sample_distinct(len: usize, k: usize, rng: &mut SimRng) -> Vec<usize> {
     if k >= len {
         return (0..len).collect();
     }
-    // Floyd's algorithm: k distinct samples in O(k) expected time.
-    use std::collections::HashSet;
-    let mut chosen = HashSet::with_capacity(k);
+    // Floyd's algorithm: k distinct samples in O(k log k) time. The set is
+    // ordered on purpose: a HashSet here would hand back the sampled
+    // indices in per-process random order, and that order reaches results —
+    // the engine truncates an over-budget alteration list positionally
+    // (`take(adversary_budget)`), so *which* deletions survive would depend
+    // on the hash seed, not on the simulation seed.
+    use std::collections::BTreeSet;
+    let mut chosen = BTreeSet::new();
     for j in (len - k)..len {
         let t = rng.random_range(0..=j);
         if !chosen.insert(t) {

@@ -44,8 +44,11 @@ use popstab_core::state::AgentState;
 /// if the slice is empty. Adversaries use this to forge agents that blend
 /// in with (or deliberately clash with) the honest clock.
 pub fn majority_round(agents: &[AgentState]) -> Option<u32> {
-    use std::collections::HashMap;
-    let mut counts: HashMap<u32, usize> = HashMap::new();
+    use std::collections::BTreeMap;
+    // Ordered so the tie-break is deterministic (largest round value wins):
+    // the result seeds forged agents, so a HashMap's per-process random
+    // tie-break would leak into trajectories.
+    let mut counts: BTreeMap<u32, usize> = BTreeMap::new();
     for a in agents {
         *counts.entry(a.round).or_insert(0) += 1;
     }

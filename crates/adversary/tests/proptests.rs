@@ -116,7 +116,7 @@ proptest! {
         let offset = 7u32;
         let mut adv = DesyncInserter::new(p.clone(), 3, offset);
         // The mode may be tied; accept any round that is offset from *a* mode.
-        let mut counts = std::collections::HashMap::new();
+        let mut counts = std::collections::BTreeMap::new();
         for a in &pop {
             *counts.entry(a.round).or_insert(0usize) += 1;
         }

@@ -15,7 +15,7 @@
 //! `forged_ids_break_the_protocol` reproduces exactly that, motivating the
 //! paper's harder problem statement.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use popstab_sim::{Action, Observable, Observation, Protocol, SimRng};
 use rand::Rng;
@@ -59,7 +59,7 @@ pub struct HmState {
     /// This agent's identifier for the current epoch.
     pub id: u64,
     /// All identifiers seen this epoch (including `id`).
-    pub ids: HashSet<u64>,
+    pub ids: BTreeSet<u64>,
 }
 
 impl Observable for HmState {
@@ -74,26 +74,26 @@ impl Observable for HmState {
 
 impl Protocol for HighMemory {
     type State = HmState;
-    type Message = HashSet<u64>;
+    type Message = BTreeSet<u64>;
 
     fn initial_state(&self, rng: &mut SimRng) -> HmState {
         let id = rng.random();
         HmState {
             round: 0,
             id,
-            ids: HashSet::from([id]),
+            ids: BTreeSet::from([id]),
         }
     }
 
-    fn message(&self, state: &HmState) -> HashSet<u64> {
+    fn message(&self, state: &HmState) -> BTreeSet<u64> {
         state.ids.clone()
     }
 
-    fn step(&self, s: &mut HmState, incoming: Option<&HashSet<u64>>, rng: &mut SimRng) -> Action {
+    fn step(&self, s: &mut HmState, incoming: Option<&BTreeSet<u64>>, rng: &mut SimRng) -> Action {
         s.round %= self.epoch_len;
         if s.round == 0 {
             s.id = rng.random();
-            s.ids = HashSet::from([s.id]);
+            s.ids = BTreeSet::from([s.id]);
             s.round = 1;
             return Action::Continue;
         }
@@ -144,7 +144,7 @@ impl popstab_sim::Adversary<HmState> for IdFlooder {
         _rng: &mut SimRng,
     ) -> Vec<popstab_sim::Alteration<HmState>> {
         let round = agents.first().map_or(0, |a| a.round);
-        let forged: HashSet<u64> = (0..4 * ctx.target).map(|i| u64::MAX - i).collect();
+        let forged: BTreeSet<u64> = (0..4 * ctx.target).map(|i| u64::MAX - i).collect();
         vec![popstab_sim::Alteration::Insert(HmState {
             round,
             id: 0,

@@ -464,8 +464,8 @@ mod tests {
         // Run up to (but not including) the evaluation round.
         engine.run(popstab_sim::RunSpec::rounds(epoch - 1), &mut ());
         // Group active agents by lineage: every complete cluster has √N members.
-        use std::collections::HashMap;
-        let mut clusters: HashMap<u64, u64> = HashMap::new();
+        use std::collections::BTreeMap;
+        let mut clusters: BTreeMap<u64, u64> = BTreeMap::new();
         for agent in engine.agents() {
             if agent.active {
                 *clusters.entry(agent.lineage).or_insert(0) += 1;

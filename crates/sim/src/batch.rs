@@ -84,6 +84,9 @@ pub fn round_threads_override() -> Option<usize> {
     if explicit > 0 {
         return Some(explicit);
     }
+    // lint:allow(forbid-ambient-nondeterminism): worker-count knob only —
+    // the determinism contract guarantees results are worker-count-invariant
+    // (serial ≡ sharded bit-for-bit), so this read cannot reach trajectories.
     std::env::var("POPSTAB_ROUND_THREADS")
         .ok()
         .and_then(|v| v.parse::<usize>().ok())
@@ -105,6 +108,8 @@ pub fn default_jobs() -> usize {
     if explicit > 0 {
         return explicit;
     }
+    // lint:allow(forbid-ambient-nondeterminism): worker-count knob only —
+    // batch results are keyed by (seed, spec), never by which worker ran them.
     if let Some(n) = std::env::var("POPSTAB_JOBS")
         .ok()
         .and_then(|v| v.parse::<usize>().ok())
@@ -331,6 +336,8 @@ impl<T> Copy for SendPtr<T> {}
 // at the use sites states its disjointness argument); the pointer value
 // itself is freely copyable across threads.
 unsafe impl<T> Send for SendPtr<T> {}
+// SAFETY: shared references to the wrapper expose only the raw pointer
+// value, never the pointee — same argument as `Send` above.
 unsafe impl<T> Sync for SendPtr<T> {}
 
 /// The slot range shard `s` of `nshards` owns over `n` items: contiguous,
@@ -691,6 +698,8 @@ mod tests {
     fn round_threads_default_is_serial() {
         use crate::Threads;
         set_round_threads(0);
+        // lint:allow(forbid-ambient-nondeterminism): the test asserts the
+        // env-derived default, so it must read the same variable as the code.
         if std::env::var_os("POPSTAB_ROUND_THREADS").is_none() {
             assert_eq!(round_threads(), 1);
             assert_eq!(Threads::from_env(), Threads::Serial);

@@ -42,7 +42,7 @@
 //! assert_eq!(rec.len(), 10);
 //! ```
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::agent::Protocol;
 use crate::engine::{HaltReason, RoundReport};
@@ -333,8 +333,9 @@ pub struct RecordStats<'a> {
     rec: &'a mut MetricsRecorder,
     every: u64,
     phase: u64,
-    /// Epoch-round histogram scratch, reused across recorded rounds.
-    counts: HashMap<u32, usize>,
+    /// Epoch-round histogram scratch, reused across recorded rounds
+    /// (ordered so the majority tie-break is deterministic).
+    counts: BTreeMap<u32, usize>,
 }
 
 impl<'a> RecordStats<'a> {
@@ -359,7 +360,7 @@ impl<'a> RecordStats<'a> {
             rec,
             every,
             phase,
-            counts: HashMap::new(),
+            counts: BTreeMap::new(),
         }
     }
 }

@@ -548,6 +548,8 @@ impl<P: Protocol, A: Adversary<P::State>> Engine<P, A> {
                 // SAFETY: slot `i` belongs to exactly one shard range; no
                 // other thread touches `agents[i]` or `messages[i]`.
                 let state = unsafe { &mut *agents_base.get().add(i) };
+                // SAFETY: same disjointness argument, and `messages` is only
+                // ever read during the step phase.
                 let incoming = unsafe { &*msg_base.get().add(i) };
                 let mut rng = slot_rng(rkey, i as u64);
                 match protocol.step(state, incoming.as_ref(), &mut rng) {

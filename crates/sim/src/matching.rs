@@ -489,7 +489,7 @@ pub fn sample_full_matching_naive(population: usize, rng: &mut SimRng) -> Matchi
 mod tests {
     use super::*;
     use crate::rng::{counter_seed, rng_from_seed};
-    use std::collections::HashSet;
+    use std::collections::BTreeSet;
 
     /// A distinct matching key per `(master, trial)` for the statistical
     /// tests, mirroring how the engine keys one matching per round.
@@ -498,7 +498,7 @@ mod tests {
     }
 
     fn assert_valid(m: &Matching, population: usize) {
-        let mut seen = HashSet::new();
+        let mut seen = BTreeSet::new();
         for &(a, b) in m.pairs() {
             assert_ne!(a, b, "self-match");
             assert!(

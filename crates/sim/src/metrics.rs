@@ -1,6 +1,6 @@
 //! Per-round metrics derived from generic agent observations.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::agent::{Observable, Observation};
 
@@ -42,7 +42,7 @@ pub struct RoundStats {
 impl RoundStats {
     /// Builds the observation-derived part of the stats from a population.
     pub fn observe<S: Observable>(round: u64, agents: &[S]) -> RoundStats {
-        RoundStats::observe_with(round, agents, &mut HashMap::new())
+        RoundStats::observe_with(round, agents, &mut BTreeMap::new())
     }
 
     /// As [`observe`](RoundStats::observe), but reusing `round_counts` as the
@@ -52,7 +52,7 @@ impl RoundStats {
     pub fn observe_with<S: Observable>(
         round: u64,
         agents: &[S],
-        round_counts: &mut HashMap<u32, usize>,
+        round_counts: &mut BTreeMap<u32, usize>,
     ) -> RoundStats {
         let mut stats = RoundStats {
             round,
@@ -83,6 +83,9 @@ impl RoundStats {
                 *round_counts.entry(r).or_insert(0) += 1;
             }
         }
+        // BTreeMap iteration is key-ordered, so the majority tie-break is
+        // deterministic (largest round value wins) — a HashMap here would
+        // resolve ties in per-process random order.
         if let Some((&majority, &count)) = round_counts.iter().max_by_key(|&(_, c)| *c) {
             stats.majority_round = Some(majority);
             let total: usize = round_counts.values().sum();

@@ -107,7 +107,7 @@ proptest! {
         gamma in 0.05f64..=1.0,
     ) {
         let m = sample_matching(population, MatchingModel::ExactFraction(gamma), counter_seed(seed, 0, 0));
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for &(a, b) in m.pairs() {
             prop_assert_ne!(a, b);
             prop_assert!((a as usize) < population && (b as usize) < population);

@@ -90,6 +90,43 @@
 //! The named `(protocol, adversary, config)` combos the experiment harness
 //! runs are declared as [`sim::Scenario`] values; `experiments --list`
 //! prints the registry and `experiments scenario <name>` runs one.
+//!
+//! # Determinism contract & how it's enforced
+//!
+//! Every trajectory is a pure function of `(seed, RunSpec)`: the agent
+//! stream is keyed by `(seed, round, slot)` and the matching stream by
+//! `(match_key, round)`, so serial and sharded runs are bit-identical and
+//! any round can be replayed in isolation. Golden fixtures under
+//! `tests/golden/` pin both streams byte-for-byte; bumping
+//! `AGENT_STREAM_VERSION` or `MATCHING_STREAM_VERSION` is a coordinated
+//! event (constant + fixtures + README table + `BENCH_engine.json`
+//! together).
+//!
+//! The contract is enforced *statically* by `popstab-lint`
+//! (`cargo run -p popstab-lint`, a CI gate), which lexes every workspace
+//! source file into code/comment channels and checks six rules:
+//!
+//! | rule | what it forbids |
+//! |---|---|
+//! | `forbid-ambient-nondeterminism` | `Instant::now` / `SystemTime` / `thread_rng` / `std::env` reads in result-affecting crates |
+//! | `forbid-unordered-iteration` | `HashMap` / `HashSet` (per-process random iteration order) in result-affecting crates |
+//! | `unsafe-needs-safety-comment` | `unsafe` items without an adjacent `// SAFETY:` comment |
+//! | `stream-version-coherence` | stream-version constants disagreeing with the golden README or `BENCH_engine.json` |
+//! | `workspace-manifest-invariants` | workspace crates missing from the root manifest's per-package `opt-level` tables |
+//! | `no-deprecated-internal-callers` | internal callers of the deprecated `run_*` wrappers |
+//!
+//! A finding is suppressed with a justified escape on, or in the comment
+//! block directly above, the offending line:
+//!
+//! ```text
+//! // lint:allow(forbid-ambient-nondeterminism): worker-count knob only —
+//! // results are worker-count-invariant by the determinism contract.
+//! std::env::var("POPSTAB_JOBS")
+//! ```
+//!
+//! (`lint:allow-file(<rule>): <justification>` within the first 20 lines
+//! suppresses a rule for a whole file.) The justification is mandatory;
+//! unjustified or unknown-rule escapes are themselves findings.
 
 pub use popstab_adversary as adversary;
 pub use popstab_analysis as analysis;

@@ -1,0 +1,42 @@
+//! Lint diagnostics.
+
+use std::fmt;
+
+/// One finding: a rule violation at a location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative path (unix separators).
+    pub file: String,
+    /// 1-based line number (0 for whole-file findings).
+    pub line: usize,
+    /// The rule that produced the finding.
+    pub rule: &'static str,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Builds a diagnostic; `line` is 1-based (pass 0 for whole-file).
+    pub fn new(file: &str, line: usize, rule: &'static str, message: String) -> Diagnostic {
+        Diagnostic {
+            file: file.to_string(),
+            line,
+            rule,
+            message,
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "{}: [{}] {}", self.file, self.rule, self.message)
+        } else {
+            write!(
+                f,
+                "{}:{}: [{}] {}",
+                self.file, self.line, self.rule, self.message
+            )
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! `popstab-lint` — determinism-contract static analysis for this
+//! workspace.
+//!
+//! The engine's most valuable invariant — every trajectory is a pure
+//! function of `(seed, RunSpec)`, bit-identical from serial to sharded
+//! execution — is enforced dynamically by golden fixtures and property
+//! tests. Those catch a violation only *after* it has perturbed a stream.
+//! This crate is the static half of the contract: a source-level pass that
+//! proves, before anything runs, that no nondeterminism source can reach a
+//! result path.
+//!
+//! Run it as `cargo run -p popstab-lint` from anywhere in the workspace
+//! (CI runs it between clippy and the test suite). Exit code 0 means the
+//! tree is clean; 1 means violations were printed.
+//!
+//! # Rules
+//!
+//! | rule | guards against |
+//! |------|----------------|
+//! | `forbid-ambient-nondeterminism` | wall-clock / OS-RNG / env reads in result crates |
+//! | `forbid-unordered-iteration` | `HashMap`/`HashSet` (RandomState order) in result crates |
+//! | `unsafe-needs-safety-comment` | `unsafe` without an adjacent `// SAFETY:` argument |
+//! | `stream-version-coherence` | partial stream bumps across constants, fixtures, benchmarks |
+//! | `workspace-manifest-invariants` | crates missing dev/test `opt-level` overrides |
+//! | `no-deprecated-internal-callers` | internal use of `#[deprecated]` wrappers |
+//!
+//! # Escapes
+//!
+//! A finding that is provably harmless is silenced in place, with the proof:
+//!
+//! ```text
+//! // lint:allow(<rule>): <one-line justification>        — next code line
+//! some_call(); // lint:allow(<rule>): <justification>    — same line
+//! // lint:allow-file(<rule>): <justification>            — whole file, first 20 lines
+//! ```
+//!
+//! An escape without a justification (or naming an unknown rule, or an
+//! `allow-file` outside the leading window) is itself a diagnostic: allows
+//! must stay auditable.
+
+pub mod diag;
+pub mod lexer;
+pub mod rules;
+pub mod source;
+pub mod workspace;
+
+use diag::Diagnostic;
+use workspace::Workspace;
+
+/// Runs every rule over the workspace and returns the findings that no
+/// valid escape covers, sorted by file, line, and rule.
+pub fn run_lint(ws: &Workspace) -> Vec<Diagnostic> {
+    let rules = rules::all();
+    let known: Vec<&'static str> = rules.iter().map(|r| r.name()).collect();
+    let mut out = Vec::new();
+    for file in &ws.files {
+        out.extend(file.allow_diagnostics(&known));
+    }
+    for rule in &rules {
+        for d in rule.check(ws) {
+            let allowed = d.line > 0
+                && ws
+                    .file(&d.file)
+                    .is_some_and(|f| f.is_allowed(d.rule, d.line));
+            if !allowed {
+                out.push(d);
+            }
+        }
+    }
+    out.sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use source::SourceFile;
+
+    #[test]
+    fn a_valid_allow_suppresses_the_finding() {
+        let src = "\
+// lint:allow(forbid-unordered-iteration): membership-only set, never iterated.
+use std::collections::HashSet;
+";
+        let ws = Workspace {
+            files: vec![SourceFile::new("crates/sim/src/x.rs", src)],
+            ..Workspace::default()
+        };
+        let unordered: Vec<_> = run_lint(&ws)
+            .into_iter()
+            .filter(|d| d.rule == "forbid-unordered-iteration")
+            .collect();
+        assert!(unordered.is_empty(), "{unordered:?}");
+    }
+
+    #[test]
+    fn an_unjustified_allow_is_a_finding_and_does_not_suppress() {
+        let src = "use std::collections::HashSet; // lint:allow(forbid-unordered-iteration)\n";
+        let ws = Workspace {
+            files: vec![SourceFile::new("crates/sim/src/x.rs", src)],
+            ..Workspace::default()
+        };
+        let diags = run_lint(&ws);
+        assert!(diags.iter().any(|d| d.rule == "lint-allow-syntax"));
+        assert!(diags.iter().any(|d| d.rule == "forbid-unordered-iteration"));
+    }
+}

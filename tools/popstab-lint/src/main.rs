@@ -1,0 +1,63 @@
+//! CLI entry point: lints the enclosing workspace and exits non-zero on
+//! findings. See the crate docs (`cargo doc -p popstab-lint`) for the rule
+//! catalogue and the `lint:allow` escape syntax.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use popstab_lint::workspace::Workspace;
+use popstab_lint::{rules, run_lint};
+
+fn main() -> ExitCode {
+    let Some(root) = find_workspace_root() else {
+        eprintln!("popstab-lint: no workspace Cargo.toml found above the current directory");
+        return ExitCode::FAILURE;
+    };
+    let ws = match Workspace::load(&root) {
+        Ok(ws) => ws,
+        Err(e) => {
+            eprintln!(
+                "popstab-lint: failed to load workspace at {}: {e}",
+                root.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let diags = run_lint(&ws);
+    if diags.is_empty() {
+        let rule_count = rules::all().len();
+        println!(
+            "popstab-lint: clean — {} files, {rule_count} rules, 0 findings",
+            ws.files.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+    for d in &diags {
+        println!("{d}");
+    }
+    println!("popstab-lint: {} finding(s)", diags.len());
+    ExitCode::FAILURE
+}
+
+/// Walks up from the current directory to the manifest declaring
+/// `[workspace]`, falling back to this crate's own workspace at compile
+/// time (so `cargo run -p popstab-lint` works from any subdirectory).
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = std::fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(dir);
+                }
+            }
+        }
+        if !dir.pop() {
+            break;
+        }
+    }
+    // tools/popstab-lint/../.. is the workspace root.
+    let compiled = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    compiled.parent()?.parent().map(PathBuf::from)
+}

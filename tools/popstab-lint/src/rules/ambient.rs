@@ -1,0 +1,113 @@
+//! Rule `forbid-ambient-nondeterminism`: no wall-clock, OS-RNG, or process
+//! environment reads inside result-affecting crates.
+//!
+//! The engine's determinism contract makes every trajectory a pure function
+//! of `(seed, RunSpec)`. Any ambient read on a result path silently breaks
+//! that — and unlike a stream bump, it breaks it *unreproducibly*, so the
+//! golden fixtures may keep passing while cross-host runs diverge. This rule
+//! bans the ambient sources at their call-site spelling; the escape is
+//! `lint:allow(forbid-ambient-nondeterminism)` with a proof that the read
+//! cannot reach a result (e.g. it only picks a worker count, and worker
+//! counts are result-neutral by the sharding contract).
+
+use crate::diag::Diagnostic;
+use crate::lexer::contains_token;
+use crate::rules::{Rule, RESULT_CRATES};
+use crate::workspace::Workspace;
+
+/// See the module docs.
+pub struct ForbidAmbientNondeterminism;
+
+/// Banned spellings and what each one reads.
+const TOKENS: &[(&str, &str)] = &[
+    ("Instant::now", "the monotonic clock"),
+    ("SystemTime", "the wall clock"),
+    ("thread_rng", "the OS-seeded thread RNG"),
+    ("std::env", "the process environment"),
+    ("env::var", "the process environment"),
+    ("env::args", "the process arguments"),
+];
+
+impl Rule for ForbidAmbientNondeterminism {
+    fn name(&self) -> &'static str {
+        "forbid-ambient-nondeterminism"
+    }
+
+    fn check(&self, ws: &Workspace) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        for file in ws.files_under(RESULT_CRATES) {
+            for (idx, line) in file.lines.iter().enumerate() {
+                if let Some((token, what)) = TOKENS
+                    .iter()
+                    .find(|(token, _)| contains_token(&line.code, token))
+                {
+                    out.push(Diagnostic::new(
+                        &file.path,
+                        idx + 1,
+                        self.name(),
+                        format!(
+                            "`{token}` reads {what} inside a result-affecting crate; derive the \
+                             value from the run's seed, or escape with \
+                             `lint:allow(forbid-ambient-nondeterminism): <why it cannot reach a \
+                             result>`"
+                        ),
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+
+    fn ws_with(path: &str, src: &str) -> Workspace {
+        Workspace {
+            files: vec![SourceFile::new(path, src)],
+            ..Workspace::default()
+        }
+    }
+
+    #[test]
+    fn accepts_seed_derived_randomness() {
+        let ws = ws_with(
+            "crates/sim/src/rng.rs",
+            "fn fresh(seed: u64) -> SimRng { rng_from_seed(seed) }\n",
+        );
+        assert!(ForbidAmbientNondeterminism.check(&ws).is_empty());
+    }
+
+    #[test]
+    fn rejects_clock_and_env_reads_in_result_crates() {
+        let ws = ws_with(
+            "crates/core/src/protocol.rs",
+            "fn t() -> Instant { Instant::now() }\nfn e() { std::env::var(\"X\").ok(); }\n",
+        );
+        let diags = ForbidAmbientNondeterminism.check(&ws);
+        assert_eq!(diags.len(), 2);
+        assert_eq!(diags[0].line, 1);
+        assert!(diags[0].message.contains("monotonic clock"));
+        assert_eq!(diags[1].line, 2);
+    }
+
+    #[test]
+    fn bench_and_cli_crates_are_out_of_scope() {
+        let ws = ws_with(
+            "crates/bench/src/experiments/bench.rs",
+            "let start = Instant::now();\n",
+        );
+        assert!(ForbidAmbientNondeterminism.check(&ws).is_empty());
+    }
+
+    #[test]
+    fn mentions_in_comments_and_strings_do_not_count() {
+        let ws = ws_with(
+            "crates/sim/src/batch.rs",
+            "// Instant::now() would be wrong here.\nlet s = \"SystemTime\";\n",
+        );
+        assert!(ForbidAmbientNondeterminism.check(&ws).is_empty());
+    }
+}

@@ -1,0 +1,189 @@
+//! Rule `no-deprecated-internal-callers`: `#[deprecated]` items must have
+//! zero callers inside the workspace.
+//!
+//! Deprecated wrappers exist for downstream migration, not for internal
+//! convenience; an internal caller both hides behind the crate-local
+//! `#[allow(deprecated)]` it forces and keeps the wrapper's removal PR
+//! blocked forever. The rule finds every `#[deprecated]` `fn`, then flags
+//! any use of its name outside the item's own definition span.
+
+use crate::diag::Diagnostic;
+use crate::lexer::{contains_token, is_ident_char};
+use crate::rules::Rule;
+use crate::source::SourceFile;
+use crate::workspace::Workspace;
+
+/// See the module docs.
+pub struct NoDeprecatedInternalCallers;
+
+/// A `#[deprecated]` function definition.
+#[derive(Debug)]
+struct DeprecatedFn {
+    name: String,
+    file: String,
+    /// 1-based inclusive span covering the attribute through the body.
+    span: (usize, usize),
+}
+
+impl Rule for NoDeprecatedInternalCallers {
+    fn name(&self) -> &'static str {
+        "no-deprecated-internal-callers"
+    }
+
+    fn check(&self, ws: &Workspace) -> Vec<Diagnostic> {
+        let defs: Vec<DeprecatedFn> = ws.files.iter().flat_map(find_deprecated_fns).collect();
+        let mut out = Vec::new();
+        for file in &ws.files {
+            for (idx, line) in file.lines.iter().enumerate() {
+                let lineno = idx + 1;
+                for def in &defs {
+                    if def.file == file.path && lineno >= def.span.0 && lineno <= def.span.1 {
+                        continue; // the definition itself
+                    }
+                    if is_call_site(&line.code, &def.name) {
+                        out.push(Diagnostic::new(
+                            &file.path,
+                            lineno,
+                            self.name(),
+                            format!(
+                                "call to deprecated `{}` (defined in {}); migrate to the \
+                                 replacement named in its `#[deprecated]` note",
+                                def.name, def.file
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Whether `code` uses `name` as a call (not its `fn` definition).
+fn is_call_site(code: &str, name: &str) -> bool {
+    if !contains_token(code, name) {
+        return false;
+    }
+    // A definition line (`fn name`, possibly `pub fn name`) is not a call.
+    !code.contains(&format!("fn {name}"))
+}
+
+/// Scans one file for `#[deprecated]` functions with their body spans.
+fn find_deprecated_fns(file: &SourceFile) -> Vec<DeprecatedFn> {
+    let mut out = Vec::new();
+    let lines = &file.lines;
+    for (idx, line) in lines.iter().enumerate() {
+        if !line.code.contains("#[deprecated") {
+            continue;
+        }
+        // Find the `fn` this attribute decorates (skipping the rest of the
+        // attribute and any further attributes/comments).
+        let Some((fn_line, name)) = (idx..lines.len().min(idx + 12))
+            .find_map(|j| fn_name(&lines[j].code).map(|name| (j, name)))
+        else {
+            continue;
+        };
+        let end = body_end(lines, fn_line).unwrap_or(fn_line);
+        out.push(DeprecatedFn {
+            name,
+            file: file.path.clone(),
+            span: (idx + 1, end + 1),
+        });
+    }
+    out
+}
+
+/// The identifier after `fn ` on this line, if any.
+fn fn_name(code: &str) -> Option<String> {
+    let pos = code.find("fn ")?;
+    // `fn` must be a word of its own (`pub fn`, line start, …).
+    if pos > 0 && is_ident_char(code[..pos].chars().next_back().unwrap()) {
+        return None;
+    }
+    let name: String = code[pos + 3..]
+        .trim_start()
+        .chars()
+        .take_while(|&c| is_ident_char(c))
+        .collect();
+    (!name.is_empty()).then_some(name)
+}
+
+/// The 0-based line where the brace-delimited body opened at-or-after
+/// `start` closes.
+fn body_end(lines: &[crate::lexer::LexedLine], start: usize) -> Option<usize> {
+    let mut depth: i64 = 0;
+    let mut entered = false;
+    for (j, line) in lines.iter().enumerate().skip(start) {
+        for c in line.code.chars() {
+            match c {
+                '{' => {
+                    depth += 1;
+                    entered = true;
+                }
+                '}' => depth -= 1,
+                _ => {}
+            }
+        }
+        if entered && depth <= 0 {
+            return Some(j);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DEF: &str = "\
+impl Engine {
+    #[deprecated(
+        since = \"0.1.0\",
+        note = \"use `Engine::run` instead\"
+    )]
+    pub fn run_legacy(&mut self) -> u64 {
+        self.run_serial(RunSpec::rounds(1), &mut ()).executed
+    }
+}
+";
+
+    fn ws(files: Vec<(&str, String)>) -> Workspace {
+        Workspace {
+            files: files
+                .into_iter()
+                .map(|(p, s)| SourceFile::new(p, &s))
+                .collect(),
+            ..Workspace::default()
+        }
+    }
+
+    #[test]
+    fn the_definition_itself_is_not_a_caller() {
+        let ws = ws(vec![("crates/sim/src/engine.rs", DEF.to_string())]);
+        assert!(NoDeprecatedInternalCallers.check(&ws).is_empty());
+    }
+
+    #[test]
+    fn an_internal_caller_is_flagged() {
+        let caller = "fn t() { engine.run_legacy(); }\n".to_string();
+        let ws = ws(vec![
+            ("crates/sim/src/engine.rs", DEF.to_string()),
+            ("tests/suite.rs", caller),
+        ]);
+        let diags = NoDeprecatedInternalCallers.check(&ws);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].file, "tests/suite.rs");
+        assert!(diags[0].message.contains("run_legacy"));
+    }
+
+    #[test]
+    fn doc_comment_mentions_do_not_count() {
+        let docs = "//! Migration table:\n//! | `run_legacy()` | `run(RunSpec::rounds(1), …)` |\n"
+            .to_string();
+        let ws = ws(vec![
+            ("crates/sim/src/engine.rs", DEF.to_string()),
+            ("src/lib.rs", docs),
+        ]);
+        assert!(NoDeprecatedInternalCallers.check(&ws).is_empty());
+    }
+}

@@ -1,0 +1,152 @@
+//! Rule `workspace-manifest-invariants`: every workspace crate must appear
+//! in the root manifest's per-package `opt-level` overrides.
+//!
+//! The engine's hot loops are generic and monomorphize into the *caller* —
+//! test binaries included — so a crate missing from the dev/test override
+//! tables silently runs its simulation loops at `opt-level = 0` under
+//! `cargo test`, turning the tier-1 suite from ~1 minute into many. The
+//! ROADMAP calls this out as the invariant that must survive new crates;
+//! this rule makes "I added a crate" fail the build until the overrides
+//! follow.
+
+use crate::diag::Diagnostic;
+use crate::rules::Rule;
+use crate::workspace::{manifest_members, package_name, section_has_key, Workspace};
+
+/// See the module docs.
+pub struct WorkspaceManifestInvariants;
+
+impl Rule for WorkspaceManifestInvariants {
+    fn name(&self) -> &'static str {
+        "workspace-manifest-invariants"
+    }
+
+    fn check(&self, ws: &Workspace) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        let Some(root) = ws.root_manifest() else {
+            return vec![Diagnostic::new(
+                "Cargo.toml",
+                0,
+                self.name(),
+                "workspace root manifest not found".to_string(),
+            )];
+        };
+
+        // Every member's package name, plus the root package itself.
+        let mut crate_names = Vec::new();
+        if let Some(name) = package_name(&root.text) {
+            crate_names.push(name);
+        }
+        for member in manifest_members(&root.text) {
+            let manifest_path = format!("{member}/Cargo.toml");
+            match ws
+                .manifests
+                .iter()
+                .find(|m| m.path == manifest_path)
+                .and_then(|m| package_name(&m.text))
+            {
+                Some(name) => crate_names.push(name),
+                None => out.push(Diagnostic::new(
+                    &root.path,
+                    0,
+                    self.name(),
+                    format!("workspace member `{member}` has no readable package name"),
+                )),
+            }
+        }
+
+        for name in &crate_names {
+            for profile in ["dev", "test"] {
+                let section = format!("profile.{profile}.package.{name}");
+                if !section_has_key(&root.text, &section, "opt-level") {
+                    out.push(Diagnostic::new(
+                        &root.path,
+                        0,
+                        self.name(),
+                        format!(
+                            "crate `{name}` is missing an `opt-level` override in \
+                             `[{section}]`; hot loops monomorphize into callers, so every \
+                             workspace crate must state its dev/test opt-level explicitly"
+                        ),
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workspace::TextFile;
+
+    fn ws(root: &str, members: &[(&str, &str)]) -> Workspace {
+        let mut manifests = vec![TextFile {
+            path: "Cargo.toml".into(),
+            text: root.into(),
+        }];
+        for (dir, name) in members {
+            manifests.push(TextFile {
+                path: format!("{dir}/Cargo.toml"),
+                text: format!("[package]\nname = \"{name}\"\n"),
+            });
+        }
+        Workspace {
+            manifests,
+            ..Workspace::default()
+        }
+    }
+
+    const COVERED: &str = r#"
+[workspace]
+members = ["crates/sim"]
+
+[package]
+name = "facade"
+
+[profile.dev.package.facade]
+opt-level = 3
+[profile.test.package.facade]
+opt-level = 3
+[profile.dev.package.popstab-sim]
+opt-level = 3
+[profile.test.package.popstab-sim]
+opt-level = 3
+"#;
+
+    #[test]
+    fn accepts_fully_covered_overrides() {
+        let ws = ws(COVERED, &[("crates/sim", "popstab-sim")]);
+        assert!(WorkspaceManifestInvariants.check(&ws).is_empty());
+    }
+
+    #[test]
+    fn rejects_a_member_without_overrides() {
+        let root = r#"
+[workspace]
+members = ["crates/sim", "crates/new"]
+
+[profile.dev.package.popstab-sim]
+opt-level = 3
+[profile.test.package.popstab-sim]
+opt-level = 3
+"#;
+        let ws = ws(
+            root,
+            &[("crates/sim", "popstab-sim"), ("crates/new", "popstab-new")],
+        );
+        let diags = WorkspaceManifestInvariants.check(&ws);
+        assert_eq!(diags.len(), 2); // dev + test for popstab-new
+        assert!(diags.iter().all(|d| d.message.contains("popstab-new")));
+    }
+
+    #[test]
+    fn a_member_manifest_missing_from_the_tree_is_reported() {
+        let root = "[workspace]\nmembers = [\"crates/ghost\"]\n";
+        let ws = ws(root, &[]);
+        let diags = WorkspaceManifestInvariants.check(&ws);
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("ghost"));
+    }
+}

@@ -1,0 +1,50 @@
+//! The rule registry.
+//!
+//! Each rule scans the [`Workspace`] and emits candidate [`Diagnostic`]s;
+//! the engine ([`crate::run_lint`]) then filters out findings covered by a
+//! valid `lint:allow` escape. Rules are deliberately token-level: they trade
+//! type-resolution precision for having zero dependencies and running in
+//! milliseconds, and the escape protocol absorbs the (rare, auditable)
+//! false positives.
+
+use crate::diag::Diagnostic;
+use crate::workspace::Workspace;
+
+pub mod ambient;
+pub mod deprecated;
+pub mod manifest;
+pub mod safety;
+pub mod stream_version;
+pub mod unordered;
+
+/// The crates whose code can reach a simulation result. `crates/bench` is
+/// deliberately absent: wall-clock timing and CLI argument reads are its
+/// job, and nothing it computes feeds back into a trajectory.
+pub const RESULT_CRATES: &[&str] = &[
+    "crates/sim/",
+    "crates/core/",
+    "crates/adversary/",
+    "crates/baselines/",
+    "crates/extensions/",
+];
+
+/// One static-analysis rule.
+pub trait Rule {
+    /// The rule's kebab-case name, as referenced by `lint:allow(<name>)`.
+    fn name(&self) -> &'static str;
+    /// Scans the workspace and returns candidate findings (before escape
+    /// filtering).
+    fn check(&self, ws: &Workspace) -> Vec<Diagnostic>;
+}
+
+/// Every rule, in reporting order.
+pub fn all() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(ambient::ForbidAmbientNondeterminism),
+        Box::new(unordered::ForbidUnorderedIteration),
+        Box::new(safety::UnsafeNeedsSafetyComment),
+        Box::new(stream_version::StreamVersionCoherence),
+        Box::new(manifest::WorkspaceManifestInvariants),
+        Box::new(deprecated::NoDeprecatedInternalCallers),
+    ]
+}

@@ -1,0 +1,166 @@
+//! Rule `unsafe-needs-safety-comment`: every `unsafe` block, impl, or
+//! function must carry an adjacent `// SAFETY:` comment.
+//!
+//! The workspace's `unsafe` lives in the sharded round path, where the
+//! soundness arguments are disjointness claims ("slot `i` belongs to exactly
+//! one shard range") that a reviewer cannot reconstruct from the line
+//! itself. The rule accepts a `SAFETY` comment on the same line or in the
+//! comment run directly above; the walk also crosses attribute lines and
+//! statement-continuation heads (`let x =` on the line above the `unsafe`
+//! block), so the comment can sit where rustfmt puts the code. It is
+//! deliberately per-item: two adjacent `unsafe` blocks (or a `Send`+`Sync`
+//! impl pair) each need their own comment, because "the comment above the
+//! group" is exactly what stops holding when one member is edited.
+
+use crate::diag::Diagnostic;
+use crate::lexer::contains_token;
+use crate::rules::Rule;
+use crate::source::SourceFile;
+use crate::workspace::Workspace;
+
+/// See the module docs.
+pub struct UnsafeNeedsSafetyComment;
+
+/// How far above an `unsafe` token the walk will look.
+const LOOKBACK: usize = 12;
+
+impl Rule for UnsafeNeedsSafetyComment {
+    fn name(&self) -> &'static str {
+        "unsafe-needs-safety-comment"
+    }
+
+    fn check(&self, ws: &Workspace) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        for file in &ws.files {
+            for (idx, line) in file.lines.iter().enumerate() {
+                if !contains_token(&line.code, "unsafe") {
+                    continue;
+                }
+                if !has_safety_comment(file, idx) {
+                    out.push(Diagnostic::new(
+                        &file.path,
+                        idx + 1,
+                        self.name(),
+                        "`unsafe` without an adjacent `// SAFETY:` comment stating why this is \
+                         sound"
+                            .to_string(),
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Whether the `unsafe` token on 0-based line `idx` is covered by a
+/// `SAFETY` comment: same line, or reachable by walking up through the
+/// adjacent comment/attribute/`unsafe`/continuation lines.
+fn has_safety_comment(file: &SourceFile, idx: usize) -> bool {
+    if file.lines[idx].comment.contains("SAFETY") {
+        return true;
+    }
+    let mut walked = 0;
+    let mut i = idx;
+    while i > 0 && walked < LOOKBACK {
+        i -= 1;
+        walked += 1;
+        let line = &file.lines[i];
+        if line.comment.contains("SAFETY") {
+            return true;
+        }
+        let code = line.code.trim();
+        let continues_statement = code
+            .chars()
+            .next_back()
+            .is_some_and(|c| matches!(c, '=' | '(' | ',' | '|' | '+' | '&' | '.'));
+        let crossable = code.is_empty()                      // comment or blank
+            || code.starts_with("#[") || code.starts_with("#![") // attribute
+            || continues_statement;
+        if !crossable {
+            return false;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workspace::Workspace;
+
+    fn check(src: &str) -> Vec<Diagnostic> {
+        let ws = Workspace {
+            files: vec![SourceFile::new("crates/sim/src/batch.rs", src)],
+            ..Workspace::default()
+        };
+        UnsafeNeedsSafetyComment.check(&ws)
+    }
+
+    #[test]
+    fn accepts_per_item_safety_comments() {
+        let src = "\
+// SAFETY: slot i belongs to exactly one shard range.
+unsafe { base.add(i).write(v) };
+
+// SAFETY: the pointer value is freely copyable across threads.
+unsafe impl<T> Send for SendPtr<T> {}
+// SAFETY: same argument as Send above.
+unsafe impl<T> Sync for SendPtr<T> {}
+
+let erased: &'static (dyn Fn(usize) + Sync) =
+    // SAFETY: workers drop the reference before dispatch returns.
+    unsafe { std::mem::transmute(body) };
+";
+        assert!(check(src).is_empty());
+    }
+
+    #[test]
+    fn an_impl_pair_sharing_one_comment_is_flagged_per_item() {
+        let src = "\
+// SAFETY: justifies only the first impl.
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+";
+        let diags = check(src);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].line, 3);
+    }
+
+    #[test]
+    fn accepts_safety_comment_across_a_continuation_head() {
+        let src = "\
+// SAFETY: shards cover disjoint ranges.
+let out =
+    unsafe { &mut *base.add(s) };
+";
+        assert!(check(src).is_empty());
+    }
+
+    #[test]
+    fn rejects_bare_unsafe() {
+        let src = "fn f() {\n    unsafe { do_it() };\n}\n";
+        let diags = check(src);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].line, 2);
+        assert!(diags[0].message.contains("SAFETY"));
+    }
+
+    #[test]
+    fn a_distant_safety_comment_does_not_leak_across_code() {
+        let src = "\
+// SAFETY: this justifies only the first block.
+unsafe { a() };
+let x = compute();
+unsafe { b() };
+";
+        let diags = check(src);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].line, 4);
+    }
+
+    #[test]
+    fn the_word_unsafe_in_comments_or_strings_is_ignored() {
+        let src = "// this code is unsafe in spirit\nlet s = \"unsafe\";\n";
+        assert!(check(src).is_empty());
+    }
+}

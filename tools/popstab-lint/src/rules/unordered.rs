@@ -1,0 +1,98 @@
+//! Rule `forbid-unordered-iteration`: no `HashMap`/`HashSet` in
+//! result-affecting crates.
+//!
+//! `std`'s hash containers iterate in `RandomState` order — a fresh random
+//! seed per process — so any fold, `max_by_key` tie-break, or collected
+//! `Vec` that touches their iteration order is nondeterministic *across
+//! processes* even when a single run looks repeatable. Because the hazard
+//! is the iteration and iteration is easy to add two callers away from the
+//! container, the rule bans the types themselves in result-affecting
+//! crates: use `BTreeMap`/`BTreeSet` or sorted vectors, or escape a
+//! genuinely membership-only use with
+//! `lint:allow(forbid-unordered-iteration)` plus a one-line proof of
+//! order-insensitivity.
+
+use crate::diag::Diagnostic;
+use crate::lexer::contains_token;
+use crate::rules::{Rule, RESULT_CRATES};
+use crate::workspace::Workspace;
+
+/// See the module docs.
+pub struct ForbidUnorderedIteration;
+
+const TOKENS: &[&str] = &["HashMap", "HashSet"];
+
+impl Rule for ForbidUnorderedIteration {
+    fn name(&self) -> &'static str {
+        "forbid-unordered-iteration"
+    }
+
+    fn check(&self, ws: &Workspace) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        for file in ws.files_under(RESULT_CRATES) {
+            for (idx, line) in file.lines.iter().enumerate() {
+                if let Some(token) = TOKENS
+                    .iter()
+                    .find(|token| contains_token(&line.code, token))
+                {
+                    out.push(Diagnostic::new(
+                        &file.path,
+                        idx + 1,
+                        self.name(),
+                        format!(
+                            "`{token}` iterates in per-process random order; use \
+                             `BTree{}`/sorted vectors, or escape with \
+                             `lint:allow(forbid-unordered-iteration): <why order cannot reach a \
+                             result>`",
+                            &token[4..]
+                        ),
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+
+    fn ws_with(path: &str, src: &str) -> Workspace {
+        Workspace {
+            files: vec![SourceFile::new(path, src)],
+            ..Workspace::default()
+        }
+    }
+
+    #[test]
+    fn accepts_ordered_containers() {
+        let ws = ws_with(
+            "crates/sim/src/metrics.rs",
+            "use std::collections::BTreeMap;\nlet mut counts: BTreeMap<u32, usize> = BTreeMap::new();\n",
+        );
+        assert!(ForbidUnorderedIteration.check(&ws).is_empty());
+    }
+
+    #[test]
+    fn rejects_hash_containers_in_result_crates() {
+        let ws = ws_with(
+            "crates/adversary/src/lib.rs",
+            "use std::collections::HashMap;\nlet mut seen = HashSet::new();\n",
+        );
+        let diags = ForbidUnorderedIteration.check(&ws);
+        assert_eq!(diags.len(), 2);
+        assert!(diags[0].message.contains("BTreeMap"));
+        assert!(diags[1].message.contains("BTreeSet"));
+    }
+
+    #[test]
+    fn non_result_crates_may_hash() {
+        let ws = ws_with(
+            "crates/bench/src/scenario.rs",
+            "use std::collections::HashMap;\n",
+        );
+        assert!(ForbidUnorderedIteration.check(&ws).is_empty());
+    }
+}

@@ -1,0 +1,257 @@
+//! The lint's view of the workspace: lexed sources, manifests, and the two
+//! non-Rust artifacts the coherence rules cross-check (the golden-fixture
+//! README and `BENCH_engine.json`).
+//!
+//! Everything here is std-only by design: the manifest reader is a minimal
+//! line-oriented TOML subset (sections, `key = value`, string arrays) that
+//! covers exactly what the workspace manifests use.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::source::SourceFile;
+
+/// A raw (unlexed) text artifact, e.g. a manifest or a README.
+#[derive(Debug, Clone)]
+pub struct TextFile {
+    /// Workspace-relative path, unix separators.
+    pub path: String,
+    /// Full contents.
+    pub text: String,
+}
+
+/// Everything the rules look at.
+#[derive(Debug, Clone, Default)]
+pub struct Workspace {
+    /// All `.rs` files under the scanned roots.
+    pub files: Vec<SourceFile>,
+    /// The root `Cargo.toml` (index 0) and every member's manifest.
+    pub manifests: Vec<TextFile>,
+    /// `tests/golden/README.md`, if present.
+    pub golden_readme: Option<TextFile>,
+    /// `BENCH_engine.json`, if present.
+    pub bench_json: Option<TextFile>,
+}
+
+/// Directories scanned for Rust sources, relative to the workspace root.
+const SOURCE_ROOTS: &[&str] = &["src", "crates", "shims", "tools", "tests", "examples"];
+
+impl Workspace {
+    /// Loads the workspace rooted at `root` (the directory holding the
+    /// workspace `Cargo.toml`).
+    pub fn load(root: &Path) -> std::io::Result<Workspace> {
+        let mut files = Vec::new();
+        for dir in SOURCE_ROOTS {
+            collect_rs(root, &root.join(dir), &mut files)?;
+        }
+        files.sort_by(|a, b| a.path.cmp(&b.path));
+
+        let mut manifests = vec![read_text(root, "Cargo.toml")?];
+        for member in manifest_members(&manifests[0].text) {
+            let rel = format!("{member}/Cargo.toml");
+            if root.join(&rel).is_file() {
+                manifests.push(read_text(root, &rel)?);
+            }
+        }
+
+        Ok(Workspace {
+            files,
+            manifests,
+            golden_readme: read_text(root, "tests/golden/README.md").ok(),
+            bench_json: read_text(root, "BENCH_engine.json").ok(),
+        })
+    }
+
+    /// The root manifest (the workspace `Cargo.toml`).
+    pub fn root_manifest(&self) -> Option<&TextFile> {
+        self.manifests.first()
+    }
+
+    /// Source files whose path starts with any of `prefixes`.
+    pub fn files_under<'a>(
+        &'a self,
+        prefixes: &'a [&'a str],
+    ) -> impl Iterator<Item = &'a SourceFile> {
+        self.files
+            .iter()
+            .filter(move |f| prefixes.iter().any(|p| f.path.starts_with(p)))
+    }
+
+    /// The source file at exactly `path`, if loaded.
+    pub fn file(&self, path: &str) -> Option<&SourceFile> {
+        self.files.iter().find(|f| f.path == path)
+    }
+}
+
+fn read_text(root: &Path, rel: &str) -> std::io::Result<TextFile> {
+    Ok(TextFile {
+        path: rel.to_string(),
+        text: fs::read_to_string(root.join(rel))?,
+    })
+}
+
+fn collect_rs(root: &Path, dir: &Path, out: &mut Vec<SourceFile>) -> std::io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path: PathBuf = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            out.push(SourceFile::new(&rel, &fs::read_to_string(&path)?));
+        }
+    }
+    Ok(())
+}
+
+/// The `members` array of a workspace manifest (workspace-relative dirs).
+pub fn manifest_members(manifest: &str) -> Vec<String> {
+    let mut members = Vec::new();
+    let mut in_workspace = false;
+    let mut in_members = false;
+    for line in manifest.lines() {
+        let mut line = strip_toml_comment(line).trim().to_string();
+        if line.starts_with('[') {
+            in_workspace = line == "[workspace]";
+            in_members = false;
+            continue;
+        }
+        if in_workspace && line.starts_with("members") && line.contains('=') {
+            in_members = true;
+            line = line[line.find('=').unwrap() + 1..].to_string();
+        }
+        if in_members {
+            let closes = line.contains(']');
+            for part in line.split(',') {
+                let part = part.trim().trim_matches(|c| c == '[' || c == ']').trim();
+                let part = part.trim_matches('"');
+                if !part.is_empty() && part != "." {
+                    members.push(part.to_string());
+                }
+            }
+            if closes {
+                in_members = false;
+            }
+        }
+    }
+    members
+}
+
+/// The `[package] name` of a manifest, if declared.
+pub fn package_name(manifest: &str) -> Option<String> {
+    let mut in_package = false;
+    for line in manifest.lines() {
+        let line = strip_toml_comment(line).trim().to_string();
+        if line.starts_with('[') {
+            in_package = line == "[package]";
+            continue;
+        }
+        if in_package {
+            if let Some(value) = line.strip_prefix("name") {
+                let value = value.trim_start();
+                if let Some(value) = value.strip_prefix('=') {
+                    return Some(value.trim().trim_matches('"').to_string());
+                }
+            }
+        }
+    }
+    None
+}
+
+/// The section names (`[…]` headers) present in a manifest.
+pub fn section_names(manifest: &str) -> Vec<String> {
+    manifest
+        .lines()
+        .filter_map(|l| {
+            let l = strip_toml_comment(l).trim().to_string();
+            (l.starts_with('[') && l.ends_with(']'))
+                .then(|| l.trim_matches(|c| c == '[' || c == ']').to_string())
+        })
+        .collect()
+}
+
+/// Whether `section` declares `key` (e.g. `opt-level`) before the next
+/// section header.
+pub fn section_has_key(manifest: &str, section: &str, key: &str) -> bool {
+    let mut in_section = false;
+    for line in manifest.lines() {
+        let line = strip_toml_comment(line).trim().to_string();
+        if line.starts_with('[') {
+            in_section = line.trim_matches(|c| c == '[' || c == ']') == section;
+            continue;
+        }
+        if in_section {
+            if let Some(rest) = line.strip_prefix(key) {
+                if rest.trim_start().starts_with('=') {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+/// Strips a `#` TOML comment, respecting double-quoted strings.
+fn strip_toml_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MANIFEST: &str = r#"
+[workspace]
+members = [
+    "crates/sim", # hot
+    "tools/lint",
+]
+
+[package]
+name = "facade" # the root package
+
+[profile.dev.package.popstab-sim]
+opt-level = 3
+"#;
+
+    #[test]
+    fn members_parse_across_lines_and_comments() {
+        assert_eq!(manifest_members(MANIFEST), vec!["crates/sim", "tools/lint"]);
+    }
+
+    #[test]
+    fn package_name_parses() {
+        assert_eq!(package_name(MANIFEST).as_deref(), Some("facade"));
+    }
+
+    #[test]
+    fn sections_and_keys_resolve() {
+        assert!(section_names(MANIFEST).contains(&"profile.dev.package.popstab-sim".to_string()));
+        assert!(section_has_key(
+            MANIFEST,
+            "profile.dev.package.popstab-sim",
+            "opt-level"
+        ));
+        assert!(!section_has_key(MANIFEST, "package", "opt-level"));
+    }
+}

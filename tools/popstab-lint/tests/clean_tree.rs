@@ -1,0 +1,105 @@
+//! The lint must exit clean on the committed tree: this is the same check
+//! CI runs via `cargo run -p popstab-lint`, pinned here so `cargo test`
+//! catches a violation (or a broken rule) without the CI round-trip.
+
+use std::path::PathBuf;
+
+use popstab_lint::run_lint;
+use popstab_lint::workspace::Workspace;
+
+fn repo_root() -> PathBuf {
+    // tools/popstab-lint -> tools -> workspace root.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("lint crate lives two levels below the workspace root")
+        .to_path_buf()
+}
+
+#[test]
+fn the_current_tree_is_lint_clean() {
+    let ws = Workspace::load(&repo_root()).expect("workspace loads");
+    assert!(
+        ws.files.len() > 50,
+        "workspace scan looks truncated: {} files",
+        ws.files.len()
+    );
+    let diags = run_lint(&ws);
+    assert!(
+        diags.is_empty(),
+        "popstab-lint found {} violation(s) in the tree:\n{}",
+        diags.len(),
+        diags
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn the_binary_exits_zero_on_the_tree_and_nonzero_on_a_seeded_tree() {
+    // Clean tree → exit 0.
+    let ok = std::process::Command::new(env!("CARGO_BIN_EXE_popstab-lint"))
+        .current_dir(repo_root())
+        .output()
+        .expect("lint binary runs");
+    assert!(
+        ok.status.success(),
+        "lint failed on the committed tree:\n{}",
+        String::from_utf8_lossy(&ok.stdout)
+    );
+
+    // A workspace seeded with one violation of every rule → exit != 0 and
+    // every rule reports.
+    let seeded = repo_root()
+        .join("target")
+        .join(format!("popstab-lint-seeded-{}", std::process::id()));
+    let sim = seeded.join("crates/sim/src");
+    std::fs::create_dir_all(&sim).expect("mkdir");
+    std::fs::write(
+        seeded.join("Cargo.toml"),
+        // Violates workspace-manifest-invariants: no opt-level overrides.
+        "[workspace]\nmembers = [\"crates/sim\"]\n",
+    )
+    .unwrap();
+    std::fs::write(
+        seeded.join("crates/sim/Cargo.toml"),
+        "[package]\nname = \"popstab-sim\"\n",
+    )
+    .unwrap();
+    std::fs::write(
+        sim.join("rng.rs"),
+        concat!(
+            // stream-version-coherence: constant present, README/JSON absent.
+            "pub const AGENT_STREAM_VERSION: u32 = 3;\n",
+            "pub const MATCHING_STREAM_VERSION: u32 = 2;\n",
+            // forbid-ambient-nondeterminism:
+            "fn now() { let _ = Instant::now(); }\n",
+            // forbid-unordered-iteration:
+            "use std::collections::HashMap;\n",
+            // unsafe-needs-safety-comment:
+            "fn f(p: *mut u8) { unsafe { *p = 0 }; }\n",
+            // no-deprecated-internal-callers:
+            "#[deprecated]\nfn old() {}\nfn caller() { old(); }\n",
+        ),
+    )
+    .unwrap();
+    let bad = std::process::Command::new(env!("CARGO_BIN_EXE_popstab-lint"))
+        .current_dir(&seeded)
+        .output()
+        .expect("lint binary runs");
+    let stdout = String::from_utf8_lossy(&bad.stdout);
+    std::fs::remove_dir_all(&seeded).ok();
+    assert!(!bad.status.success(), "seeded tree passed:\n{stdout}");
+    for rule in [
+        "forbid-ambient-nondeterminism",
+        "forbid-unordered-iteration",
+        "unsafe-needs-safety-comment",
+        "stream-version-coherence",
+        "workspace-manifest-invariants",
+        "no-deprecated-internal-callers",
+    ] {
+        assert!(stdout.contains(rule), "rule {rule} did not fire:\n{stdout}");
+    }
+}
