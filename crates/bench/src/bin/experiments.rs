@@ -5,6 +5,8 @@
 //! experiments all
 //! experiments --list
 //! experiments scenario <name>...
+//! experiments snapshot <name> --at <round> -o <file>
+//! experiments resume <file> [--rounds N] [--trace]
 //! ```
 //!
 //! Ids (see DESIGN.md §4): `stability` (T1), `lemmas` (T2–T6), `drift`
@@ -22,11 +24,20 @@
 //! By the determinism contracts the figures are identical for every value
 //! of both flags — CI diffs `--round-threads 1` against `--round-threads 4`
 //! to prove it.
+//!
+//! `snapshot <name> --at R -o FILE` runs registry entry `<name>` to round
+//! `R` and writes the engine state as a versioned snapshot; `resume FILE
+//! --rounds N` restores it (rebuilding protocol and adversary from the
+//! entry the snapshot is labeled with) and runs `N` more rounds. By the
+//! snapshot contract a resumed run is bit-identical to the uninterrupted
+//! one, which the CI snapshot-determinism leg enforces via `--trace`
+//! (golden-format per-round lines on stdout, nothing else).
 
 use std::process::ExitCode;
 use std::time::Instant;
 
 use popstab_bench::experiments;
+use popstab_sim::{OnRound, RoundReport, RunSpec, Snapshot, Threads};
 
 /// (id, description, runner) — the runner receives the `--quick` flag.
 type Experiment = (&'static str, &'static str, fn(bool));
@@ -103,10 +114,109 @@ const IDS: &[Experiment] = &[
 fn usage() {
     eprintln!("usage: experiments [--quick] [--jobs N] [--round-threads N] <id>... | all");
     eprintln!("       experiments --list | scenario <name>...");
+    eprintln!("       experiments snapshot <name> --at <round> -o <file>");
+    eprintln!("       experiments resume <file> [--rounds N] [--trace]");
     eprintln!("experiments:");
     for (id, desc, _) in IDS {
         eprintln!("  {id:<12} {desc}");
     }
+}
+
+/// `experiments snapshot <name> --at R -o FILE`.
+fn cmd_snapshot(name: &str, at: u64, out: Option<&str>) -> ExitCode {
+    let Some(out) = out else {
+        eprintln!("snapshot needs an output path (-o FILE)");
+        return ExitCode::FAILURE;
+    };
+    let Some(entry) = popstab_bench::scenario::find(name) else {
+        eprintln!("unknown scenario `{name}`; see `experiments --list`");
+        return ExitCode::FAILURE;
+    };
+    let Some(hook) = entry.snapshot else {
+        eprintln!("scenario `{name}` has no snapshot support (non-PopulationStability state)");
+        return ExitCode::FAILURE;
+    };
+    let mut engine = hook().engine();
+    engine.run(RunSpec::rounds(at).threads(Threads::from_env()), &mut ());
+    let mut snap = engine.snapshot();
+    snap.label = name.to_string();
+    if let Err(e) = snap.write_to_file(out) {
+        eprintln!("writing snapshot to `{out}`: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "snapshot {name}: round={} population={} -> {out}",
+        snap.round(),
+        snap.population()
+    );
+    ExitCode::SUCCESS
+}
+
+/// `experiments resume FILE [--rounds N] [--trace]`.
+fn cmd_resume(file: &str, rounds: u64, trace: bool) -> ExitCode {
+    let snap = match Snapshot::read_from_file(file) {
+        Ok(snap) => snap,
+        Err(e) => {
+            eprintln!("reading snapshot `{file}`: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(entry) = popstab_bench::scenario::find(&snap.label) else {
+        eprintln!(
+            "snapshot `{file}` is labeled `{}`, which is not a registry scenario",
+            snap.label
+        );
+        return ExitCode::FAILURE;
+    };
+    let Some(hook) = entry.snapshot else {
+        eprintln!("scenario `{}` has no snapshot support", snap.label);
+        return ExitCode::FAILURE;
+    };
+    let scenario = hook();
+    let mut engine =
+        match popstab_sim::Engine::restore(scenario.protocol, scenario.adversary, &snap) {
+            Ok(engine) => engine,
+            Err(e) => {
+                eprintln!("restoring `{file}`: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+    let spec = RunSpec::rounds(rounds).threads(Threads::from_env());
+    if trace {
+        // Golden-trace format, one line per executed round, nothing else:
+        // the CI snapshot-determinism leg byte-diffs this output.
+        engine.run(
+            spec,
+            &mut OnRound(|r: &RoundReport| {
+                println!(
+                    "{} {} {} {} {} {} {} {} {}",
+                    r.round,
+                    r.population_before,
+                    r.population_after,
+                    r.inserted,
+                    r.deleted,
+                    r.modified,
+                    r.matched,
+                    r.splits,
+                    r.deaths
+                );
+            }),
+        );
+    } else {
+        let outcome = engine.run(spec, &mut ());
+        println!(
+            "resumed {}: from_round={} rounds={} population={} halted={}",
+            snap.label,
+            snap.round(),
+            outcome.executed,
+            engine.population(),
+            match outcome.halted {
+                None => "no".to_string(),
+                Some(reason) => format!("{reason:?}"),
+            }
+        );
+    }
+    ExitCode::SUCCESS
 }
 
 /// Parses and applies a `--jobs` value; `None` on anything non-positive.
@@ -127,11 +237,34 @@ fn apply_round_threads(value: Option<&str>) -> Option<()> {
 fn main() -> ExitCode {
     let mut quick = false;
     let mut jobs_given = false;
+    let mut at: u64 = 0;
+    let mut out: Option<String> = None;
+    let mut rounds: u64 = 0;
+    let mut trace = false;
     let mut selected: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" | "-q" => quick = true,
+            "--trace" => trace = true,
+            "--at" | "--rounds" => {
+                let Some(n) = args.next().and_then(|v| v.parse::<u64>().ok()) else {
+                    eprintln!("{arg} needs a non-negative integer");
+                    return ExitCode::FAILURE;
+                };
+                if arg == "--at" {
+                    at = n;
+                } else {
+                    rounds = n;
+                }
+            }
+            "--out" | "-o" => {
+                let Some(path) = args.next() else {
+                    eprintln!("{arg} needs a file path");
+                    return ExitCode::FAILURE;
+                };
+                out = Some(path);
+            }
             "--list" => {
                 popstab_bench::scenario::print_list();
                 return ExitCode::SUCCESS;
@@ -176,6 +309,21 @@ fn main() -> ExitCode {
     if selected.is_empty() {
         usage();
         return ExitCode::FAILURE;
+    }
+    // `snapshot <name>` / `resume <file>` drive the checkpoint tooling.
+    if selected[0] == "snapshot" {
+        let Some(name) = selected.get(1) else {
+            eprintln!("snapshot needs a scenario name; see `experiments --list`");
+            return ExitCode::FAILURE;
+        };
+        return cmd_snapshot(name, at, out.as_deref());
+    }
+    if selected[0] == "resume" {
+        let Some(file) = selected.get(1) else {
+            eprintln!("resume needs a snapshot file path");
+            return ExitCode::FAILURE;
+        };
+        return cmd_resume(file, rounds, trace);
     }
     // `scenario <name>...` runs registry entries instead of experiment ids.
     if selected[0] == "scenario" {

@@ -122,12 +122,16 @@ impl<A: Adversary<AgentState>> ProtocolRun<A> {
 /// [`popstab_sim::batch::round_threads`]), in which case the step phase of
 /// every round is sharded — by the engine's determinism contract the
 /// results are bit-identical either way.
-pub fn run_protocol<A: Adversary<AgentState>>(
+/// Lowers a [`JobSpec`] onto the [`Scenario`] it describes without running
+/// it. [`run_protocol`] is `protocol_scenario` + drive-to-horizon; the
+/// snapshot/resume/fork tooling builds engines from the scenario directly
+/// (the `epochs` field of the spec is a run-time concern and is ignored
+/// here).
+pub fn protocol_scenario<A: Adversary<AgentState>>(
     params: &Params,
     adversary: A,
-    spec: JobSpec,
-) -> ProtocolRun<A> {
-    let epoch = u64::from(params.epoch_len());
+    spec: &JobSpec,
+) -> Scenario<PopulationStability, A> {
     let matching = spec.matching.unwrap_or(if spec.gamma >= 1.0 {
         MatchingModel::Full
     } else {
@@ -142,8 +146,16 @@ pub fn run_protocol<A: Adversary<AgentState>>(
         .build()
         .expect("valid experiment config");
     let initial = spec.initial.unwrap_or(params.target() as usize);
-    let scenario =
-        Scenario::new(PopulationStability::new(params.clone()), cfg, initial).against(adversary);
+    Scenario::new(PopulationStability::new(params.clone()), cfg, initial).against(adversary)
+}
+
+pub fn run_protocol<A: Adversary<AgentState>>(
+    params: &Params,
+    adversary: A,
+    spec: JobSpec,
+) -> ProtocolRun<A> {
+    let epoch = u64::from(params.epoch_len());
+    let scenario = protocol_scenario(params, adversary, &spec);
     let run_spec = RunSpec::rounds(spec.epochs * epoch).threads(Threads::from_env());
     let mut metrics = MetricsRecorder::new();
     let (every, phase) = spec.metrics.unwrap_or((1, 0));

@@ -19,9 +19,16 @@ use popstab_core::params::Params;
 use popstab_core::protocol::PopulationStability;
 use popstab_core::state::AgentState;
 use popstab_extensions::{malicious_count, MaliciousInserter, WithMalice};
-use popstab_sim::{Adversary, MatchingModel, RunSpec, Scenario, SimConfig, Threads};
+use popstab_sim::{
+    Adversary, BatchRunner, ForkBranch, MatchingModel, NoOpAdversary, RunSpec, Scenario, SimConfig,
+    Threads,
+};
 
-use crate::{run_clean, run_protocol, JobSpec, ProtocolRun};
+use crate::{protocol_scenario, run_clean, run_protocol, JobSpec, ProtocolRun};
+
+/// The scenario shape the snapshot/resume/fork tooling works over: the
+/// paper's protocol under any (boxed, thread-portable) adversary.
+pub type SnapshotScenario = Scenario<PopulationStability, Box<dyn Adversary<AgentState> + Send>>;
 
 /// One registry entry: a named, self-describing scenario.
 pub struct NamedScenario {
@@ -35,6 +42,11 @@ pub struct NamedScenario {
     pub summary: &'static str,
     /// Runs the scenario and prints its report (`quick` shortens horizons).
     pub run: fn(bool),
+    /// Rebuilds this entry's `(protocol, adversary, config)` for the
+    /// snapshot tooling (`experiments snapshot`/`resume`, [`Scenario::fork`]).
+    /// `None` for entries whose protocol the tooling does not cover
+    /// (baselines/extensions with their own state column).
+    pub snapshot: Option<fn() -> SnapshotScenario>,
 }
 
 /// Every named scenario, in listing order.
@@ -81,6 +93,142 @@ fn clean(n: u64, seed: u64, quick: bool, name: &str) {
     report(name, &run_clean(&params, JobSpec::new(seed, epochs)));
 }
 
+/// Boxes an adversary into the [`SnapshotScenario`] shape.
+fn hook<A: Adversary<AgentState> + Send + 'static>(
+    params: &Params,
+    adversary: A,
+    spec: &JobSpec,
+) -> SnapshotScenario {
+    protocol_scenario(
+        params,
+        Box::new(adversary) as Box<dyn Adversary<AgentState> + Send>,
+        spec,
+    )
+}
+
+// Snapshot hooks. Each rebuilds *exactly* the `(protocol, adversary,
+// config)` its registry entry's `run` uses — same seed, budget, and
+// matching — so `experiments snapshot <name> --at R` followed by
+// `experiments resume` replays the same trajectory the entry itself runs.
+
+fn clean_1024_scenario() -> SnapshotScenario {
+    let params = Params::for_target(1024).unwrap();
+    hook(&params, NoOpAdversary, &JobSpec::new(11, 0))
+}
+
+fn clean_4096_scenario() -> SnapshotScenario {
+    let params = Params::for_target(4096).unwrap();
+    hook(&params, NoOpAdversary, &JobSpec::new(12, 0))
+}
+
+fn deleter_throttled_1024_scenario() -> SnapshotScenario {
+    let params = Params::for_target(1024).unwrap();
+    let adv = Throttle::per_epoch(RandomDeleter::new(2), params.epoch_len());
+    let mut spec = JobSpec::new(13, 0);
+    spec.budget = 2;
+    hook(&params, adv, &spec)
+}
+
+fn trauma_injury_4096_scenario() -> SnapshotScenario {
+    let params = Params::for_target(4096).unwrap();
+    let epoch = u64::from(params.epoch_len());
+    let adv = Trauma::new(params.clone(), TraumaKind::Injury, 0.7, 2 * epoch);
+    let mut spec = JobSpec::new(14, 0);
+    spec.budget = usize::MAX;
+    hook(&params, adv, &spec)
+}
+
+fn gamma_quarter_1024_scenario() -> SnapshotScenario {
+    let params = Params::for_target(1024).unwrap();
+    let mut spec = JobSpec::new(15, 0);
+    spec.gamma = 0.25;
+    hook(&params, NoOpAdversary, &spec)
+}
+
+fn gamma_random_1024_scenario() -> SnapshotScenario {
+    let params = Params::for_target(1024).unwrap();
+    let mut spec = JobSpec::new(16, 0);
+    spec.matching = Some(MatchingModel::RandomFraction { min_gamma: 0.5 });
+    hook(&params, NoOpAdversary, &spec)
+}
+
+fn desync_purge_1024_scenario() -> SnapshotScenario {
+    let params = Params::for_target(1024).unwrap();
+    let adv = Throttle::per_epoch(
+        DesyncInserter::new(params.clone(), 4, params.epoch_len() / 2),
+        params.epoch_len(),
+    );
+    let mut spec = JobSpec::new(17, 0);
+    spec.budget = 4;
+    hook(&params, adv, &spec)
+}
+
+/// The fork-recovery prefix: a −60% shock at epoch 2, unbounded budget.
+fn fork_recovery_1024_scenario() -> SnapshotScenario {
+    let params = Params::for_target(1024).unwrap();
+    let epoch = u64::from(params.epoch_len());
+    let adv = Trauma::new(params.clone(), TraumaKind::Injury, 0.6, 2 * epoch);
+    let mut spec = JobSpec::new(20, 0);
+    spec.budget = usize::MAX;
+    hook(&params, adv, &spec)
+}
+
+/// `fork-recovery-1024`: shared shocked prefix, four divergent futures.
+fn run_fork_recovery_1024(quick: bool) {
+    let params = Params::for_target(1024).unwrap();
+    let epoch = u64::from(params.epoch_len());
+    let fork_at = 3 * epoch;
+    let horizon = if quick { 4 * epoch } else { 10 * epoch };
+    type Boxed = Box<dyn Adversary<AgentState> + Send>;
+    let labels = ["continue", "continue-salt1", "deleter-2", "second-shock"];
+    let branches = vec![
+        ForkBranch::new(0, Box::new(NoOpAdversary) as Boxed).budget(0),
+        ForkBranch::new(1, Box::new(NoOpAdversary) as Boxed).budget(0),
+        ForkBranch::new(2, Box::new(RandomDeleter::new(2)) as Boxed).budget(2),
+        ForkBranch::new(
+            3,
+            Box::new(Trauma::new(
+                params.clone(),
+                TraumaKind::Injury,
+                0.5,
+                fork_at + epoch,
+            )) as Boxed,
+        ),
+    ];
+    let results = fork_recovery_1024_scenario().fork(
+        fork_at,
+        branches,
+        &BatchRunner::from_env(),
+        |_, mut engine| {
+            let outcome = engine.run(
+                RunSpec::rounds(horizon).threads(Threads::from_env()),
+                &mut (),
+            );
+            (
+                outcome.executed,
+                engine.population(),
+                outcome.min_population,
+                outcome.max_population,
+                outcome.halted,
+            )
+        },
+    );
+    println!(
+        "scenario fork-recovery-1024: prefix={fork_at} rounds, {} branches x {horizon} rounds",
+        results.len()
+    );
+    for (i, (rounds, pop, lo, hi, halted)) in results.iter().enumerate() {
+        println!(
+            "  branch {i} ({}): rounds={rounds} population={pop} band=[{lo}, {hi}] halted={}",
+            labels[i],
+            match halted {
+                None => "no".to_string(),
+                Some(reason) => format!("{reason:?}"),
+            }
+        );
+    }
+}
+
 const REGISTRY: &[NamedScenario] = &[
     NamedScenario {
         name: "clean-1024",
@@ -88,6 +236,7 @@ const REGISTRY: &[NamedScenario] = &[
         adversary: "none",
         summary: "N=1024, full matching, 20 epochs",
         run: |quick| clean(1024, 11, quick, "clean-1024"),
+        snapshot: Some(clean_1024_scenario),
     },
     NamedScenario {
         name: "clean-4096",
@@ -95,6 +244,7 @@ const REGISTRY: &[NamedScenario] = &[
         adversary: "none",
         summary: "N=4096, full matching, 20 epochs",
         run: |quick| clean(4096, 12, quick, "clean-4096"),
+        snapshot: Some(clean_4096_scenario),
     },
     NamedScenario {
         name: "deleter-throttled-1024",
@@ -108,6 +258,7 @@ const REGISTRY: &[NamedScenario] = &[
             spec.budget = 2;
             report("deleter-throttled-1024", &run_protocol(&params, adv, spec));
         },
+        snapshot: Some(deleter_throttled_1024_scenario),
     },
     NamedScenario {
         name: "trauma-injury-4096",
@@ -122,6 +273,7 @@ const REGISTRY: &[NamedScenario] = &[
             spec.budget = usize::MAX;
             report("trauma-injury-4096", &run_protocol(&params, adv, spec));
         },
+        snapshot: Some(trauma_injury_4096_scenario),
     },
     NamedScenario {
         name: "gamma-quarter-1024",
@@ -134,6 +286,7 @@ const REGISTRY: &[NamedScenario] = &[
             spec.gamma = 0.25;
             report("gamma-quarter-1024", &run_clean(&params, spec));
         },
+        snapshot: Some(gamma_quarter_1024_scenario),
     },
     NamedScenario {
         name: "gamma-random-1024",
@@ -146,6 +299,7 @@ const REGISTRY: &[NamedScenario] = &[
             spec.matching = Some(MatchingModel::RandomFraction { min_gamma: 0.5 });
             report("gamma-random-1024", &run_clean(&params, spec));
         },
+        snapshot: Some(gamma_random_1024_scenario),
     },
     NamedScenario {
         name: "desync-purge-1024",
@@ -162,6 +316,7 @@ const REGISTRY: &[NamedScenario] = &[
             spec.budget = 4;
             report("desync-purge-1024", &run_protocol(&params, adv, spec));
         },
+        snapshot: Some(desync_purge_1024_scenario),
     },
     NamedScenario {
         name: "attempt1-flood-1024",
@@ -195,6 +350,7 @@ const REGISTRY: &[NamedScenario] = &[
                 outcome.stopped_early || engine.population() < 512
             );
         },
+        snapshot: None,
     },
     NamedScenario {
         name: "malice-rho4-1024",
@@ -227,6 +383,15 @@ const REGISTRY: &[NamedScenario] = &[
                 outcome.halted.is_none() && malicious_count(engine.agents()) < 100
             );
         },
+        snapshot: None,
+    },
+    NamedScenario {
+        name: "fork-recovery-1024",
+        protocol: "PopulationStability",
+        adversary: "forked ensemble",
+        summary: "N=1024, -60% shock, 4 counterfactual futures from epoch 3",
+        run: run_fork_recovery_1024,
+        snapshot: Some(fork_recovery_1024_scenario),
     },
 ];
 
@@ -248,5 +413,64 @@ mod tests {
     #[test]
     fn a_registry_scenario_runs_quickly() {
         (find("gamma-quarter-1024").unwrap().run)(true);
+    }
+
+    #[test]
+    fn snapshot_hooks_cover_exactly_the_population_stability_entries() {
+        for s in registry() {
+            assert_eq!(
+                s.snapshot.is_some(),
+                s.protocol == "PopulationStability",
+                "snapshot hook coverage for {}",
+                s.name
+            );
+        }
+    }
+
+    #[test]
+    fn a_hook_scenario_snapshots_and_resumes_bit_for_bit() {
+        use popstab_sim::{Engine, OnRound, RoundReport};
+        let hook = find("deleter-throttled-1024").unwrap().snapshot.unwrap();
+        let trace = |engine: &mut Engine<PopulationStability, _>, rounds: u64| {
+            let mut t = Vec::new();
+            engine.run(
+                RunSpec::rounds(rounds),
+                &mut OnRound(|r: &RoundReport| t.push(*r)),
+            );
+            t
+        };
+        let mut straight = hook().engine();
+        let full = trace(&mut straight, 40);
+
+        let mut prefix = hook().engine();
+        prefix.run(RunSpec::rounds(25), &mut ());
+        let snap = prefix.snapshot();
+        // The adversary is rebuilt from the hook: the suite adversaries are
+        // round-/rng-keyed, so the rebuilt instance continues exactly.
+        let rebuilt = hook();
+        let mut resumed = Engine::restore(rebuilt.protocol, rebuilt.adversary, &snap).unwrap();
+        let tail = trace(&mut resumed, 15);
+        assert_eq!(&full[25..], &tail[..]);
+        assert_eq!(resumed.population(), straight.population());
+    }
+
+    #[test]
+    fn fork_recovery_identity_branch_matches_the_straight_line() {
+        let hook = find("fork-recovery-1024").unwrap().snapshot.unwrap();
+        let epoch = u64::from(Params::for_target(1024).unwrap().epoch_len());
+        let (fork_at, tail) = (3 * epoch, 12);
+
+        let mut straight = hook().engine();
+        straight.run(RunSpec::rounds(fork_at + tail), &mut ());
+
+        // Identity branch: salt 0 and the rebuilt prefix adversary (the
+        // one-shot shock already fired inside the prefix, so the rebuilt
+        // instance never acts — exactly like the uninterrupted run).
+        let branches = vec![ForkBranch::new(0, hook().adversary)];
+        let pops = hook().fork(fork_at, branches, &BatchRunner::new(1), |_, mut engine| {
+            engine.run(RunSpec::rounds(tail), &mut ());
+            engine.population()
+        });
+        assert_eq!(pops, vec![straight.population()]);
     }
 }

@@ -39,7 +39,7 @@ use crate::state::{AgentState, Color};
 /// than a shared counter, so tag assignment is independent of the order in
 /// which agents step — a requirement of the engine's intra-round parallel
 /// paths, whose results must not depend on scheduling.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct PopulationStability {
     params: Params,
 }

@@ -10,6 +10,7 @@
 
 use std::fmt;
 
+use popstab_sim::snapshot::{self, SnapshotError, SnapshotReader, SnapshotState};
 use popstab_sim::{Observable, Observation};
 
 use crate::params::Params;
@@ -174,12 +175,59 @@ impl Observable for AgentState {
     }
 }
 
+impl SnapshotState for AgentState {
+    fn state_tag() -> String {
+        "population-stability".to_string()
+    }
+
+    fn encode(&self, out: &mut Vec<u8>) {
+        snapshot::write_u32(out, self.round);
+        snapshot::write_bool(out, self.active);
+        snapshot::write_u8(out, self.color.as_bit());
+        snapshot::write_bool(out, self.recruiting);
+        snapshot::write_u32(out, self.to_recruit);
+        snapshot::write_bool(out, self.is_leader);
+        snapshot::write_u64(out, self.lineage);
+        snapshot::write_u32(out, self.epoch_len);
+    }
+
+    fn decode(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(AgentState {
+            round: r.u32()?,
+            active: r.bool()?,
+            color: Color::from_bit(r.u8()?),
+            recruiting: r.bool()?,
+            to_recruit: r.u32()?,
+            is_leader: r.bool()?,
+            lineage: r.u64()?,
+            epoch_len: r.u32()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn params() -> Params {
         Params::for_target(1024).unwrap()
+    }
+
+    #[test]
+    fn snapshot_encoding_roundtrips_exactly() {
+        let p = params();
+        for state in [
+            AgentState::fresh(&p),
+            AgentState::leader(&p, Color::One, 42),
+            AgentState::active_at(&p, 3, Color::Zero),
+            AgentState::desynced(&p, 77),
+        ] {
+            let mut bytes = Vec::new();
+            state.encode(&mut bytes);
+            let mut r = SnapshotReader::new(&bytes);
+            assert_eq!(AgentState::decode(&mut r).unwrap(), state);
+            assert_eq!(r.remaining(), 0);
+        }
     }
 
     #[test]

@@ -94,6 +94,18 @@ impl<S> Adversary<S> for Box<dyn Adversary<S>> {
     }
 }
 
+/// The `Send` flavor, so fork branches and batch jobs can carry
+/// heterogeneous boxed strategies across worker threads.
+impl<S> Adversary<S> for Box<dyn Adversary<S> + Send> {
+    fn name(&self) -> &'static str {
+        self.as_ref().name()
+    }
+
+    fn act(&mut self, ctx: &RoundContext, agents: &[S], rng: &mut SimRng) -> Vec<Alteration<S>> {
+        self.as_mut().act(ctx, agents, rng)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -50,6 +50,7 @@ use crate::config::SimConfig;
 use crate::driver::{Observer, RunOutcome, RunSpec};
 use crate::engine::{Engine, RoundReport};
 use crate::rng::derive_seed;
+use crate::snapshot::SnapshotState;
 
 /// Process-wide default worker count override (0 = unset).
 static DEFAULT_JOBS: AtomicUsize = AtomicUsize::new(0);
@@ -307,6 +308,112 @@ impl<P: Protocol, A: Adversary<P::State>> Scenario<P, A> {
         let mut engine = self.engine();
         let outcome = engine.run(spec, obs);
         (engine, outcome)
+    }
+
+    /// Runs the shared prefix once (serially, to `at_round`), snapshots it,
+    /// and branches the frozen state into one divergent future per entry of
+    /// `branches`, fanned out over `runner`.
+    ///
+    /// Each branch restores its own [`Engine`] from
+    /// [`Snapshot::fork`](crate::Snapshot::fork)`(seed_salt)` — optionally
+    /// with a different adversary budget — pairs it with the branch's own
+    /// adversary, and hands it to `eval(index, engine)`, which drives the
+    /// future however it likes (spec, observer, measurements) and returns
+    /// the branch result. Results come back in branch order, and, like any
+    /// batch, are bit-identical for every worker count.
+    ///
+    /// A branch with `seed_salt = 0`, the prefix adversary, and no budget
+    /// override continues *exactly* the uninterrupted run — the
+    /// counterfactual baseline comes for free.
+    ///
+    /// ```
+    /// use popstab_sim::batch::{BatchRunner, ForkBranch, Scenario};
+    /// use popstab_sim::{protocols::Inert, NoOpAdversary, RunSpec, SimConfig};
+    ///
+    /// let cfg = SimConfig::builder().seed(9).build().unwrap();
+    /// let branches = (0..4u64)
+    ///     .map(|salt| ForkBranch::new(salt, NoOpAdversary))
+    ///     .collect();
+    /// let finals = Scenario::new(Inert, cfg, 32).fork(
+    ///     10,
+    ///     branches,
+    ///     &BatchRunner::new(2),
+    ///     |_, mut engine| {
+    ///         engine.run(RunSpec::rounds(10), &mut ());
+    ///         engine.population()
+    ///     },
+    /// );
+    /// assert_eq!(finals, vec![32; 4]);
+    /// ```
+    pub fn fork<B, R, F>(
+        self,
+        at_round: u64,
+        branches: Vec<ForkBranch<B>>,
+        runner: &BatchRunner,
+        eval: F,
+    ) -> Vec<R>
+    where
+        P: Clone + Send + Sync,
+        P::State: SnapshotState + Send + Sync,
+        P::Message: Send,
+        B: Adversary<P::State> + Send,
+        R: Send,
+        F: Fn(usize, Engine<P, B>) -> R + Sync,
+    {
+        let protocol = self.protocol.clone();
+        let mut prefix = self.engine();
+        prefix.run(RunSpec::rounds(at_round), &mut ());
+        let snap = prefix.snapshot();
+        drop(prefix);
+        let protocol = &protocol;
+        let snap = &snap;
+        runner.run(branches, move |index, branch| {
+            let mut snap = snap.fork(branch.seed_salt);
+            if let Some(budget) = branch.budget {
+                snap.config_mut().adversary_budget = budget;
+            }
+            // Same-process, same protocol type: the tag always matches and
+            // the agent column decodes exactly as it was encoded.
+            let engine = Engine::restore(protocol.clone(), branch.adversary, &snap)
+                .expect("a freshly taken snapshot restores under its own protocol");
+            eval(index, engine)
+        })
+    }
+}
+
+/// One branch of a [`Scenario::fork`]: the seed perturbation and adversary
+/// (plus optional budget override) its future diverges under.
+///
+/// `seed_salt = 0` leaves the snapshot's streams untouched (the branch
+/// replays the original future as long as its adversary behaves
+/// identically); any other salt derives fresh, decorrelated agent/matching/
+/// adversary streams for the rounds after the fork point.
+#[derive(Debug, Clone)]
+pub struct ForkBranch<B> {
+    /// Stream perturbation, mixed into the snapshot seed; `0` = unperturbed.
+    pub seed_salt: u64,
+    /// The adversary this branch runs under after the fork point.
+    pub adversary: B,
+    /// Replacement adversary budget, if the branch varies it.
+    pub budget: Option<usize>,
+}
+
+impl<B> ForkBranch<B> {
+    /// A branch with the given salt and adversary, keeping the snapshot's
+    /// budget.
+    pub fn new(seed_salt: u64, adversary: B) -> Self {
+        ForkBranch {
+            seed_salt,
+            adversary,
+            budget: None,
+        }
+    }
+
+    /// Overrides the adversary budget for this branch (builder-style).
+    #[must_use]
+    pub fn budget(mut self, budget: usize) -> Self {
+        self.budget = Some(budget);
+        self
     }
 }
 
@@ -708,6 +815,137 @@ mod tests {
         assert_eq!(round_threads(), 5);
         assert_eq!(Threads::from_env(), Threads::Sharded(5));
         set_round_threads(0);
+    }
+
+    /// Coin-flip splitter/dier: every round each agent splits or dies on a
+    /// fair draw, so the trajectory is maximally seed-sensitive — exactly
+    /// what fork-divergence tests need.
+    #[derive(Debug, Clone, Copy)]
+    struct Drift;
+    #[derive(Debug, Clone)]
+    struct DriftState;
+    impl crate::Observable for DriftState {
+        fn observe(&self) -> crate::Observation {
+            crate::Observation::default()
+        }
+    }
+    impl crate::snapshot::SnapshotState for DriftState {
+        fn state_tag() -> String {
+            "drift-test".to_string()
+        }
+        fn encode(&self, _out: &mut Vec<u8>) {}
+        fn decode(
+            _r: &mut crate::snapshot::SnapshotReader<'_>,
+        ) -> Result<Self, crate::snapshot::SnapshotError> {
+            Ok(DriftState)
+        }
+    }
+    impl Protocol for Drift {
+        type State = DriftState;
+        type Message = ();
+        fn initial_state(&self, _rng: &mut crate::SimRng) -> DriftState {
+            DriftState
+        }
+        fn message(&self, _s: &DriftState) {}
+        fn step(
+            &self,
+            _s: &mut DriftState,
+            _m: Option<&()>,
+            rng: &mut crate::SimRng,
+        ) -> crate::Action {
+            use rand::Rng;
+            if rng.random_bool(0.5) {
+                crate::Action::Split
+            } else {
+                crate::Action::Die
+            }
+        }
+    }
+
+    fn drift_scenario() -> Scenario<Drift> {
+        let cfg = SimConfig::builder().seed(0xF0_4B).build().unwrap();
+        Scenario::new(Drift, cfg, 64)
+    }
+
+    fn trace_of<A: Adversary<DriftState>>(
+        engine: &mut Engine<Drift, A>,
+        rounds: u64,
+    ) -> Vec<RoundReport> {
+        let mut trace = Vec::new();
+        engine.run(
+            RunSpec::rounds(rounds),
+            &mut crate::OnRound(|r: &RoundReport| trace.push(*r)),
+        );
+        trace
+    }
+
+    #[test]
+    fn fork_identity_branch_reproduces_the_straight_line_run() {
+        let mut straight = drift_scenario().engine();
+        let full = trace_of(&mut straight, 20);
+
+        let branches = vec![ForkBranch::new(0, NoOpAdversary)];
+        let tails = drift_scenario().fork(7, branches, &BatchRunner::new(1), |_, mut engine| {
+            (trace_of(&mut engine, 13), engine.population())
+        });
+        let (tail, final_pop) = &tails[0];
+        assert_eq!(&full[7..], &tail[..]);
+        assert_eq!(*final_pop, straight.population());
+    }
+
+    #[test]
+    fn fork_branches_are_worker_count_invariant_and_salts_diverge() {
+        let branches = || -> Vec<_> {
+            (0..4u64)
+                .map(|s| ForkBranch::new(s, NoOpAdversary))
+                .collect()
+        };
+        let run = |workers| {
+            drift_scenario().fork(
+                5,
+                branches(),
+                &BatchRunner::new(workers),
+                |_, mut engine| trace_of(&mut engine, 10),
+            )
+        };
+        let serial = run(1);
+        assert_eq!(serial, run(3));
+        // Salted branches decorrelate from the unperturbed future.
+        assert_ne!(serial[0], serial[1]);
+        assert_ne!(serial[1], serial[2]);
+    }
+
+    #[test]
+    fn fork_budget_override_rearms_the_adversary() {
+        struct Nibbler;
+        impl Adversary<DriftState> for Nibbler {
+            fn name(&self) -> &'static str {
+                "nibbler"
+            }
+            fn act(
+                &mut self,
+                _c: &crate::RoundContext,
+                agents: &[DriftState],
+                _r: &mut crate::SimRng,
+            ) -> Vec<crate::Alteration<DriftState>> {
+                (0..agents.len().min(8))
+                    .map(crate::Alteration::Delete)
+                    .collect()
+            }
+        }
+        // The prefix config has budget 0; one branch re-arms it to 8.
+        // Heterogeneous adversaries per branch go through `Box<dyn …>`.
+        type Boxed = Box<dyn Adversary<DriftState> + Send>;
+        let branches = vec![
+            ForkBranch::new(0, Box::new(NoOpAdversary) as Boxed),
+            ForkBranch::new(0, Box::new(Nibbler) as Boxed).budget(8),
+        ];
+        let deleted = drift_scenario().fork(3, branches, &BatchRunner::new(2), |_, mut engine| {
+            let trace = trace_of(&mut engine, 6);
+            trace.iter().map(|r| r.deleted).sum::<usize>()
+        });
+        assert_eq!(deleted[0], 0, "no-op branch must not delete");
+        assert!(deleted[1] > 0, "re-armed deleter branch must delete");
     }
 
     #[test]

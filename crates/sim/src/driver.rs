@@ -100,6 +100,20 @@ impl Threads {
             n => Threads::Sharded(n),
         }
     }
+
+    /// Collapses the degenerate sharded configurations: `Sharded(0)` and
+    /// `Sharded(1)` describe the same trajectory as [`Threads::Serial`]
+    /// (the determinism contract) but would execute through the sharded
+    /// round body's reserve/merge machinery. [`Engine::run`](crate::Engine::run)
+    /// dispatches on the normalized value, matching
+    /// the normalization [`Threads::from_env`] applies to the environment.
+    #[must_use]
+    pub fn normalized(self) -> Threads {
+        match self {
+            Threads::Sharded(0 | 1) => Threads::Serial,
+            other => other,
+        }
+    }
 }
 
 /// A declarative description of one [`Engine::run`](crate::Engine::run)
@@ -442,6 +456,18 @@ mod tests {
     fn record_stats_rejects_phase_outside_stride() {
         let mut rec = MetricsRecorder::new();
         let _ = RecordStats::stride(&mut rec, 5, 5);
+    }
+
+    #[test]
+    fn degenerate_sharded_configs_normalize_to_serial() {
+        // `Sharded(0 | 1)` describes a serial trajectory; `Engine::run`
+        // dispatches on the normalized value, so these take the serial
+        // path — consistent with `Threads::from_env`'s treatment of
+        // `POPSTAB_ROUND_THREADS={0,1}`.
+        assert_eq!(Threads::Sharded(0).normalized(), Threads::Serial);
+        assert_eq!(Threads::Sharded(1).normalized(), Threads::Serial);
+        assert_eq!(Threads::Serial.normalized(), Threads::Serial);
+        assert_eq!(Threads::Sharded(4).normalized(), Threads::Sharded(4));
     }
 
     // `Threads::from_env` is covered by `batch::tests::round_threads_default_is_serial`,

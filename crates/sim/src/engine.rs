@@ -38,6 +38,7 @@ use crate::config::SimConfig;
 use crate::driver::{EngineView, Observer, RunOutcome, RunSpec, Stop, Threads};
 use crate::matching::{sample_matching_into, sample_matching_into_par, Matching, UNMATCHED};
 use crate::rng::{derive_seed, derive_stream, round_key, slot_rng, SimRng};
+use crate::snapshot::{Snapshot, SnapshotError, SnapshotReader, SnapshotState};
 
 /// Why a run stopped early.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -263,11 +264,16 @@ impl<P: Protocol, A: Adversary<P::State>> Engine<P, A> {
         }
     }
 
-    /// The serial driver core: [`Engine::run`] minus the
+    /// The bound-free serial driver: [`Engine::run`] minus the
     /// [`Threads::Sharded`] arm, so it needs none of that arm's
     /// `Send`/`Sync` bounds. `spec.threads` is ignored (rounds execute
     /// serially).
-    fn run_serial<F, O>(&mut self, spec: RunSpec<F>, obs: &mut O) -> RunOutcome
+    ///
+    /// [`Engine::run`] dispatches here for [`Threads::Serial`] (and for
+    /// degenerate `Sharded(0 | 1)` specs); call it directly only for a
+    /// protocol whose state is not thread-safe — every protocol in this
+    /// workspace satisfies the `run` bounds.
+    pub fn run_serial<F, O>(&mut self, spec: RunSpec<F>, obs: &mut O) -> RunOutcome
     where
         F: FnMut(&RoundReport) -> bool,
         O: Observer<P>,
@@ -278,43 +284,83 @@ impl<P: Protocol, A: Adversary<P::State>> Engine<P, A> {
         outcome
     }
 
-    /// Executes one round; returns its report. A halted engine is inert and
-    /// returns a report describing no activity.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `Engine::run(RunSpec::rounds(1), &mut obs).last` instead"
-    )]
-    pub fn run_round(&mut self) -> RoundReport {
-        self.run_serial(RunSpec::rounds(1), &mut ()).last
-    }
-
-    /// Runs up to `n` rounds, stopping early if the engine halts. Returns
-    /// the number of rounds actually executed.
-    ///
-    /// Stats are no longer recorded implicitly; pass a
-    /// [`RecordStats`](crate::RecordStats) observer to [`Engine::run`] for
-    /// that.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `Engine::run(RunSpec::rounds(n), &mut obs)` instead"
-    )]
-    pub fn run_rounds(&mut self, n: u64) -> u64 {
-        self.run_serial(RunSpec::rounds(n), &mut ()).executed
-    }
-
-    /// Runs up to `max_rounds` rounds, stopping early when the engine halts
-    /// or `stop` returns `true` for the round just executed. Returns the
-    /// number of rounds executed.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `Engine::run(RunSpec::until(max_rounds, stop), &mut obs)` instead"
-    )]
-    pub fn run_until<F>(&mut self, max_rounds: u64, stop: F) -> u64
+    /// Checkpoints the engine into a [`Snapshot`]: config, round counter,
+    /// halt flag, adversary-stream position, and every agent's encoded
+    /// state. [`Engine::restore`] of the result continues bit-for-bit
+    /// identically to this engine (see the [`crate::snapshot`] module docs
+    /// for what is and is not captured).
+    pub fn snapshot(&self) -> Snapshot
     where
-        F: FnMut(&RoundReport) -> bool,
+        P::State: SnapshotState,
     {
-        self.run_serial(RunSpec::until(max_rounds, stop), &mut ())
-            .executed
+        let mut agent_bytes = Vec::new();
+        for agent in &self.agents {
+            agent.encode(&mut agent_bytes);
+        }
+        Snapshot {
+            label: String::new(),
+            state_tag: P::State::state_tag(),
+            config: self.cfg.clone(),
+            round: self.round,
+            halted: self.halted,
+            adv_rng_state: self.adv_rng.raw_state(),
+            agent_count: self.agents.len() as u64,
+            agent_bytes,
+        }
+    }
+
+    /// Rebuilds an engine from a [`Snapshot`], resuming exactly where
+    /// [`Engine::snapshot`] left off — no `initial_state` calls, the
+    /// per-round agent/matching keys re-derived from the snapshot's seed,
+    /// the adversary stream repositioned. The caller supplies the protocol
+    /// and adversary instances (they are not serialized); supplying a
+    /// *different* adversary, or a [`Snapshot::fork`] branch, is how
+    /// counterfactual futures are spawned.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::StateTagMismatch`] when the snapshot holds a
+    /// different protocol's states, [`SnapshotError::Truncated`] /
+    /// [`SnapshotError::Malformed`] when the agent column does not decode
+    /// to exactly the captured population.
+    pub fn restore(protocol: P, adversary: A, snap: &Snapshot) -> Result<Self, SnapshotError>
+    where
+        P::State: SnapshotState,
+    {
+        let expected = P::State::state_tag();
+        if snap.state_tag != expected {
+            return Err(SnapshotError::StateTagMismatch {
+                found: snap.state_tag.clone(),
+                expected,
+            });
+        }
+        let count = usize::try_from(snap.agent_count)
+            .map_err(|_| SnapshotError::Malformed("population too large"))?;
+        let mut reader = SnapshotReader::new(&snap.agent_bytes);
+        let mut agents = Vec::with_capacity(count);
+        for _ in 0..count {
+            agents.push(P::State::decode(&mut reader)?);
+        }
+        if reader.remaining() != 0 {
+            return Err(SnapshotError::Malformed(
+                "agent column longer than the captured population",
+            ));
+        }
+        let cfg = snap.config.clone();
+        let agent_key = derive_seed(cfg.seed, "agent-counter");
+        let match_key = derive_seed(cfg.seed, "matching");
+        Ok(Engine {
+            protocol,
+            adversary,
+            cfg,
+            agents,
+            round: snap.round,
+            agent_key,
+            match_key,
+            adv_rng: SimRng::from_raw_state(snap.adv_rng_state),
+            halted: snap.halted,
+            scratch: RoundScratch::default(),
+        })
     }
 
     /// One synchronous round against explicit scratch buffers. The serial
@@ -619,9 +665,12 @@ impl<P: Protocol, A: Adversary<P::State>> Engine<P, A> {
         for alt in alterations.into_iter().take(self.cfg.adversary_budget) {
             match alt {
                 Alteration::Delete(i) => {
-                    if i < original_len && !to_delete.contains(&i) {
+                    // Duplicates are collected here and collapsed by the
+                    // sort+dedup below (a repeat delete still consumes
+                    // budget, exactly as before) — a per-push `contains`
+                    // probe made bulk-delete adversaries O(budget²).
+                    if i < original_len {
                         to_delete.push(i);
-                        report.deleted += 1;
                     }
                 }
                 Alteration::Insert(state) => {
@@ -637,6 +686,8 @@ impl<P: Protocol, A: Adversary<P::State>> Engine<P, A> {
             }
         }
         to_delete.sort_unstable();
+        to_delete.dedup();
+        report.deleted = to_delete.len();
         for &i in to_delete.iter().rev() {
             self.agents.swap_remove(i);
         }
@@ -680,18 +731,23 @@ where
     /// The `Send`/`Sync` bounds on this impl block exist for the
     /// [`Threads::Sharded`] arm (they are satisfied by every protocol in
     /// this workspace). A protocol with non-thread-safe state can still
-    /// execute serially through the deprecated
-    /// [`run_rounds`](Engine::run_rounds) /
-    /// [`run_until`](Engine::run_until) wrappers, which are bound-free.
+    /// execute serially through the bound-free
+    /// [`run_serial`](Engine::run_serial).
+    ///
+    /// The thread configuration is [normalized](Threads::normalized)
+    /// before dispatch: `Sharded(0)` and `Sharded(1)` describe a serial
+    /// trajectory (the determinism contract makes them identical to
+    /// [`Threads::Serial`]), so they take the serial path rather than
+    /// paying the sharded arm's per-round merge overhead — the same
+    /// normalization [`Threads::from_env`] applies.
     pub fn run<F, O>(&mut self, spec: RunSpec<F>, obs: &mut O) -> RunOutcome
     where
         F: FnMut(&RoundReport) -> bool,
         O: Observer<P>,
     {
-        match spec.threads {
+        match spec.threads.normalized() {
             Threads::Serial => self.run_serial(spec, obs),
             Threads::Sharded(workers) => {
-                let workers = workers.max(1);
                 let mut scratch = std::mem::take(&mut self.scratch);
                 let mut shard_out: Vec<StepShard> =
                     (0..workers).map(|_| StepShard::default()).collect();
@@ -1196,5 +1252,220 @@ mod tests {
         let report = round(&mut engine);
         assert_eq!(report.deleted, 0);
         assert_eq!(engine.population(), 5);
+    }
+
+    #[test]
+    fn sharded_one_takes_the_serial_path() {
+        // `Sharded(0 | 1)` normalizes to `Serial` at the dispatch (the
+        // `Threads::normalized` unit tests pin the mapping itself); here we
+        // pin that the degenerate sharded specs drive the same trajectory
+        // as the serial spec on a seed-sensitive protocol.
+        let run = |threads: Threads| {
+            let cfg = SimConfig::builder()
+                .seed(99)
+                .matching(MatchingModel::RandomFraction { min_gamma: 0.5 })
+                .build()
+                .unwrap();
+            let mut e = Engine::with_population(SplitOnce, cfg, 96);
+            let mut trace = Vec::new();
+            e.run(
+                RunSpec::rounds(8).threads(threads),
+                &mut crate::OnRound(|r: &RoundReport| trace.push(*r)),
+            );
+            trace
+        };
+        let serial = run(Threads::Serial);
+        assert_eq!(serial, run(Threads::Sharded(0)));
+        assert_eq!(serial, run(Threads::Sharded(1)));
+    }
+
+    #[test]
+    fn bulk_duplicate_deletes_still_dedup_and_consume_budget() {
+        // A repeat delete consumes budget without freeing a second agent —
+        // the first-seen semantics the O(budget²) `contains` probe used to
+        // implement, now via sort+dedup.
+        struct Hammer;
+        impl Adversary<InertState> for Hammer {
+            fn name(&self) -> &'static str {
+                "hammer"
+            }
+            fn act(
+                &mut self,
+                _c: &RoundContext,
+                _a: &[InertState],
+                _r: &mut SimRng,
+            ) -> Vec<Alteration<InertState>> {
+                // 6 in-budget alterations: indices 2,2,0,5,2,0 → uniques {0,2,5}.
+                vec![2usize, 2, 0, 5, 2, 0]
+                    .into_iter()
+                    .map(Alteration::Delete)
+                    .collect()
+            }
+        }
+        let cfg = SimConfig::builder()
+            .seed(23)
+            .adversary_budget(6)
+            .build()
+            .unwrap();
+        let mut engine = Engine::with_adversary(Inert, Hammer, cfg, 10);
+        let report = round(&mut engine);
+        assert_eq!(report.deleted, 3);
+        assert_eq!(engine.population(), 7);
+    }
+
+    #[test]
+    fn zero_round_spec_reports_the_live_engine() {
+        let mut engine = Engine::with_population(Inert, cfg(31), 12);
+        engine.run(RunSpec::rounds(3), &mut ());
+        let outcome = engine.run(RunSpec::rounds(0), &mut ());
+        assert_eq!(outcome.executed, 0);
+        assert!(!outcome.stopped_early);
+        assert_eq!(outcome.halted, None);
+        // The synthetic `last` report mirrors the live engine exactly.
+        assert_eq!(outcome.population_range(), (12, 12));
+        assert_eq!(outcome.last.round, engine.round());
+        assert_eq!(outcome.last.population_before, engine.population());
+        assert_eq!(outcome.last.population_after, engine.population());
+    }
+
+    #[test]
+    fn halted_engine_outcome_agrees_with_live_state() {
+        let mut engine = Engine::with_population(DieAll, cfg(32), 6);
+        engine.run(RunSpec::rounds(1), &mut ());
+        assert_eq!(engine.halted(), Some(HaltReason::Extinct));
+        let outcome = engine.run(RunSpec::rounds(10), &mut ());
+        assert_eq!(outcome.executed, 0);
+        assert_eq!(outcome.halted, Some(HaltReason::Extinct));
+        assert_eq!(outcome.population_range(), (0, 0));
+        assert_eq!(outcome.last.round, engine.round());
+        assert_eq!(outcome.last.population_before, 0);
+        assert_eq!(outcome.last.population_after, 0);
+    }
+
+    #[test]
+    fn halt_on_first_round_still_counts_the_round() {
+        let mut engine = Engine::with_population(DieAll, cfg(33), 5);
+        let outcome = engine.run(RunSpec::rounds(5), &mut ());
+        // The extinction round executed; only the remaining four were cut.
+        assert_eq!(outcome.executed, 1);
+        assert_eq!(outcome.halted, Some(HaltReason::Extinct));
+        assert_eq!(outcome.population_range(), (0, 0));
+        assert_eq!(outcome.last.population_before, 5);
+        assert_eq!(outcome.last.population_after, 0);
+        assert_eq!(outcome.last.deaths, 5);
+        assert_eq!(engine.population(), 0);
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_bit_for_bit() {
+        let cfg = || {
+            SimConfig::builder()
+                .seed(0x5EED)
+                .matching(MatchingModel::RandomFraction { min_gamma: 0.4 })
+                .build()
+                .unwrap()
+        };
+        let mut straight = Engine::with_population(Inert, cfg(), 40);
+        let mut full = Vec::new();
+        straight.run(
+            RunSpec::rounds(20),
+            &mut crate::OnRound(|r: &RoundReport| full.push(*r)),
+        );
+
+        let mut prefix = Engine::with_population(Inert, cfg(), 40);
+        prefix.run(RunSpec::rounds(7), &mut ());
+        let snap = prefix.snapshot();
+        assert_eq!(snap.round(), 7);
+        assert_eq!(snap.population(), 40);
+
+        // Round-trip through the byte format into a fresh engine.
+        let bytes = snap.to_bytes();
+        let snap = Snapshot::from_bytes(&bytes).unwrap();
+        let mut resumed = Engine::restore(Inert, NoOpAdversary, &snap).unwrap();
+        let mut tail = Vec::new();
+        resumed.run(
+            RunSpec::rounds(13),
+            &mut crate::OnRound(|r: &RoundReport| tail.push(*r)),
+        );
+        assert_eq!(&full[7..], &tail[..]);
+        assert_eq!(resumed.round(), straight.round());
+        assert_eq!(resumed.population(), straight.population());
+    }
+
+    #[test]
+    fn restore_rejects_a_foreign_state_tag() {
+        let engine = Engine::with_population(Inert, cfg(40), 4);
+        let snap = engine.snapshot();
+        // InertState's tag is "inert"; decoding it as a different protocol
+        // must fail loudly rather than misinterpret bytes.
+        #[derive(Debug, Clone)]
+        struct OtherState;
+        impl Observable for OtherState {
+            fn observe(&self) -> Observation {
+                Observation::default()
+            }
+        }
+        impl crate::snapshot::SnapshotState for OtherState {
+            fn state_tag() -> String {
+                "other".to_string()
+            }
+            fn encode(&self, _out: &mut Vec<u8>) {}
+            fn decode(_r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+                Ok(OtherState)
+            }
+        }
+        #[derive(Debug)]
+        struct Other;
+        impl Protocol for Other {
+            type State = OtherState;
+            type Message = ();
+            fn initial_state(&self, _r: &mut SimRng) -> OtherState {
+                OtherState
+            }
+            fn message(&self, _s: &OtherState) {}
+            fn step(&self, _s: &mut OtherState, _m: Option<&()>, _r: &mut SimRng) -> Action {
+                Action::Continue
+            }
+        }
+        match Engine::restore(Other, NoOpAdversary, &snap) {
+            Err(SnapshotError::StateTagMismatch { found, expected }) => {
+                assert_eq!(found, "inert");
+                assert_eq!(expected, "other");
+            }
+            other => panic!("expected a state-tag mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn snapshot_of_a_halted_engine_restores_halted() {
+        let cap_cfg = SimConfig::builder()
+            .seed(42)
+            .adversary_budget(4)
+            .max_population(2)
+            .build()
+            .unwrap();
+        struct Bomb;
+        impl Adversary<InertState> for Bomb {
+            fn name(&self) -> &'static str {
+                "bomb"
+            }
+            fn act(
+                &mut self,
+                _c: &RoundContext,
+                _a: &[InertState],
+                _r: &mut SimRng,
+            ) -> Vec<Alteration<InertState>> {
+                (0..4).map(|_| Alteration::Insert(InertState)).collect()
+            }
+        }
+        let mut exploding = Engine::with_adversary(Inert, Bomb, cap_cfg, 2);
+        exploding.run(RunSpec::rounds(3), &mut ());
+        assert_eq!(exploding.halted(), Some(HaltReason::Exploded));
+        let snap = exploding.snapshot();
+        assert_eq!(snap.halted(), Some(HaltReason::Exploded));
+        let mut restored = Engine::restore(Inert, NoOpAdversary, &snap).unwrap();
+        assert_eq!(restored.halted(), Some(HaltReason::Exploded));
+        // A halted engine stays inert after restore, too.
+        assert_eq!(restored.run(RunSpec::rounds(5), &mut ()).executed, 0);
     }
 }

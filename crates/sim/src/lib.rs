@@ -48,6 +48,13 @@
 //! config, initial population)` tuple so sweeps and registries can build
 //! jobs without hand-rolling engine construction.
 //!
+//! Running engines checkpoint exactly: [`Engine::snapshot`] captures
+//! everything the future depends on into a versioned [`Snapshot`]
+//! (std-only binary format, [`snapshot::SNAPSHOT_FORMAT_VERSION`]),
+//! [`Engine::restore`] resumes it bit-for-bit, and
+//! [`Snapshot::fork`] / [`batch::Scenario::fork`] branch one shared prefix
+//! into many divergent futures — see the [`snapshot`] module docs.
+//!
 //! # Parallel execution and the determinism contract
 //!
 //! The substrate parallelizes on two axes, and **both are bit-identical to
@@ -96,11 +103,12 @@ pub mod matching;
 pub mod metrics;
 pub mod protocols;
 pub mod rng;
+pub mod snapshot;
 pub mod trace;
 
 pub use adversary::{Adversary, Alteration, NoOpAdversary, RoundContext};
 pub use agent::{Action, Observable, Observation, Protocol};
-pub use batch::{BatchRunner, Scenario};
+pub use batch::{BatchRunner, ForkBranch, Scenario};
 pub use config::{SimConfig, SimConfigBuilder};
 pub use driver::{
     EngineView, Observer, OnRound, RecordStats, RunOutcome, RunSpec, Stop, Stride, Tee, Threads,
@@ -110,4 +118,7 @@ pub use error::SimError;
 pub use matching::{Matching, MatchingModel};
 pub use metrics::{MetricsRecorder, RoundStats};
 pub use rng::SimRng;
+pub use snapshot::{
+    Snapshot, SnapshotError, SnapshotReader, SnapshotState, SNAPSHOT_FORMAT_VERSION,
+};
 pub use trace::Trajectory;

@@ -2,6 +2,7 @@
 
 use crate::agent::{Action, Observable, Observation, Protocol};
 use crate::rng::SimRng;
+use crate::snapshot::{SnapshotError, SnapshotReader, SnapshotState};
 
 /// The inert protocol: agents never split, never die, carry no state.
 ///
@@ -19,6 +20,18 @@ pub struct InertState;
 impl Observable for InertState {
     fn observe(&self) -> Observation {
         Observation::default()
+    }
+}
+
+impl SnapshotState for InertState {
+    fn state_tag() -> String {
+        "inert".to_string()
+    }
+
+    fn encode(&self, _out: &mut Vec<u8>) {}
+
+    fn decode(_r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(InertState)
     }
 }
 

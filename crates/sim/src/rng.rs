@@ -87,6 +87,23 @@ impl CounterRng {
     pub fn keyed(key: u64) -> Self {
         CounterRng { state: key }
     }
+
+    /// The raw stream position (`key + draws·γ`), for exact checkpointing:
+    /// [`from_raw_state`](CounterRng::from_raw_state) of this value resumes
+    /// the stream at the next draw.
+    #[inline]
+    pub(crate) fn raw_state(&self) -> u64 {
+        self.state
+    }
+
+    /// Rebuilds a generator at a raw stream position previously captured
+    /// with [`raw_state`](CounterRng::raw_state). Unlike [`keyed`]
+    /// (CounterRng::keyed), the argument is a *position*, not a key — no
+    /// finalization or normalization is applied.
+    #[inline]
+    pub(crate) fn from_raw_state(state: u64) -> Self {
+        CounterRng { state }
+    }
 }
 
 impl SeedableRng for CounterRng {

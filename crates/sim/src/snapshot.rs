@@ -1,0 +1,661 @@
+//! Exact checkpoint/restore of engine state (ROADMAP open item 3).
+//!
+//! Because every random quantity in the engine is *counter-addressable* —
+//! agent draws are keyed on `(seed, round, slot)` (agent stream
+//! [`AGENT_STREAM_VERSION`]), matching on
+//! `round_key(match_key, round)` (matching stream
+//! [`MATCHING_STREAM_VERSION`])
+//! — an engine's future is a pure function of `(SimConfig, round, agent
+//! states, adversary-stream position)`. A [`Snapshot`] captures exactly
+//! those four things, so a restored engine continues **bit-for-bit**
+//! identically to the uninterrupted run, under [`Threads::Serial`] and
+//! [`Threads::Sharded`] alike (pinned by the `snapshot_resume` property
+//! tests and the CI snapshot determinism leg).
+//!
+//! [`Threads::Serial`]: crate::Threads::Serial
+//! [`Threads::Sharded`]: crate::Threads::Sharded
+//!
+//! # What is (and is not) captured
+//!
+//! Captured: the [`SimConfig`] (seed, matching model, budget, caps), the
+//! round counter, the halt flag, every agent's protocol state (via
+//! [`SnapshotState`]), and the raw position of the engine-owned adversary
+//! RNG stream. Per-round agent/matching keys are *not* stored — they are
+//! re-derived from the config seed on restore, which is what makes a
+//! seed-perturbed [`fork`](Snapshot::fork) diverge.
+//!
+//! Not captured: the protocol instance and the adversary instance (the
+//! caller supplies both to [`Engine::restore`](crate::Engine::restore) —
+//! which is the fork hook: restore the same bytes against a *different*
+//! adversary to branch the future), any internal adversary state outside
+//! the engine-owned RNG stream (every workspace adversary is stateless or
+//! round-keyed, so registry scenarios resume exactly), and the engine's
+//! scratch buffers (semantically invisible; rebuilt lazily).
+//!
+//! # Format
+//!
+//! A versioned, std-only little-endian binary layout: an 8-byte magic, the
+//! [`SNAPSHOT_FORMAT_VERSION`], the two embedded stream versions (a
+//! snapshot from a different stream generation is *rejected*, not
+//! reinterpreted), a free-form label, the protocol-state tag, the config,
+//! the round/halt/adversary-stream words, and the encoded agent column.
+//! Format bumps follow the same coordinated protocol as stream bumps (see
+//! `tests/golden/README.md`), and popstab-lint's `stream-version-coherence`
+//! rule cross-checks the constant against the README table.
+
+use std::fmt;
+use std::io;
+use std::path::Path;
+
+use crate::config::SimConfig;
+use crate::engine::HaltReason;
+use crate::matching::{MatchingModel, MATCHING_STREAM_VERSION};
+use crate::rng::{splitmix_finalize, AGENT_STREAM_VERSION};
+
+/// Version of the snapshot binary format. Bumped whenever the byte layout
+/// changes; the README table under `### Snapshot format` in
+/// `tests/golden/README.md` records the history (cross-checked by
+/// popstab-lint).
+///
+/// * v1 — initial layout: magic + versions + label + state tag + config +
+///   round/halt/adv-stream + encoded agent column.
+pub const SNAPSHOT_FORMAT_VERSION: u32 = 1;
+
+/// Leading magic of every snapshot file.
+const MAGIC: &[u8; 8] = b"POPSNAP\0";
+
+/// Domain separator for the adversary-stream perturbation in
+/// [`Snapshot::fork`], so the adversary stream and the master seed never
+/// receive the same mix of one salt.
+const ADV_FORK_DOMAIN: u64 = 0xA5A5_1DE0_0B5E_55ED;
+
+/// What can go wrong encoding, decoding, or restoring a snapshot.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum SnapshotError {
+    /// Reading or writing the snapshot file failed.
+    Io(io::Error),
+    /// The byte stream ended before the layout did.
+    Truncated,
+    /// The bytes parse but violate the layout's invariants.
+    Malformed(&'static str),
+    /// The leading magic is not a snapshot's.
+    BadMagic,
+    /// The snapshot was written by an unknown (newer) format version.
+    UnsupportedVersion {
+        /// The format version the snapshot claims.
+        found: u32,
+    },
+    /// The snapshot was captured under a different randomness stream
+    /// generation; resuming it would not reproduce the original run.
+    StreamMismatch {
+        /// Which stream disagrees (`"agent"` or `"matching"`).
+        stream: &'static str,
+        /// The version embedded in the snapshot.
+        found: u32,
+        /// This build's version.
+        expected: u32,
+    },
+    /// The snapshot holds a different protocol's agent states.
+    StateTagMismatch {
+        /// The state tag embedded in the snapshot.
+        found: String,
+        /// The restoring protocol's tag.
+        expected: String,
+    },
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot i/o error: {e}"),
+            SnapshotError::Truncated => write!(f, "snapshot truncated"),
+            SnapshotError::Malformed(what) => write!(f, "malformed snapshot: {what}"),
+            SnapshotError::BadMagic => write!(f, "not a snapshot (bad magic)"),
+            SnapshotError::UnsupportedVersion { found } => {
+                write!(
+                    f,
+                    "unsupported snapshot format v{found} (this build reads v{SNAPSHOT_FORMAT_VERSION})"
+                )
+            }
+            SnapshotError::StreamMismatch {
+                stream,
+                found,
+                expected,
+            } => write!(
+                f,
+                "snapshot was captured under {stream} stream v{found}, this build runs v{expected}"
+            ),
+            SnapshotError::StateTagMismatch { found, expected } => write!(
+                f,
+                "snapshot holds `{found}` agent states, the restoring protocol needs `{expected}`"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl From<io::Error> for SnapshotError {
+    fn from(e: io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+/// Appends a `u8` to a snapshot byte stream.
+pub fn write_u8(out: &mut Vec<u8>, v: u8) {
+    out.push(v);
+}
+
+/// Appends a little-endian `u32`.
+pub fn write_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a little-endian `u64`.
+pub fn write_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a `bool` as one byte (`0`/`1`).
+pub fn write_bool(out: &mut Vec<u8>, v: bool) {
+    out.push(u8::from(v));
+}
+
+/// Appends an `f64` as its IEEE-754 bit pattern (exact round-trip).
+pub fn write_f64(out: &mut Vec<u8>, v: f64) {
+    write_u64(out, v.to_bits());
+}
+
+/// Appends a length-prefixed UTF-8 string.
+pub fn write_str(out: &mut Vec<u8>, s: &str) {
+    write_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// A cursor over a snapshot byte stream, handed to
+/// [`SnapshotState::decode`] implementations. Every read is
+/// bounds-checked; running off the end yields
+/// [`SnapshotError::Truncated`].
+#[derive(Debug)]
+pub struct SnapshotReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> SnapshotReader<'a> {
+    /// A reader positioned at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        SnapshotReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Consumes the next `n` bytes.
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        let end = self.pos.checked_add(n).ok_or(SnapshotError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(SnapshotError::Truncated);
+        }
+        let out = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    /// Consumes one byte.
+    pub fn u8(&mut self) -> Result<u8, SnapshotError> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    /// Consumes a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, SnapshotError> {
+        Ok(u32::from_le_bytes(self.bytes(4)?.try_into().unwrap()))
+    }
+
+    /// Consumes a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, SnapshotError> {
+        Ok(u64::from_le_bytes(self.bytes(8)?.try_into().unwrap()))
+    }
+
+    /// Consumes one `bool` byte; anything but `0`/`1` is malformed.
+    pub fn bool(&mut self) -> Result<bool, SnapshotError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(SnapshotError::Malformed("bool byte out of range")),
+        }
+    }
+
+    /// Consumes an `f64` bit pattern.
+    pub fn f64(&mut self) -> Result<f64, SnapshotError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Consumes a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String, SnapshotError> {
+        let len = self.u32()? as usize;
+        let bytes = self.bytes(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| SnapshotError::Malformed("string is not UTF-8"))
+    }
+}
+
+/// Exact binary encode/decode of one protocol's per-agent state.
+///
+/// Implementations must round-trip exactly (`decode(encode(s)) == s` field
+/// for field) — the snapshot determinism guarantee is only as strong as
+/// the state encoding. The tag names the state type so a snapshot cannot
+/// be restored against the wrong protocol; wrapper states compose it
+/// (e.g. the extensions crate's malice wrapper tags itself
+/// `malice<{inner}>`).
+pub trait SnapshotState: Sized {
+    /// A stable, human-readable name for this state type.
+    fn state_tag() -> String;
+    /// Appends this state's exact binary encoding to `out`.
+    fn encode(&self, out: &mut Vec<u8>);
+    /// Decodes one state from the reader (the inverse of
+    /// [`encode`](SnapshotState::encode)).
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Truncated`] / [`SnapshotError::Malformed`] when the
+    /// bytes do not hold a valid state.
+    fn decode(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError>;
+}
+
+/// A checkpoint of a running engine: everything its future depends on.
+///
+/// Produced by [`Engine::snapshot`](crate::Engine::snapshot), consumed by
+/// [`Engine::restore`](crate::Engine::restore); serialized with
+/// [`to_bytes`](Snapshot::to_bytes) / [`from_bytes`](Snapshot::from_bytes)
+/// (or the file conveniences). [`fork`](Snapshot::fork) derives divergent
+/// branches. See the module docs for what is and is not captured.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// Free-form caller label (e.g. the registry scenario name a CLI
+    /// snapshot was taken from); round-trips through the byte format but
+    /// never affects the simulation.
+    pub label: String,
+    pub(crate) state_tag: String,
+    pub(crate) config: SimConfig,
+    pub(crate) round: u64,
+    pub(crate) halted: Option<HaltReason>,
+    pub(crate) adv_rng_state: u64,
+    pub(crate) agent_count: u64,
+    pub(crate) agent_bytes: Vec<u8>,
+}
+
+impl Snapshot {
+    /// The round the engine had completed when the snapshot was taken.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// The captured population size.
+    pub fn population(&self) -> usize {
+        self.agent_count as usize
+    }
+
+    /// The captured configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Mutable access to the captured configuration, for counterfactual
+    /// branches that change parameters (budget, matching model, caps)
+    /// before [`Engine::restore`](crate::Engine::restore). Changing the
+    /// `seed` re-keys the *future* randomness exactly like
+    /// [`fork`](Snapshot::fork) does.
+    pub fn config_mut(&mut self) -> &mut SimConfig {
+        &mut self.config
+    }
+
+    /// The tag of the protocol state type captured here.
+    pub fn state_tag(&self) -> &str {
+        &self.state_tag
+    }
+
+    /// Whether the captured engine had halted, and why.
+    pub fn halted(&self) -> Option<HaltReason> {
+        self.halted
+    }
+
+    /// A branch of this snapshot: the same population and round, with all
+    /// *future* randomness re-keyed by `salt`.
+    ///
+    /// Salt `0` is the identity — restoring the branch reproduces the
+    /// straight-line run bit for bit. Any other salt perturbs the master
+    /// seed (re-keying the agent and matching streams, which restore
+    /// re-derives from the seed) and, through a separate domain, the
+    /// adversary stream position, so sibling branches diverge immediately
+    /// but each remains exactly reproducible.
+    #[must_use]
+    pub fn fork(&self, salt: u64) -> Snapshot {
+        let mut branch = self.clone();
+        if salt != 0 {
+            branch.config.seed = splitmix_finalize(self.config.seed ^ splitmix_finalize(salt));
+            branch.adv_rng_state =
+                splitmix_finalize(self.adv_rng_state ^ splitmix_finalize(salt ^ ADV_FORK_DOMAIN));
+        }
+        branch
+    }
+
+    /// Serializes the snapshot (see the module docs for the layout).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + self.label.len() + self.agent_bytes.len());
+        out.extend_from_slice(MAGIC);
+        write_u32(&mut out, SNAPSHOT_FORMAT_VERSION);
+        write_u32(&mut out, AGENT_STREAM_VERSION);
+        write_u32(&mut out, MATCHING_STREAM_VERSION);
+        write_str(&mut out, &self.label);
+        write_str(&mut out, &self.state_tag);
+        encode_config(&mut out, &self.config);
+        write_u64(&mut out, self.round);
+        write_u8(&mut out, encode_halt(self.halted));
+        write_u64(&mut out, self.adv_rng_state);
+        write_u64(&mut out, self.agent_count);
+        write_u64(&mut out, self.agent_bytes.len() as u64);
+        out.extend_from_slice(&self.agent_bytes);
+        out
+    }
+
+    /// Deserializes a snapshot, rejecting wrong magic, unknown format
+    /// versions, and snapshots captured under a different randomness
+    /// stream generation.
+    ///
+    /// # Errors
+    ///
+    /// See [`SnapshotError`]; trailing bytes after the layout are
+    /// [`SnapshotError::Malformed`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Snapshot, SnapshotError> {
+        let mut r = SnapshotReader::new(bytes);
+        if r.bytes(MAGIC.len())? != MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        let format = r.u32()?;
+        if format != SNAPSHOT_FORMAT_VERSION {
+            return Err(SnapshotError::UnsupportedVersion { found: format });
+        }
+        for (stream, expected) in [
+            ("agent", AGENT_STREAM_VERSION),
+            ("matching", MATCHING_STREAM_VERSION),
+        ] {
+            let found = r.u32()?;
+            if found != expected {
+                return Err(SnapshotError::StreamMismatch {
+                    stream,
+                    found,
+                    expected,
+                });
+            }
+        }
+        let label = r.str()?;
+        let state_tag = r.str()?;
+        let config = decode_config(&mut r)?;
+        let round = r.u64()?;
+        let halted = decode_halt(r.u8()?)?;
+        let adv_rng_state = r.u64()?;
+        let agent_count = r.u64()?;
+        let agent_len = r.u64()?;
+        let agent_len = usize::try_from(agent_len)
+            .map_err(|_| SnapshotError::Malformed("agent column too large"))?;
+        let agent_bytes = r.bytes(agent_len)?.to_vec();
+        if r.remaining() != 0 {
+            return Err(SnapshotError::Malformed("trailing bytes"));
+        }
+        Ok(Snapshot {
+            label,
+            state_tag,
+            config,
+            round,
+            halted,
+            adv_rng_state,
+            agent_count,
+            agent_bytes,
+        })
+    }
+
+    /// Writes [`to_bytes`](Snapshot::to_bytes) to a file.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Io`] on filesystem failure.
+    pub fn write_to_file<Q: AsRef<Path>>(&self, path: Q) -> Result<(), SnapshotError> {
+        std::fs::write(path, self.to_bytes())?;
+        Ok(())
+    }
+
+    /// Reads and [`from_bytes`](Snapshot::from_bytes)-decodes a file.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Io`] on filesystem failure, plus every
+    /// [`from_bytes`](Snapshot::from_bytes) error.
+    pub fn read_from_file<Q: AsRef<Path>>(path: Q) -> Result<Snapshot, SnapshotError> {
+        Snapshot::from_bytes(&std::fs::read(path)?)
+    }
+}
+
+/// Encodes a [`SimConfig`] (tagged matching model, then the scalar
+/// fields; `usize` fields widen to `u64`).
+fn encode_config(out: &mut Vec<u8>, cfg: &SimConfig) {
+    match cfg.matching {
+        MatchingModel::Full => write_u8(out, 0),
+        MatchingModel::ExactFraction(gamma) => {
+            write_u8(out, 1);
+            write_f64(out, gamma);
+        }
+        MatchingModel::RandomFraction { min_gamma } => {
+            write_u8(out, 2);
+            write_f64(out, min_gamma);
+        }
+    }
+    write_u64(out, cfg.adversary_budget as u64);
+    write_u64(out, cfg.seed);
+    write_u64(out, cfg.max_population as u64);
+    write_u64(out, cfg.target);
+}
+
+/// The inverse of [`encode_config`].
+fn decode_config(r: &mut SnapshotReader<'_>) -> Result<SimConfig, SnapshotError> {
+    let matching = match r.u8()? {
+        0 => MatchingModel::Full,
+        1 => MatchingModel::ExactFraction(r.f64()?),
+        2 => MatchingModel::RandomFraction {
+            min_gamma: r.f64()?,
+        },
+        _ => return Err(SnapshotError::Malformed("unknown matching model tag")),
+    };
+    let adversary_budget = read_usize(r, "adversary budget")?;
+    let seed = r.u64()?;
+    let max_population = read_usize(r, "max population")?;
+    let target = r.u64()?;
+    Ok(SimConfig {
+        matching,
+        adversary_budget,
+        seed,
+        max_population,
+        target,
+    })
+}
+
+/// Reads a `u64` that must fit this platform's `usize`.
+fn read_usize(r: &mut SnapshotReader<'_>, what: &'static str) -> Result<usize, SnapshotError> {
+    usize::try_from(r.u64()?).map_err(|_| SnapshotError::Malformed(what))
+}
+
+/// One-byte halt tag: `0` running, `1` extinct, `2` exploded.
+fn encode_halt(halted: Option<HaltReason>) -> u8 {
+    match halted {
+        None => 0,
+        Some(HaltReason::Extinct) => 1,
+        Some(HaltReason::Exploded) => 2,
+    }
+}
+
+/// The inverse of [`encode_halt`].
+fn decode_halt(tag: u8) -> Result<Option<HaltReason>, SnapshotError> {
+    match tag {
+        0 => Ok(None),
+        1 => Ok(Some(HaltReason::Extinct)),
+        2 => Ok(Some(HaltReason::Exploded)),
+        _ => Err(SnapshotError::Malformed("unknown halt tag")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Snapshot {
+        Snapshot {
+            label: "clean-1024".into(),
+            state_tag: "inert".into(),
+            config: SimConfig::builder()
+                .seed(0xFEED)
+                .matching(MatchingModel::ExactFraction(0.25))
+                .adversary_budget(3)
+                .target(1024)
+                .build()
+                .unwrap(),
+            round: 17,
+            halted: None,
+            adv_rng_state: 0xDEAD_BEEF_CAFE_F00D,
+            agent_count: 2,
+            agent_bytes: vec![1, 2, 3, 4],
+        }
+    }
+
+    #[test]
+    fn byte_roundtrip_is_exact() {
+        let snap = sample();
+        let back = Snapshot::from_bytes(&snap.to_bytes()).unwrap();
+        assert_eq!(snap, back);
+    }
+
+    #[test]
+    fn every_matching_model_roundtrips() {
+        for model in [
+            MatchingModel::Full,
+            MatchingModel::ExactFraction(0.7),
+            MatchingModel::RandomFraction { min_gamma: 0.4 },
+        ] {
+            let mut snap = sample();
+            snap.config.matching = model;
+            let back = Snapshot::from_bytes(&snap.to_bytes()).unwrap();
+            assert_eq!(back.config.matching, model);
+        }
+    }
+
+    #[test]
+    fn every_halt_state_roundtrips() {
+        for halted in [None, Some(HaltReason::Extinct), Some(HaltReason::Exploded)] {
+            let mut snap = sample();
+            snap.halted = halted;
+            let back = Snapshot::from_bytes(&snap.to_bytes()).unwrap();
+            assert_eq!(back.halted, halted);
+        }
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut bytes = sample().to_bytes();
+        bytes[0] ^= 0xFF;
+        assert!(matches!(
+            Snapshot::from_bytes(&bytes),
+            Err(SnapshotError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn future_format_versions_are_rejected() {
+        let mut bytes = sample().to_bytes();
+        bytes[8..12].copy_from_slice(&(SNAPSHOT_FORMAT_VERSION + 1).to_le_bytes());
+        assert!(matches!(
+            Snapshot::from_bytes(&bytes),
+            Err(SnapshotError::UnsupportedVersion { .. })
+        ));
+    }
+
+    #[test]
+    fn foreign_stream_versions_are_rejected() {
+        let mut bytes = sample().to_bytes();
+        bytes[12..16].copy_from_slice(&(AGENT_STREAM_VERSION + 1).to_le_bytes());
+        match Snapshot::from_bytes(&bytes) {
+            Err(SnapshotError::StreamMismatch { stream, .. }) => assert_eq!(stream, "agent"),
+            other => panic!("expected a stream mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncation_anywhere_is_detected() {
+        let bytes = sample().to_bytes();
+        for len in 0..bytes.len() {
+            assert!(
+                Snapshot::from_bytes(&bytes[..len]).is_err(),
+                "prefix of {len} bytes decoded"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = sample().to_bytes();
+        bytes.push(0);
+        assert!(matches!(
+            Snapshot::from_bytes(&bytes),
+            Err(SnapshotError::Malformed("trailing bytes"))
+        ));
+    }
+
+    #[test]
+    fn fork_with_salt_zero_is_the_identity() {
+        let snap = sample();
+        assert_eq!(snap.fork(0), snap);
+    }
+
+    #[test]
+    fn fork_perturbs_seed_and_adversary_stream_independently() {
+        let snap = sample();
+        let a = snap.fork(1);
+        let b = snap.fork(2);
+        // The branch keeps population/round but re-keys future randomness.
+        assert_eq!(a.round, snap.round);
+        assert_eq!(a.agent_bytes, snap.agent_bytes);
+        assert_ne!(a.config.seed, snap.config.seed);
+        assert_ne!(a.adv_rng_state, snap.adv_rng_state);
+        // Distinct salts yield distinct branches, and forking is a pure
+        // function of (snapshot, salt).
+        assert_ne!(a.config.seed, b.config.seed);
+        assert_eq!(snap.fork(1), a);
+    }
+
+    #[test]
+    fn reader_primitives_roundtrip() {
+        let mut out = Vec::new();
+        write_u8(&mut out, 7);
+        write_u32(&mut out, 0xAABB_CCDD);
+        write_u64(&mut out, u64::MAX - 1);
+        write_bool(&mut out, true);
+        write_f64(&mut out, -0.125);
+        write_str(&mut out, "tag<inner>");
+        let mut r = SnapshotReader::new(&out);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u32().unwrap(), 0xAABB_CCDD);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 1);
+        assert!(r.bool().unwrap());
+        assert_eq!(r.f64().unwrap(), -0.125);
+        assert_eq!(r.str().unwrap(), "tag<inner>");
+        assert_eq!(r.remaining(), 0);
+        assert!(matches!(r.u8(), Err(SnapshotError::Truncated)));
+    }
+
+    #[test]
+    fn bogus_bool_bytes_are_malformed() {
+        let mut r = SnapshotReader::new(&[2]);
+        assert!(matches!(r.bool(), Err(SnapshotError::Malformed(_))));
+    }
+}

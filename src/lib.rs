@@ -85,11 +85,31 @@
 //! `Engine::run` carries the `P: Sync, P::State: Send + Sync, P::Message:
 //! Send` bounds the sharded arm needs (every protocol in this workspace
 //! satisfies them); a protocol with non-thread-safe state can still run
-//! serially through the deprecated bound-free wrappers.
+//! serially through the bound-free [`Engine::run_serial`](prelude::Engine)
+//! entry point (PR 7 removed the deprecated `run_round`/`run_rounds`/
+//! `run_until` wrappers that used to fill this role).
 //!
 //! The named `(protocol, adversary, config)` combos the experiment harness
 //! runs are declared as [`sim::Scenario`] values; `experiments --list`
 //! prints the registry and `experiments scenario <name>` runs one.
+//!
+//! # Checkpoint, resume, fork
+//!
+//! [`Engine::snapshot`](prelude::Engine) serializes an engine mid-run into
+//! a versioned, dependency-free [`Snapshot`](prelude::Snapshot) (config,
+//! round counter, halt state, every agent's protocol state, and the
+//! adversary RNG's exact stream position — the protocol and adversary
+//! *instances* are rebuilt by the caller). Because every other per-round
+//! random quantity is counter-addressable, `Engine::restore` + run to `2R`
+//! is bit-identical to the uninterrupted run, serial or sharded.
+//! [`Scenario::fork`](prelude::Scenario) runs the shared prefix once and
+//! fans N [`ForkBranch`](prelude::ForkBranch)es (seed salt + adversary +
+//! optional budget override) over a [`BatchRunner`](prelude::BatchRunner)
+//! for counterfactual "what if the attack had differed from round R?"
+//! ensembles; salt `0` is the identity branch. On the CLI:
+//! `experiments snapshot <name> --at <round> -o <file>`,
+//! `experiments resume <file> --rounds <n> [--trace]`, and the `fork-*`
+//! registry scenarios.
 //!
 //! # Determinism contract & how it's enforced
 //!
@@ -100,20 +120,22 @@
 //! `tests/golden/` pin both streams byte-for-byte; bumping
 //! `AGENT_STREAM_VERSION` or `MATCHING_STREAM_VERSION` is a coordinated
 //! event (constant + fixtures + README table + `BENCH_engine.json`
-//! together).
+//! together). Snapshots extend the contract across process boundaries:
+//! every snapshot embeds the stream versions it was captured under (plus
+//! `SNAPSHOT_FORMAT_VERSION` for the byte layout itself), and restore
+//! refuses a file from a different stream scheme.
 //!
 //! The contract is enforced *statically* by `popstab-lint`
 //! (`cargo run -p popstab-lint`, a CI gate), which lexes every workspace
-//! source file into code/comment channels and checks six rules:
+//! source file into code/comment channels and checks five rules:
 //!
 //! | rule | what it forbids |
 //! |---|---|
 //! | `forbid-ambient-nondeterminism` | `Instant::now` / `SystemTime` / `thread_rng` / `std::env` reads in result-affecting crates |
 //! | `forbid-unordered-iteration` | `HashMap` / `HashSet` (per-process random iteration order) in result-affecting crates |
 //! | `unsafe-needs-safety-comment` | `unsafe` items without an adjacent `// SAFETY:` comment |
-//! | `stream-version-coherence` | stream-version constants disagreeing with the golden README or `BENCH_engine.json` |
+//! | `stream-version-coherence` | stream-version constants (agent, matching, snapshot format) disagreeing with the golden README or `BENCH_engine.json` |
 //! | `workspace-manifest-invariants` | workspace crates missing from the root manifest's per-package `opt-level` tables |
-//! | `no-deprecated-internal-callers` | internal callers of the deprecated `run_*` wrappers |
 //!
 //! A finding is suppressed with a justified escape on, or in the comment
 //! block directly above, the offending line:
@@ -145,9 +167,9 @@ pub mod prelude {
     pub use popstab_core::protocol::PopulationStability;
     pub use popstab_core::state::{AgentState, Color};
     pub use popstab_sim::{
-        Action, Adversary, Alteration, BatchRunner, Engine, HaltReason, MatchingModel,
+        Action, Adversary, Alteration, BatchRunner, Engine, ForkBranch, HaltReason, MatchingModel,
         MetricsRecorder, Observable, Observation, Observer, OnRound, Protocol, RecordStats,
-        RoundContext, RunOutcome, RunSpec, Scenario, SimConfig, SimRng, Stride, Tee, Threads,
-        Trajectory,
+        RoundContext, RunOutcome, RunSpec, Scenario, SimConfig, SimRng, Snapshot, SnapshotError,
+        SnapshotState, Stride, Tee, Threads, Trajectory, SNAPSHOT_FORMAT_VERSION,
     };
 }

@@ -1,0 +1,197 @@
+//! Facade-level property tests for the checkpoint subsystem: for random
+//! `(seed, R, workers)`, snapshotting at round `R`, round-tripping the
+//! snapshot through its byte format, restoring into a fresh engine and
+//! running on to `2R` must be bit-identical to the uninterrupted run —
+//! under the serial and the sharded drivers alike — and the zero-salt
+//! fork branch must replay the straight-line future.
+//!
+//! The protocol here is defined *in this test* against the public
+//! `SnapshotState` surface, exactly as a downstream protocol crate would
+//! implement it, so these properties also pin the trait's usability from
+//! outside the workspace.
+
+use proptest::prelude::*;
+
+use population_stability::prelude::*;
+use population_stability::sim::snapshot::{write_u64, write_u8, SnapshotReader};
+use population_stability::sim::RoundReport;
+
+/// Seed-dependent splits/deaths plus a per-agent payload (`age`,
+/// `lineage`) the byte format must round-trip exactly: a state encoding
+/// bug shows up as a trajectory divergence after resume.
+#[derive(Debug, Clone)]
+struct Drift;
+
+#[derive(Debug, Clone, PartialEq)]
+struct DriftState {
+    age: u64,
+    lineage: u8,
+}
+
+impl Observable for DriftState {
+    fn observe(&self) -> Observation {
+        Observation::default()
+    }
+}
+
+impl Protocol for Drift {
+    type State = DriftState;
+    type Message = ();
+    fn initial_state(&self, _rng: &mut SimRng) -> DriftState {
+        DriftState { age: 0, lineage: 0 }
+    }
+    fn message(&self, _s: &DriftState) {}
+    fn step(&self, s: &mut DriftState, m: Option<&()>, rng: &mut SimRng) -> Action {
+        use rand::Rng;
+        s.age += 1;
+        if m.is_some() {
+            match rng.random_range(0..10u8) {
+                0 => {
+                    s.lineage = s.lineage.wrapping_add(1);
+                    Action::Split
+                }
+                1 => Action::Die,
+                _ => Action::Continue,
+            }
+        } else {
+            Action::Continue
+        }
+    }
+}
+
+impl SnapshotState for DriftState {
+    fn state_tag() -> String {
+        "facade-drift-test".to_string()
+    }
+    fn encode(&self, out: &mut Vec<u8>) {
+        write_u64(out, self.age);
+        write_u8(out, self.lineage);
+    }
+    fn decode(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(DriftState {
+            age: r.u64()?,
+            lineage: r.u8()?,
+        })
+    }
+}
+
+/// Deletes/inserts within budget off the *sequential* adversary stream,
+/// so a correct resume also has to reposition that stream exactly.
+struct Chaos;
+
+impl Adversary<DriftState> for Chaos {
+    fn name(&self) -> &'static str {
+        "chaos"
+    }
+    fn act(
+        &mut self,
+        ctx: &RoundContext,
+        agents: &[DriftState],
+        rng: &mut SimRng,
+    ) -> Vec<Alteration<DriftState>> {
+        use rand::Rng;
+        (0..ctx.budget)
+            .map(|_| {
+                if rng.random::<bool>() && !agents.is_empty() {
+                    Alteration::Delete(rng.random_range(0..agents.len()))
+                } else {
+                    Alteration::Insert(DriftState {
+                        age: 0,
+                        lineage: u8::MAX,
+                    })
+                }
+            })
+            .collect()
+    }
+}
+
+fn engine(seed: u64, start: usize, budget: usize) -> Engine<Drift, Chaos> {
+    let cfg = SimConfig::builder()
+        .seed(seed)
+        .adversary_budget(budget)
+        .matching(MatchingModel::RandomFraction { min_gamma: 0.4 })
+        .build()
+        .unwrap();
+    Engine::with_adversary(Drift, Chaos, cfg, start)
+}
+
+/// Runs `rounds` more rounds under `threads` and returns the full
+/// per-round reports (every field — the comparisons below are exact).
+fn trace(engine: &mut Engine<Drift, Chaos>, rounds: u64, threads: Threads) -> Vec<RoundReport> {
+    let mut out = Vec::new();
+    engine.run(
+        RunSpec::rounds(rounds).threads(threads),
+        &mut OnRound(|r: &RoundReport| out.push(*r)),
+    );
+    out
+}
+
+proptest! {
+    /// The acceptance property: snapshot at `R`, byte round-trip, restore
+    /// fresh, run on — the stitched trajectory equals the uninterrupted
+    /// one report-for-report, serial and sharded. (Stitching, rather than
+    /// tail-indexing, keeps the property well-formed when the adversary
+    /// drives the run extinct before `R`.)
+    #[test]
+    fn resumed_runs_are_bit_identical_to_uninterrupted_ones(
+        seed in 0u64..400,
+        start in 2usize..120,
+        r in 1u64..25,
+        workers in 1usize..5,
+    ) {
+        for threads in [Threads::Serial, Threads::Sharded(workers)] {
+            let mut straight = engine(seed, start, 2);
+            let full = trace(&mut straight, 2 * r, threads);
+
+            let mut prefix = engine(seed, start, 2);
+            let pre = trace(&mut prefix, r, threads);
+            let bytes = prefix.snapshot().to_bytes();
+            let snap = Snapshot::from_bytes(&bytes).expect("snapshot bytes round-trip");
+            prop_assert_eq!(snap.round(), prefix.round());
+            prop_assert_eq!(snap.population(), prefix.population());
+
+            let mut resumed =
+                Engine::restore(Drift, Chaos, &snap).expect("a fresh snapshot restores");
+            prop_assert_eq!(resumed.round(), prefix.round());
+            prop_assert_eq!(resumed.population(), prefix.population());
+
+            let tail = trace(&mut resumed, 2 * r - pre.len() as u64, threads);
+            let mut stitched = pre.clone();
+            stitched.extend(tail);
+            prop_assert_eq!(stitched, full);
+            prop_assert_eq!(resumed.population(), straight.population());
+            prop_assert_eq!(resumed.halted(), straight.halted());
+        }
+    }
+
+    /// `Snapshot::fork(0)` is the identity branch — same seed, same
+    /// adversary stream position — so under the prefix adversary it
+    /// replays the straight-line run; nonzero salts keep the captured
+    /// state but decorrelate the branch seed.
+    #[test]
+    fn zero_salt_fork_replays_the_straight_line(
+        seed in 0u64..300,
+        start in 8usize..100,
+        r in 1u64..20,
+    ) {
+        let mut straight = engine(seed, start, 1);
+        let full = trace(&mut straight, 2 * r, Threads::Serial);
+
+        let mut prefix = engine(seed, start, 1);
+        let pre = trace(&mut prefix, r, Threads::Serial);
+        let snap = prefix.snapshot();
+
+        let identity = snap.fork(0);
+        prop_assert_eq!(&identity, &snap);
+        let mut branch = Engine::restore(Drift, Chaos, &identity).expect("identity fork restores");
+        let tail = trace(&mut branch, 2 * r - pre.len() as u64, Threads::Serial);
+        let mut stitched = pre.clone();
+        stitched.extend(tail);
+        prop_assert_eq!(stitched, full);
+
+        let salted = snap.fork(1);
+        prop_assert_eq!(salted.round(), snap.round());
+        prop_assert_eq!(salted.population(), snap.population());
+        prop_assert_ne!(salted.config().seed, snap.config().seed);
+    }
+}

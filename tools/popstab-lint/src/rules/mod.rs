@@ -11,7 +11,6 @@ use crate::diag::Diagnostic;
 use crate::workspace::Workspace;
 
 pub mod ambient;
-pub mod deprecated;
 pub mod manifest;
 pub mod safety;
 pub mod stream_version;
@@ -45,6 +44,5 @@ pub fn all() -> Vec<Box<dyn Rule>> {
         Box::new(safety::UnsafeNeedsSafetyComment),
         Box::new(stream_version::StreamVersionCoherence),
         Box::new(manifest::WorkspaceManifestInvariants),
-        Box::new(deprecated::NoDeprecatedInternalCallers),
     ]
 }

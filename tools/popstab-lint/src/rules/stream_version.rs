@@ -18,6 +18,7 @@ pub struct StreamVersionCoherence;
 /// Where each version constant lives.
 const RNG_FILE: &str = "crates/sim/src/rng.rs";
 const MATCHING_FILE: &str = "crates/sim/src/matching.rs";
+const SNAPSHOT_FILE: &str = "crates/sim/src/snapshot.rs";
 const README: &str = "tests/golden/README.md";
 const BENCH: &str = "BENCH_engine.json";
 
@@ -35,7 +36,7 @@ impl Rule for StreamVersionCoherence {
             RNG_FILE,
             "AGENT_STREAM_VERSION",
             "Agent stream",
-            "agent_stream_version",
+            Some("agent_stream_version"),
         );
         let matching = self.collect_stream(
             ws,
@@ -44,9 +45,20 @@ impl Rule for StreamVersionCoherence {
             MATCHING_FILE,
             "MATCHING_STREAM_VERSION",
             "Matching stream",
-            "matching_stream_version",
+            Some("matching_stream_version"),
         );
-        for values in [agent, matching] {
+        // The benchmark record is round-semantics provenance; the snapshot
+        // format does not affect trajectories, so it has no BENCH key.
+        let snapshot = self.collect_stream(
+            ws,
+            &mut out,
+            "snapshot",
+            SNAPSHOT_FILE,
+            "SNAPSHOT_FORMAT_VERSION",
+            "Snapshot format",
+            None,
+        );
+        for values in [agent, matching, snapshot] {
             let Some(((first_where, first), rest)) = values.split_first() else {
                 continue;
             };
@@ -72,6 +84,7 @@ impl Rule for StreamVersionCoherence {
 impl StreamVersionCoherence {
     /// Gathers every artifact's claimed version for one stream as
     /// `(location, version)` pairs, reporting unparseable artifacts.
+    /// `json_key: None` means the stream has no benchmark-record entry.
     #[allow(clippy::too_many_arguments)]
     fn collect_stream(
         &self,
@@ -81,7 +94,7 @@ impl StreamVersionCoherence {
         const_file: &str,
         const_name: &str,
         readme_section: &str,
-        json_key: &str,
+        json_key: Option<&str>,
     ) -> Vec<(String, u32)> {
         let mut values = Vec::new();
         let mut require = |loc: &str, value: Option<u32>| match value {
@@ -108,12 +121,12 @@ impl StreamVersionCoherence {
                 .as_ref()
                 .and_then(|r| readme_current_version(&r.text, readme_section)),
         );
-        require(
-            BENCH,
-            ws.bench_json
-                .as_ref()
-                .and_then(|b| json_u32(&b.text, json_key)),
-        );
+        if let Some(key) = json_key {
+            require(
+                BENCH,
+                ws.bench_json.as_ref().and_then(|b| json_u32(&b.text, key)),
+            );
+        }
         values
     }
 }
@@ -178,8 +191,9 @@ mod tests {
     fn ws(agent_const: u32, readme_agent: u32, bench_agent: u32) -> Workspace {
         let rng = format!("pub const AGENT_STREAM_VERSION: u32 = {agent_const};\n");
         let matching = "pub const MATCHING_STREAM_VERSION: u32 = 2;\n";
+        let snapshot = "pub const SNAPSHOT_FORMAT_VERSION: u32 = 1;\n";
         let readme = format!(
-            "### Agent stream\n\n| version | scheme |\n| v1 | old |\n| v{readme_agent} (current) | new |\n\n### Matching stream\n| v2 (current) | keyed |\n"
+            "### Agent stream\n\n| version | scheme |\n| v1 | old |\n| v{readme_agent} (current) | new |\n\n### Matching stream\n| v2 (current) | keyed |\n\n### Snapshot format\n| v1 (current) | initial |\n"
         );
         let bench =
             format!("{{\"agent_stream_version\": {bench_agent}, \"matching_stream_version\": 2}}");
@@ -187,6 +201,7 @@ mod tests {
             files: vec![
                 SourceFile::new("crates/sim/src/rng.rs", &rng),
                 SourceFile::new("crates/sim/src/matching.rs", matching),
+                SourceFile::new("crates/sim/src/snapshot.rs", snapshot),
             ],
             manifests: Vec::new(),
             golden_readme: Some(TextFile {
@@ -218,6 +233,21 @@ mod tests {
         let diags = StreamVersionCoherence.check(&ws(3, 3, 2));
         assert_eq!(diags.len(), 1);
         assert!(diags[0].file.contains("BENCH"));
+    }
+
+    #[test]
+    fn snapshot_format_is_checked_without_a_bench_record() {
+        let mut w = ws(3, 3, 3);
+        // The snapshot constant bumped without its README table row; the
+        // (nonexistent) benchmark key must NOT be demanded for this stream.
+        w.files[2] = SourceFile::new(
+            "crates/sim/src/snapshot.rs",
+            "pub const SNAPSHOT_FORMAT_VERSION: u32 = 2;\n",
+        );
+        let diags = StreamVersionCoherence.check(&w);
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("mismatch"));
+        assert!(diags[0].file.contains("README"));
     }
 
     #[test]

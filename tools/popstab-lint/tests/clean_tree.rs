@@ -80,8 +80,6 @@ fn the_binary_exits_zero_on_the_tree_and_nonzero_on_a_seeded_tree() {
             "use std::collections::HashMap;\n",
             // unsafe-needs-safety-comment:
             "fn f(p: *mut u8) { unsafe { *p = 0 }; }\n",
-            // no-deprecated-internal-callers:
-            "#[deprecated]\nfn old() {}\nfn caller() { old(); }\n",
         ),
     )
     .unwrap();
@@ -98,7 +96,6 @@ fn the_binary_exits_zero_on_the_tree_and_nonzero_on_a_seeded_tree() {
         "unsafe-needs-safety-comment",
         "stream-version-coherence",
         "workspace-manifest-invariants",
-        "no-deprecated-internal-callers",
     ] {
         assert!(stdout.contains(rule), "rule {rule} did not fire:\n{stdout}");
     }
