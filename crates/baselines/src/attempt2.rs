@@ -91,7 +91,7 @@ impl SnapshotState for A2State {
                 0 => None,
                 1 => Some(false),
                 2 => Some(true),
-                _ => return Err(SnapshotError::Malformed("attempt2 first-color tag")),
+                _ => return Err(r.malformed("unknown attempt2 first-color tag")),
             },
         })
     }

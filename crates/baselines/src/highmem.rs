@@ -97,7 +97,7 @@ impl SnapshotState for HmState {
             ids.insert(r.u64()?);
         }
         if ids.len() as u64 != n {
-            return Err(SnapshotError::Malformed("duplicate highmem ids"));
+            return Err(r.malformed("duplicate highmem ids"));
         }
         Ok(HmState { round, id, ids })
     }

@@ -7,6 +7,8 @@
 //! experiments scenario <name>...
 //! experiments snapshot <name> --at <round> -o <file>
 //! experiments resume <file> [--rounds N] [--trace]
+//! experiments run-recoverable <name> --rounds N [--every K] [--keep M]
+//!             [--checkpoints BASE] [--kill-at R] [--trace]
 //! ```
 //!
 //! Ids (see DESIGN.md §4): `stability` (T1), `lemmas` (T2–T6), `drift`
@@ -32,12 +34,24 @@
 //! snapshot contract a resumed run is bit-identical to the uninterrupted
 //! one, which the CI snapshot-determinism leg enforces via `--trace`
 //! (golden-format per-round lines on stdout, nothing else).
+//!
+//! `run-recoverable <name> --rounds N` is the crash-safe driver: it
+//! auto-checkpoints registry entry `<name>` every `--every K` rounds (default
+//! 10) into a rotation of `--keep M` files (default 3) under `--checkpoints
+//! BASE` (default `<name>.ckpt`), and on startup scans that rotation for the
+//! latest *valid* checkpoint — corrupt or truncated files are reported to
+//! stderr and skipped — resuming from it instead of starting over. A run
+//! that crashes mid-way (simulate one with `--kill-at R`, which exits with
+//! code 42 after round `R`) and is re-invoked therefore finishes with the
+//! exact trace suffix of an uninterrupted run, which the CI fault-injection
+//! leg diffs byte for byte.
 
+use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
 
 use popstab_bench::experiments;
-use popstab_sim::{OnRound, RoundReport, RunSpec, Snapshot, Threads};
+use popstab_sim::{Checkpoint, OnRound, RoundReport, RunSpec, Snapshot, Tee, Threads};
 
 /// (id, description, runner) — the runner receives the `--quick` flag.
 type Experiment = (&'static str, &'static str, fn(bool));
@@ -116,6 +130,10 @@ fn usage() {
     eprintln!("       experiments --list | scenario <name>...");
     eprintln!("       experiments snapshot <name> --at <round> -o <file>");
     eprintln!("       experiments resume <file> [--rounds N] [--trace]");
+    eprintln!(
+        "       experiments run-recoverable <name> --rounds N [--every K] [--keep M] \
+         [--checkpoints BASE] [--kill-at R] [--trace]"
+    );
     eprintln!("experiments:");
     for (id, desc, _) in IDS {
         eprintln!("  {id:<12} {desc}");
@@ -152,6 +170,120 @@ fn cmd_snapshot(name: &str, at: u64, out: Option<&str>) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// One golden-format trace line: the per-round format the CI determinism
+/// legs byte-diff across thread counts, resumes and crash recoveries.
+fn print_trace_line(r: &RoundReport) {
+    println!(
+        "{} {} {} {} {} {} {} {} {}",
+        r.round,
+        r.population_before,
+        r.population_after,
+        r.inserted,
+        r.deleted,
+        r.modified,
+        r.matched,
+        r.splits,
+        r.deaths
+    );
+}
+
+/// `experiments run-recoverable <name> --rounds N [--every K] [--keep M]
+/// [--checkpoints BASE] [--kill-at R] [--trace]`.
+fn cmd_run_recoverable(
+    name: &str,
+    rounds: u64,
+    every: u64,
+    keep: usize,
+    checkpoints: Option<&str>,
+    kill_at: Option<u64>,
+    trace: bool,
+) -> ExitCode {
+    let Some(entry) = popstab_bench::scenario::find(name) else {
+        eprintln!("unknown scenario `{name}`; see `experiments --list`");
+        return ExitCode::FAILURE;
+    };
+    let Some(hook) = entry.snapshot else {
+        eprintln!("scenario `{name}` has no snapshot support (non-PopulationStability state)");
+        return ExitCode::FAILURE;
+    };
+    let base = checkpoints
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from(format!("{name}.ckpt")));
+    // Crash recovery: scan the rotation for the newest checkpoint that
+    // decodes cleanly. Corrupt or truncated slots are reported and skipped
+    // — a half-written file from the crash must never poison the resume.
+    let scan = Checkpoint::scan(&base, keep);
+    for (path, err) in &scan.skipped {
+        eprintln!("skipping checkpoint `{}`: {err}", path.display());
+    }
+    let (mut engine, from) = match scan.best {
+        Some((path, snap)) => {
+            if snap.label != name {
+                eprintln!(
+                    "checkpoint `{}` is labeled `{}`, not `{name}`; refusing to resume",
+                    path.display(),
+                    snap.label
+                );
+                return ExitCode::FAILURE;
+            }
+            let scenario = hook();
+            match popstab_sim::Engine::restore(scenario.protocol, scenario.adversary, &snap) {
+                Ok(engine) => {
+                    eprintln!(
+                        "resuming `{name}` from `{}` at round {}",
+                        path.display(),
+                        snap.round()
+                    );
+                    (engine, snap.round())
+                }
+                Err(e) => {
+                    eprintln!("restoring `{}`: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => (hook().engine(), 0),
+    };
+    if from >= rounds {
+        eprintln!("`{name}` already ran {from} of {rounds} rounds; nothing to do");
+        return ExitCode::SUCCESS;
+    }
+    let mut checkpoint = Checkpoint::every(every, &base).keep(keep).label(name);
+    let spec = RunSpec::rounds(rounds - from).threads(Threads::from_env());
+    // The checkpoint observer runs *first* in the tee: when `--kill-at`
+    // fires mid-round-callback, the round's checkpoint (if due) is already
+    // on disk, exactly as it would be in a real crash after a write.
+    engine.run(
+        spec,
+        &mut Tee(
+            &mut checkpoint,
+            OnRound(|r: &RoundReport| {
+                if trace {
+                    print_trace_line(r);
+                }
+                if kill_at.is_some_and(|k| r.round + 1 >= k) {
+                    // Simulated crash: abandon the process without unwinding,
+                    // like a SIGKILL would. 42 lets harnesses tell scheduled
+                    // crashes from real failures.
+                    std::process::exit(42);
+                }
+            }),
+        ),
+    );
+    for (round, err) in checkpoint.errors() {
+        eprintln!("checkpoint at round {round} failed: {err}");
+    }
+    if !trace {
+        println!(
+            "run-recoverable {name}: from_round={from} rounds={} population={} checkpoints={}",
+            rounds - from,
+            engine.population(),
+            checkpoint.written()
+        );
+    }
+    ExitCode::SUCCESS
+}
+
 /// `experiments resume FILE [--rounds N] [--trace]`.
 fn cmd_resume(file: &str, rounds: u64, trace: bool) -> ExitCode {
     let snap = match Snapshot::read_from_file(file) {
@@ -185,23 +317,7 @@ fn cmd_resume(file: &str, rounds: u64, trace: bool) -> ExitCode {
     if trace {
         // Golden-trace format, one line per executed round, nothing else:
         // the CI snapshot-determinism leg byte-diffs this output.
-        engine.run(
-            spec,
-            &mut OnRound(|r: &RoundReport| {
-                println!(
-                    "{} {} {} {} {} {} {} {} {}",
-                    r.round,
-                    r.population_before,
-                    r.population_after,
-                    r.inserted,
-                    r.deleted,
-                    r.modified,
-                    r.matched,
-                    r.splits,
-                    r.deaths
-                );
-            }),
-        );
+        engine.run(spec, &mut OnRound(print_trace_line));
     } else {
         let outcome = engine.run(spec, &mut ());
         println!(
@@ -241,6 +357,10 @@ fn main() -> ExitCode {
     let mut out: Option<String> = None;
     let mut rounds: u64 = 0;
     let mut trace = false;
+    let mut every: u64 = 10;
+    let mut keep: usize = 3;
+    let mut checkpoints: Option<String> = None;
+    let mut kill_at: Option<u64> = None;
     let mut selected: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -257,6 +377,24 @@ fn main() -> ExitCode {
                 } else {
                     rounds = n;
                 }
+            }
+            "--every" | "--keep" | "--kill-at" => {
+                let Some(n) = args.next().and_then(|v| v.parse::<u64>().ok()) else {
+                    eprintln!("{arg} needs a non-negative integer");
+                    return ExitCode::FAILURE;
+                };
+                match arg.as_str() {
+                    "--every" => every = n,
+                    "--keep" => keep = n as usize,
+                    _ => kill_at = Some(n),
+                }
+            }
+            "--checkpoints" => {
+                let Some(path) = args.next() else {
+                    eprintln!("--checkpoints needs a base path");
+                    return ExitCode::FAILURE;
+                };
+                checkpoints = Some(path);
             }
             "--out" | "-o" => {
                 let Some(path) = args.next() else {
@@ -324,6 +462,21 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         };
         return cmd_resume(file, rounds, trace);
+    }
+    if selected[0] == "run-recoverable" {
+        let Some(name) = selected.get(1) else {
+            eprintln!("run-recoverable needs a scenario name; see `experiments --list`");
+            return ExitCode::FAILURE;
+        };
+        return cmd_run_recoverable(
+            name,
+            rounds,
+            every,
+            keep,
+            checkpoints.as_deref(),
+            kill_at,
+            trace,
+        );
     }
     // `scenario <name>...` runs registry entries instead of experiment ids.
     if selected[0] == "scenario" {

@@ -93,7 +93,7 @@ impl<S: SnapshotState> SnapshotState for MaliceState<S> {
                 replicate_period: r.u32()?,
                 age: r.u32()?,
             }),
-            _ => Err(SnapshotError::Malformed("malice state tag")),
+            _ => Err(r.malformed("unknown malice state tag")),
         }
     }
 }

@@ -27,6 +27,20 @@
 //! reproducible as one serial run — `--jobs 32` and `--jobs 1` print the
 //! same tables.
 //!
+//! # Failure semantics
+//!
+//! [`BatchRunner::run`] treats a panicking job as fatal (the panic
+//! propagates once the scope joins). [`BatchRunner::run_faulty`] is the
+//! fault-tolerant variant: each job attempt runs under `catch_unwind`, a
+//! bounded [`RetryPolicy`] re-runs failed jobs (each retry receives the
+//! same `(index, job)` inputs, so with job-derived seeding a successful
+//! retry is bit-identical to a never-failed run), and jobs that exhaust
+//! their attempts are quarantined into the [`BatchReport`] instead of
+//! aborting the sweep. [`ShardPool`] is panic-safe as well: a panicking
+//! shard body cannot wedge the barrier, and
+//! [`try_dispatch`](ShardPool::try_dispatch) surfaces shard panics as a
+//! clean [`ShardPanic`] error instead of resuming the unwind.
+//!
 //! ```
 //! use popstab_sim::batch::{job_seed, BatchRunner, Scenario};
 //! use popstab_sim::{protocols::Inert, RunSpec, SimConfig};
@@ -41,8 +55,9 @@
 //! assert_eq!(finals, BatchRunner::new(1).run(jobs, |_, _| 64));
 //! ```
 
+use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, MutexGuard};
 
 use crate::adversary::{Adversary, NoOpAdversary};
 use crate::agent::Protocol;
@@ -231,6 +246,213 @@ impl BatchRunner {
                     .expect("job finished without a result")
             })
             .collect()
+    }
+
+    /// The fault-tolerant variant of [`run`](BatchRunner::run): executes
+    /// `run(index, attempt, &job)` for every job, catching per-attempt
+    /// panics, retrying up to `policy` attempts, and quarantining jobs that
+    /// never succeed into the returned [`BatchReport`] instead of aborting
+    /// the sweep.
+    ///
+    /// Determinism is preserved through failures: every attempt of a job
+    /// receives the identical `(index, &job)` inputs (attempt numbers start
+    /// at 1), so a job that seeds all of its randomness from those — the
+    /// batch contract — produces the same result whether it succeeded on
+    /// the first attempt or the last. A fault-free `run_faulty` sweep is
+    /// therefore bit-identical to the corresponding [`run`](BatchRunner::run) sweep, and
+    /// worker-count invariance carries over unchanged.
+    ///
+    /// Worker threads survive job panics: one poisoned job quarantines
+    /// itself, the rest of the batch completes normally.
+    pub fn run_faulty<T, R, F>(&self, jobs: Vec<T>, policy: RetryPolicy, run: F) -> BatchReport<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, u32, &T) -> R + Sync,
+    {
+        let run = &run;
+        let outcomes = self.run(jobs, move |index, job| {
+            let mut message = String::new();
+            for attempt in 1..=policy.max_attempts() {
+                // AssertUnwindSafe: a panicking attempt abandons everything
+                // it touched — the job is passed by shared reference and
+                // `run` must be a pure function of its arguments (the batch
+                // determinism contract) — so a from-scratch retry observes
+                // no broken state.
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    run(index, attempt, &job)
+                }));
+                match result {
+                    Ok(result) => return JobOutcome::Ok(result),
+                    Err(payload) => message = panic_message(payload.as_ref()),
+                }
+            }
+            JobOutcome::Quarantined(JobFailure {
+                index,
+                attempts: policy.max_attempts(),
+                message,
+            })
+        });
+        BatchReport { outcomes }
+    }
+}
+
+/// Renders a `catch_unwind` payload as text: the panic message when the
+/// payload is a string (the overwhelmingly common case — `panic!` with a
+/// literal or a formatted message), a placeholder otherwise.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Bounded retry policy for [`BatchRunner::run_faulty`]: how many times a
+/// job may be attempted before it is quarantined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    max_attempts: u32,
+}
+
+impl RetryPolicy {
+    /// Allows up to `max_attempts` attempts per job (`0` is clamped to 1 —
+    /// every job always gets its first attempt).
+    pub fn attempts(max_attempts: u32) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: max_attempts.max(1),
+        }
+    }
+
+    /// No retries: one attempt, then quarantine.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy::attempts(1)
+    }
+
+    /// The attempt bound.
+    pub fn max_attempts(self) -> u32 {
+        self.max_attempts
+    }
+}
+
+/// Three attempts per job — enough to shrug off a transient fault without
+/// grinding on a deterministic one.
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::attempts(3)
+    }
+}
+
+/// A quarantined job: which job failed, how hard it was retried, and what
+/// the last panic said.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobFailure {
+    /// The failed job's batch index.
+    pub index: usize,
+    /// Attempts consumed (the policy's bound — quarantine means every
+    /// attempt failed).
+    pub attempts: u32,
+    /// The final attempt's panic message.
+    pub message: String,
+}
+
+impl fmt::Display for JobFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "job {} failed all {} attempts: {}",
+            self.index, self.attempts, self.message
+        )
+    }
+}
+
+/// One job's fate in a [`BatchRunner::run_faulty`] sweep.
+#[derive(Debug)]
+pub enum JobOutcome<R> {
+    /// The job produced a result (possibly after retries — bit-identical
+    /// either way, by the batch determinism contract).
+    Ok(R),
+    /// The job panicked on every allowed attempt.
+    Quarantined(JobFailure),
+}
+
+impl<R> JobOutcome<R> {
+    /// The result, if the job succeeded.
+    pub fn ok(self) -> Option<R> {
+        match self {
+            JobOutcome::Ok(r) => Some(r),
+            JobOutcome::Quarantined(_) => None,
+        }
+    }
+
+    /// A reference to the result, if the job succeeded.
+    pub fn as_ok(&self) -> Option<&R> {
+        match self {
+            JobOutcome::Ok(r) => Some(r),
+            JobOutcome::Quarantined(_) => None,
+        }
+    }
+
+    /// The failure record, if the job was quarantined.
+    pub fn failure(&self) -> Option<&JobFailure> {
+        match self {
+            JobOutcome::Ok(_) => None,
+            JobOutcome::Quarantined(failure) => Some(failure),
+        }
+    }
+}
+
+/// The structured result of a [`BatchRunner::run_faulty`] sweep: one
+/// [`JobOutcome`] per job, in job order.
+#[derive(Debug)]
+pub struct BatchReport<R> {
+    outcomes: Vec<JobOutcome<R>>,
+}
+
+impl<R> BatchReport<R> {
+    /// Every job's outcome, in job order.
+    pub fn outcomes(&self) -> &[JobOutcome<R>] {
+        &self.outcomes
+    }
+
+    /// Consumes the report into its outcome vector.
+    pub fn into_outcomes(self) -> Vec<JobOutcome<R>> {
+        self.outcomes
+    }
+
+    /// The quarantined jobs, in job order.
+    pub fn failures(&self) -> impl Iterator<Item = &JobFailure> {
+        self.outcomes.iter().filter_map(JobOutcome::failure)
+    }
+
+    /// Whether every job succeeded.
+    pub fn is_clean(&self) -> bool {
+        self.outcomes.iter().all(|o| o.failure().is_none())
+    }
+
+    /// All results in job order when the sweep was clean, otherwise every
+    /// failure record.
+    ///
+    /// # Errors
+    ///
+    /// The quarantined jobs' [`JobFailure`]s when any job failed.
+    pub fn into_results(self) -> Result<Vec<R>, Vec<JobFailure>> {
+        if self.is_clean() {
+            Ok(self
+                .outcomes
+                .into_iter()
+                .filter_map(JobOutcome::ok)
+                .collect())
+        } else {
+            Err(self
+                .outcomes
+                .iter()
+                .filter_map(JobOutcome::failure)
+                .cloned()
+                .collect())
+        }
     }
 }
 
@@ -475,8 +697,9 @@ struct PoolState {
     generation: u64,
     /// Workers still executing the current generation.
     outstanding: usize,
-    /// First panic payload caught from a worker shard this generation.
-    panic: Option<Box<dyn std::any::Any + Send>>,
+    /// First panic caught from a worker shard this generation, with the
+    /// panicking shard's index.
+    panic: Option<(usize, Box<dyn std::any::Any + Send>)>,
     /// Set once by [`ShardPool::with`] on the way out.
     shutdown: bool,
 }
@@ -532,7 +755,7 @@ impl ShardPool {
         struct Shutdown<'a>(&'a ShardPool);
         impl Drop for Shutdown<'_> {
             fn drop(&mut self) {
-                self.0.state.lock().expect("pool state poisoned").shutdown = true;
+                self.0.state().shutdown = true;
                 self.0.work_ready.notify_all();
             }
         }
@@ -549,6 +772,19 @@ impl ShardPool {
     /// The shard count `n`: every dispatch runs shard indices `0..n`.
     pub fn shards(&self) -> usize {
         self.shards
+    }
+
+    /// Locks the protocol state, recovering from poisoning. Every mutation
+    /// of `PoolState` keeps it consistent at every intermediate point (the
+    /// fields are plain counters and options), so a panic while the lock is
+    /// held — which can only come from the caller's `body` via the unwind
+    /// paths — leaves valid state behind and the lock may be safely
+    /// re-entered. Treating poison as fatal here would turn one reported
+    /// shard panic into a permanently wedged pool.
+    fn state(&self) -> MutexGuard<'_, PoolState> {
+        self.state
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
     }
 
     /// Runs `body(shard)` for every shard index in `0..self.shards()`,
@@ -568,9 +804,46 @@ impl ShardPool {
     /// a time; overlapping dispatches would let a worker outlive the stack
     /// frame its task borrows, so the protocol refuses them outright.
     pub fn dispatch(&self, body: &(dyn Fn(usize) + Sync)) {
+        if let Err((_, payload)) = self.dispatch_inner(body) {
+            std::panic::resume_unwind(payload);
+        }
+    }
+
+    /// Like [`dispatch`](ShardPool::dispatch), but a shard panic comes back
+    /// as a structured [`ShardPanic`] error instead of unwinding the
+    /// caller. The all-shards barrier is identical: the call returns only
+    /// once every shard has finished, panicked or not, and the pool remains
+    /// usable for further dispatches afterwards.
+    ///
+    /// # Errors
+    ///
+    /// The first panic observed this dispatch, attributed to its shard
+    /// (shard 0 — the caller's own inline shard — wins ties).
+    ///
+    /// # Panics
+    ///
+    /// Panics on concurrent dispatches, exactly like `dispatch`.
+    pub fn try_dispatch(&self, body: &(dyn Fn(usize) + Sync)) -> Result<(), ShardPanic> {
+        self.dispatch_inner(body)
+            .map_err(|(shard, payload)| ShardPanic {
+                shard,
+                message: panic_message(payload.as_ref()),
+            })
+    }
+
+    /// The shared dispatch protocol: runs every shard, holds the barrier,
+    /// and reports the first panic (with its shard index) to the caller
+    /// instead of unwinding.
+    fn dispatch_inner(
+        &self,
+        body: &(dyn Fn(usize) + Sync),
+    ) -> Result<(), (usize, Box<dyn std::any::Any + Send>)> {
         if self.shards == 1 {
-            body(0);
-            return;
+            // AssertUnwindSafe: the payload is reported to the caller, which
+            // either re-raises it (`dispatch`, the serial panic behavior) or
+            // abandons the half-stepped state (`try_dispatch`).
+            return std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(0)))
+                .map_err(|payload| (0, payload));
         }
         assert!(
             !self.dispatching.swap(true, Ordering::Acquire),
@@ -582,37 +855,39 @@ impl ShardPool {
             // wait below, during which `body` is borrowed by `self`.
             let erased: &'static (dyn Fn(usize) + Sync) =
                 unsafe { std::mem::transmute::<&(dyn Fn(usize) + Sync), _>(body) };
-            let mut st = self.state.lock().expect("pool state poisoned");
+            let mut st = self.state();
             st.task = Some(ShardTask(erased));
             st.generation += 1;
             st.outstanding = self.shards - 1;
         }
         self.work_ready.notify_all();
-        // AssertUnwindSafe: on panic the payload is re-raised below, and the
-        // caller (the engine) propagates it without reusing the half-stepped
-        // state — exactly the serial panic behavior.
+        // AssertUnwindSafe: as in the single-shard path above.
         let own = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(0)));
-        let mut st = self.state.lock().expect("pool state poisoned");
+        let mut st = self.state();
         while st.outstanding > 0 {
-            st = self.work_done.wait(st).expect("pool state poisoned");
+            st = self
+                .work_done
+                .wait(st)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
         }
         st.task = None;
         let worker_panic = st.panic.take();
         drop(st);
         self.dispatching.store(false, Ordering::Release);
         if let Err(payload) = own {
-            std::panic::resume_unwind(payload);
+            return Err((0, payload));
         }
-        if let Some(payload) = worker_panic {
-            std::panic::resume_unwind(payload);
+        if let Some((shard, payload)) = worker_panic {
+            return Err((shard, payload));
         }
+        Ok(())
     }
 
     fn worker_loop(&self, shard: usize) {
         let mut seen = 0u64;
         loop {
             let task = {
-                let mut st = self.state.lock().expect("pool state poisoned");
+                let mut st = self.state();
                 loop {
                     if st.shutdown {
                         return;
@@ -621,20 +896,23 @@ impl ShardPool {
                         seen = st.generation;
                         break st.task.as_ref().expect("generation without task").0;
                     }
-                    st = self.work_ready.wait(st).expect("pool state poisoned");
+                    st = self
+                        .work_ready
+                        .wait(st)
+                        .unwrap_or_else(|poisoned| poisoned.into_inner());
                 }
             };
-            // SAFETY: `dispatch` blocks until `outstanding` drops to zero,
-            // so the closure behind the pointer is still alive. The panic
-            // guard keeps that true on the unwinding path too: a panicking
-            // shard still decrements `outstanding` (payload re-raised by
-            // `dispatch` on the caller).
+            // SAFETY: `dispatch_inner` blocks until `outstanding` drops to
+            // zero, so the closure behind the pointer is still alive. The
+            // panic guard keeps that true on the unwinding path too: a
+            // panicking shard still decrements `outstanding` (the payload is
+            // reported to the dispatcher, never dropped on the floor).
             let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| unsafe {
                 (*task)(shard)
             }));
-            let mut st = self.state.lock().expect("pool state poisoned");
+            let mut st = self.state();
             if let Err(payload) = result {
-                st.panic.get_or_insert(payload);
+                st.panic.get_or_insert((shard, payload));
             }
             st.outstanding -= 1;
             if st.outstanding == 0 {
@@ -643,6 +921,24 @@ impl ShardPool {
         }
     }
 }
+
+/// A shard panic reported by [`ShardPool::try_dispatch`]: which shard blew
+/// up, and what its panic said.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardPanic {
+    /// The panicking shard's index (0 is the dispatching thread itself).
+    pub shard: usize,
+    /// The rendered panic message.
+    pub message: String,
+}
+
+impl fmt::Display for ShardPanic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "shard {} panicked: {}", self.shard, self.message)
+    }
+}
+
+impl std::error::Error for ShardPanic {}
 
 #[cfg(test)]
 mod tests {
@@ -784,6 +1080,110 @@ mod tests {
         // the all-shards barrier must hold on the unwinding path too, or
         // workers would race a dead stack frame.
         assert_eq!(finished.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn run_faulty_with_transient_faults_matches_the_plain_run() {
+        use std::sync::atomic::AtomicU32;
+        let runner = BatchRunner::new(4);
+        let jobs: Vec<u64> = (0..40).map(|i| job_seed(9, i)).collect();
+        let clean = runner.run(jobs.clone(), |i, seed| (i as u64).wrapping_mul(seed));
+        // Every third job panics on its first attempt; the retry re-derives
+        // the identical inputs, so the report must be bit-identical to the
+        // clean sweep.
+        let first_attempts = AtomicU32::new(0);
+        let report = runner.run_faulty(jobs, RetryPolicy::attempts(2), |i, attempt, seed| {
+            if i % 3 == 0 && attempt == 1 {
+                first_attempts.fetch_add(1, Ordering::Relaxed);
+                panic!("transient fault");
+            }
+            (i as u64).wrapping_mul(*seed)
+        });
+        assert!(report.is_clean());
+        assert_eq!(first_attempts.load(Ordering::Relaxed), 14);
+        assert_eq!(report.into_results().unwrap(), clean);
+    }
+
+    #[test]
+    fn run_faulty_quarantines_persistent_failures_without_losing_the_rest() {
+        let runner = BatchRunner::new(3);
+        let report = runner.run_faulty(
+            (0..10usize).collect(),
+            RetryPolicy::attempts(3),
+            |_, _, job| {
+                if *job == 4 {
+                    panic!("job four is cursed");
+                }
+                job * 10
+            },
+        );
+        assert!(!report.is_clean());
+        let failures: Vec<_> = report.failures().cloned().collect();
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].index, 4);
+        assert_eq!(failures[0].attempts, 3);
+        assert_eq!(failures[0].message, "job four is cursed");
+        assert!(failures[0].to_string().contains("failed all 3 attempts"));
+        // Every other job is untouched, in order.
+        let ok: Vec<_> = report
+            .outcomes()
+            .iter()
+            .filter_map(JobOutcome::as_ok)
+            .copied()
+            .collect();
+        assert_eq!(ok, vec![0, 10, 20, 30, 50, 60, 70, 80, 90]);
+        assert_eq!(report.into_results().unwrap_err(), failures);
+    }
+
+    #[test]
+    fn retry_policy_clamps_and_defaults() {
+        assert_eq!(RetryPolicy::attempts(0).max_attempts(), 1);
+        assert_eq!(RetryPolicy::none().max_attempts(), 1);
+        assert_eq!(RetryPolicy::default().max_attempts(), 3);
+    }
+
+    #[test]
+    fn panic_message_renders_common_payloads() {
+        let caught = std::panic::catch_unwind(|| panic!("literal message")).unwrap_err();
+        assert_eq!(panic_message(caught.as_ref()), "literal message");
+        let caught = std::panic::catch_unwind(|| panic!("formatted {}", 7)).unwrap_err();
+        assert_eq!(panic_message(caught.as_ref()), "formatted 7");
+        let caught = std::panic::catch_unwind(|| std::panic::panic_any(17u32)).unwrap_err();
+        assert_eq!(panic_message(caught.as_ref()), "non-string panic payload");
+    }
+
+    #[test]
+    fn try_dispatch_attributes_the_panicking_shard() {
+        ShardPool::with(4, |pool| {
+            let err = pool
+                .try_dispatch(&|s| {
+                    if s == 2 {
+                        panic!("shard two boom");
+                    }
+                })
+                .unwrap_err();
+            assert_eq!(
+                err,
+                ShardPanic {
+                    shard: 2,
+                    message: "shard two boom".to_string(),
+                }
+            );
+            assert_eq!(err.to_string(), "shard 2 panicked: shard two boom");
+            // The pool is still usable after a reported panic.
+            pool.try_dispatch(&|_| {}).unwrap();
+            pool.dispatch(&|_| {});
+        });
+    }
+
+    #[test]
+    fn try_dispatch_reports_inline_shard_zero_panics() {
+        ShardPool::with(1, |pool| {
+            let err = pool.try_dispatch(&|_| panic!("inline boom")).unwrap_err();
+            assert_eq!(err.shard, 0);
+            assert_eq!(err.message, "inline boom");
+            pool.try_dispatch(&|_| {}).unwrap();
+        });
     }
 
     #[test]

@@ -45,6 +45,7 @@
 use std::collections::BTreeMap;
 
 use crate::agent::Protocol;
+use crate::config::SimConfig;
 use crate::engine::{HaltReason, RoundReport};
 use crate::metrics::{MetricsRecorder, RoundStats};
 
@@ -211,6 +212,8 @@ pub struct EngineView<'a, P: Protocol> {
     pub(crate) agents: &'a [P::State],
     pub(crate) round: u64,
     pub(crate) halted: Option<HaltReason>,
+    pub(crate) config: &'a SimConfig,
+    pub(crate) adv_rng_state: u64,
 }
 
 impl<'a, P: Protocol> EngineView<'a, P> {
@@ -232,6 +235,21 @@ impl<'a, P: Protocol> EngineView<'a, P> {
     /// Whether the round just executed halted the engine.
     pub fn halted(&self) -> Option<HaltReason> {
         self.halted
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &'a SimConfig {
+        self.config
+    }
+
+    /// The raw post-round position of the engine-owned adversary RNG
+    /// stream — together with [`agents`](Self::agents), [`round`](Self::round)
+    /// and [`config`](Self::config) this is everything the engine's future
+    /// depends on, which is what lets [`EngineView::snapshot`] (and thus
+    /// the [`Checkpoint`](crate::Checkpoint) combinator) checkpoint a run
+    /// from inside an observer.
+    pub fn adv_rng_state(&self) -> u64 {
+        self.adv_rng_state
     }
 }
 

@@ -234,6 +234,8 @@ impl<P: Protocol, A: Adversary<P::State>> Engine<P, A> {
                 agents: &self.agents,
                 round: self.round,
                 halted: self.halted,
+                config: &self.cfg,
+                adv_rng_state: self.adv_rng.raw_state(),
             };
             obs.on_round(&report, &view);
             last = Some(report);
@@ -334,17 +336,23 @@ impl<P: Protocol, A: Adversary<P::State>> Engine<P, A> {
                 expected,
             });
         }
-        let count = usize::try_from(snap.agent_count)
-            .map_err(|_| SnapshotError::Malformed("population too large"))?;
         let mut reader = SnapshotReader::new(&snap.agent_bytes);
-        let mut agents = Vec::with_capacity(count);
+        reader.set_section("agent states");
+        if snap.agent_count > crate::snapshot::MAX_SNAPSHOT_AGENTS {
+            return Err(reader.malformed("agent count exceeds the sanity cap"));
+        }
+        let count = usize::try_from(snap.agent_count)
+            .map_err(|_| reader.malformed("population too large"))?;
+        // Pre-reserve from the *byte column*, not the claimed count: a
+        // hand-sealed snapshot may claim billions of agents over an empty
+        // column, and the decode loop below errors out long before the Vec
+        // would grow that far.
+        let mut agents = Vec::with_capacity(count.min(snap.agent_bytes.len().max(1024)));
         for _ in 0..count {
             agents.push(P::State::decode(&mut reader)?);
         }
         if reader.remaining() != 0 {
-            return Err(SnapshotError::Malformed(
-                "agent column longer than the captured population",
-            ));
+            return Err(reader.malformed("agent column longer than the captured population"));
         }
         let cfg = snap.config.clone();
         let agent_key = derive_seed(cfg.seed, "agent-counter");

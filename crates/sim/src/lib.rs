@@ -55,6 +55,15 @@
 //! [`Snapshot::fork`] / [`batch::Scenario::fork`] branch one shared prefix
 //! into many divergent futures — see the [`snapshot`] module docs.
 //!
+//! The substrate is also fault-tolerant without giving up determinism:
+//! [`batch::BatchRunner::run_faulty`] retries and quarantines panicking
+//! jobs (a retried job re-derives identical inputs, so recovery is
+//! bit-exact), snapshots carry a verified checksum and are written
+//! atomically, [`Checkpoint`] auto-checkpoints a running engine and
+//! [`Checkpoint::scan`] finds the latest valid file to resume from, and
+//! [`fault::FaultPlan`] injects reproducible faults to prove all of it —
+//! see the [`batch`], [`snapshot`] and [`fault`] module docs.
+//!
 //! # Parallel execution and the determinism contract
 //!
 //! The substrate parallelizes on two axes, and **both are bit-identical to
@@ -99,6 +108,7 @@ pub mod config;
 pub mod driver;
 pub mod engine;
 pub mod error;
+pub mod fault;
 pub mod matching;
 pub mod metrics;
 pub mod protocols;
@@ -108,17 +118,21 @@ pub mod trace;
 
 pub use adversary::{Adversary, Alteration, NoOpAdversary, RoundContext};
 pub use agent::{Action, Observable, Observation, Protocol};
-pub use batch::{BatchRunner, ForkBranch, Scenario};
+pub use batch::{
+    BatchReport, BatchRunner, ForkBranch, JobFailure, JobOutcome, RetryPolicy, Scenario, ShardPanic,
+};
 pub use config::{SimConfig, SimConfigBuilder};
 pub use driver::{
     EngineView, Observer, OnRound, RecordStats, RunOutcome, RunSpec, Stop, Stride, Tee, Threads,
 };
 pub use engine::{Engine, HaltReason, RoundReport};
 pub use error::SimError;
+pub use fault::FaultPlan;
 pub use matching::{Matching, MatchingModel};
 pub use metrics::{MetricsRecorder, RoundStats};
 pub use rng::SimRng;
 pub use snapshot::{
-    Snapshot, SnapshotError, SnapshotReader, SnapshotState, SNAPSHOT_FORMAT_VERSION,
+    Checkpoint, RecoveryScan, Snapshot, SnapshotError, SnapshotReader, SnapshotState,
+    SNAPSHOT_FORMAT_VERSION,
 };
 pub use trace::Trajectory;

@@ -111,6 +111,52 @@
 //! `experiments resume <file> --rounds <n> [--trace]`, and the `fork-*`
 //! registry scenarios.
 //!
+//! # Failure semantics & recovery
+//!
+//! The fault-tolerance layer (PR 8) keeps crashes, panics and corrupted
+//! files from either losing work or — worse — silently changing results:
+//!
+//! * **Job panics are contained.**
+//!   [`BatchRunner::run_faulty`](prelude::BatchRunner) catches a panicking
+//!   job, retries it under a bounded
+//!   [`RetryPolicy`](prelude::RetryPolicy), and quarantines jobs that fail
+//!   every attempt into a structured
+//!   [`BatchReport`](prelude::BatchReport) of
+//!   [`JobOutcome`](prelude::JobOutcome)s instead of aborting the sweep.
+//!   Because a retry re-derives the identical `(index, &job)` inputs, a
+//!   job that succeeds on attempt three returns exactly the bytes it would
+//!   have returned on attempt one: fault recovery never perturbs results.
+//!   Inside a round, a panicking worker shard cannot wedge the
+//!   `ShardPool` barrier — `dispatch` re-raises the panic only after every
+//!   shard has finished, and `try_dispatch` reports it as a
+//!   [`ShardPanic`](prelude::ShardPanic) error naming the shard, leaving
+//!   the pool usable.
+//! * **Snapshots are tamper-evident and torn-write-proof.** Format v2
+//!   appends an FNV-1a 64 checksum over the entire payload, verified at
+//!   decode before any field is parsed; `Snapshot::write_to_file` writes
+//!   through a temp file + fsync + atomic rename, so a crash mid-write
+//!   leaves the previous file intact. Every decode error carries the byte
+//!   offset and section name of the damage
+//!   ([`SnapshotError`](prelude::SnapshotError)), and a malformed file of
+//!   any shape — truncated anywhere, any single bit flipped, absurd length
+//!   prefixes — is rejected with `Err`, never a panic or an OOM.
+//! * **Long runs auto-checkpoint and crash-recover.** The
+//!   [`Checkpoint`](prelude::Checkpoint) observer snapshots a running
+//!   engine every `k` rounds into a rotation of files, and
+//!   [`Checkpoint::scan`](prelude::Checkpoint) finds the newest rotation
+//!   slot that still decodes cleanly — corrupt slots are reported and
+//!   skipped ([`RecoveryScan`](prelude::RecoveryScan)). On the CLI,
+//!   `experiments run-recoverable <name> --rounds N` resumes from that
+//!   checkpoint automatically; a run that crashes, recovers and finishes
+//!   is bit-identical to one that never crashed (the CI fault-injection
+//!   leg diffs the traces every push).
+//! * **Faults themselves are deterministic.** A
+//!   [`FaultPlan`](prelude::FaultPlan) schedules job panics, worker stalls
+//!   and snapshot corruption as a pure function of `(fault_seed, domain,
+//!   key)`, so every fault-tolerance property above is pinned by
+//!   reproducible proptests (`tests/fault_tolerance.rs`) rather than by
+//!   flaky chaos.
+//!
 //! # Determinism contract & how it's enforced
 //!
 //! Every trajectory is a pure function of `(seed, RunSpec)`: the agent
@@ -167,9 +213,10 @@ pub mod prelude {
     pub use popstab_core::protocol::PopulationStability;
     pub use popstab_core::state::{AgentState, Color};
     pub use popstab_sim::{
-        Action, Adversary, Alteration, BatchRunner, Engine, ForkBranch, HaltReason, MatchingModel,
-        MetricsRecorder, Observable, Observation, Observer, OnRound, Protocol, RecordStats,
-        RoundContext, RunOutcome, RunSpec, Scenario, SimConfig, SimRng, Snapshot, SnapshotError,
-        SnapshotState, Stride, Tee, Threads, Trajectory, SNAPSHOT_FORMAT_VERSION,
+        Action, Adversary, Alteration, BatchReport, BatchRunner, Checkpoint, Engine, FaultPlan,
+        ForkBranch, HaltReason, JobFailure, JobOutcome, MatchingModel, MetricsRecorder, Observable,
+        Observation, Observer, OnRound, Protocol, RecordStats, RecoveryScan, RetryPolicy,
+        RoundContext, RunOutcome, RunSpec, Scenario, ShardPanic, SimConfig, SimRng, Snapshot,
+        SnapshotError, SnapshotState, Stride, Tee, Threads, Trajectory, SNAPSHOT_FORMAT_VERSION,
     };
 }

@@ -49,7 +49,7 @@ impl Rule for StreamVersionCoherence {
         );
         // The benchmark record is round-semantics provenance; the snapshot
         // format does not affect trajectories, so it has no BENCH key.
-        let snapshot = self.collect_stream(
+        let mut snapshot = self.collect_stream(
             ws,
             &mut out,
             "snapshot",
@@ -58,6 +58,19 @@ impl Rule for StreamVersionCoherence {
             "Snapshot format",
             None,
         );
+        // The snapshot constant documents its layout history as `* vN — …`
+        // doc-comment lines; a format bump that forgets to append a history
+        // entry is the same partial-bump failure mode as a stale table row.
+        let history_loc = format!("{SNAPSHOT_FILE} (format doc history)");
+        match ws.file(SNAPSHOT_FILE).and_then(doc_history_max) {
+            Some(v) => snapshot.push((history_loc, v)),
+            None => out.push(Diagnostic::new(
+                &history_loc,
+                0,
+                self.name(),
+                "could not find the snapshot format's `* vN — …` doc history".to_string(),
+            )),
+        }
         for values in [agent, matching, snapshot] {
             let Some(((first_where, first), rest)) = values.split_first() else {
                 continue;
@@ -131,6 +144,28 @@ impl StreamVersionCoherence {
     }
 }
 
+/// The highest `* vN — …` entry in a file's comment channel: the claimed
+/// tip of the snapshot format's doc history. (For `///` lines the lexer's
+/// comment text keeps one leading `/`, hence the extra strip.)
+fn doc_history_max(file: &crate::source::SourceFile) -> Option<u32> {
+    file.lines
+        .iter()
+        .filter_map(|line| {
+            let text = line
+                .comment
+                .trim_start()
+                .trim_start_matches('/')
+                .trim_start();
+            let digits: String = text
+                .strip_prefix("* v")?
+                .chars()
+                .take_while(char::is_ascii_digit)
+                .collect();
+            digits.parse().ok()
+        })
+        .max()
+}
+
 /// Parses `… const NAME: u32 = N;` out of one code line.
 fn const_assignment(code: &str, name: &str) -> Option<u32> {
     let pos = code.find(name)?;
@@ -191,9 +226,9 @@ mod tests {
     fn ws(agent_const: u32, readme_agent: u32, bench_agent: u32) -> Workspace {
         let rng = format!("pub const AGENT_STREAM_VERSION: u32 = {agent_const};\n");
         let matching = "pub const MATCHING_STREAM_VERSION: u32 = 2;\n";
-        let snapshot = "pub const SNAPSHOT_FORMAT_VERSION: u32 = 1;\n";
+        let snapshot = "/// History:\n///\n/// * v1 — initial layout.\n/// * v2 — trailing checksum.\npub const SNAPSHOT_FORMAT_VERSION: u32 = 2;\n";
         let readme = format!(
-            "### Agent stream\n\n| version | scheme |\n| v1 | old |\n| v{readme_agent} (current) | new |\n\n### Matching stream\n| v2 (current) | keyed |\n\n### Snapshot format\n| v1 (current) | initial |\n"
+            "### Agent stream\n\n| version | scheme |\n| v1 | old |\n| v{readme_agent} (current) | new |\n\n### Matching stream\n| v2 (current) | keyed |\n\n### Snapshot format\n| v1 | initial |\n| v2 (current) | checksum |\n"
         );
         let bench =
             format!("{{\"agent_stream_version\": {bench_agent}, \"matching_stream_version\": 2}}");
@@ -242,12 +277,39 @@ mod tests {
         // (nonexistent) benchmark key must NOT be demanded for this stream.
         w.files[2] = SourceFile::new(
             "crates/sim/src/snapshot.rs",
-            "pub const SNAPSHOT_FORMAT_VERSION: u32 = 2;\n",
+            "/// * v1 — initial.\n/// * v2 — checksum.\n/// * v3 — future.\npub const SNAPSHOT_FORMAT_VERSION: u32 = 3;\n",
         );
         let diags = StreamVersionCoherence.check(&w);
         assert_eq!(diags.len(), 1);
         assert!(diags[0].message.contains("mismatch"));
         assert!(diags[0].file.contains("README"));
+    }
+
+    #[test]
+    fn stale_doc_history_is_a_finding() {
+        let mut w = ws(3, 3, 3);
+        // Constant and README agree on v2, but the doc history stops at v1:
+        // the partial bump is caught even though the table was updated.
+        w.files[2] = SourceFile::new(
+            "crates/sim/src/snapshot.rs",
+            "/// * v1 — initial layout.\npub const SNAPSHOT_FORMAT_VERSION: u32 = 2;\n",
+        );
+        let diags = StreamVersionCoherence.check(&w);
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].file.contains("doc history"), "{}", diags[0].file);
+        assert!(diags[0].message.contains("mismatch"));
+    }
+
+    #[test]
+    fn a_missing_doc_history_is_reported() {
+        let mut w = ws(3, 3, 3);
+        w.files[2] = SourceFile::new(
+            "crates/sim/src/snapshot.rs",
+            "pub const SNAPSHOT_FORMAT_VERSION: u32 = 2;\n",
+        );
+        let diags = StreamVersionCoherence.check(&w);
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("could not find"));
     }
 
     #[test]
