@@ -1,7 +1,7 @@
 //! Experiment harness CLI.
 //!
 //! ```sh
-//! experiments [--quick] [--jobs N] [--round-threads N] <id>...
+//! experiments [--quick] [--jobs N] [--round-threads N] [--n LIST] <id>...
 //! experiments all
 //! experiments --list
 //! experiments scenario <name>...
@@ -26,6 +26,17 @@
 //! By the determinism contracts the figures are identical for every value
 //! of both flags — CI diffs `--round-threads 1` against `--round-threads 4`
 //! to prove it.
+//!
+//! `--n LIST` (comma-separated population targets, each a power of four
+//! ≥ 1024) overrides the `bench` experiment's scale plan — e.g.
+//! `experiments --n 1048576,4194304 bench` for a large-N-only sweep.
+//! Other experiments ignore it.
+//!
+//! `--columnar` (or `POPSTAB_COLUMNAR=1`) opts every scenario/snapshot/
+//! resume engine into the columnar (struct-of-arrays) step path. Also a
+//! pure performance knob: the columnar kernels replay the scalar
+//! trajectory bit-for-bit, which the CI columnar smoke leg diffs at
+//! `N = 2^20` to prove.
 //!
 //! `snapshot <name> --at R -o FILE` runs registry entry `<name>` to round
 //! `R` and writes the engine state as a versioned snapshot; `resume FILE
@@ -126,7 +137,10 @@ const IDS: &[Experiment] = &[
 ];
 
 fn usage() {
-    eprintln!("usage: experiments [--quick] [--jobs N] [--round-threads N] <id>... | all");
+    eprintln!(
+        "usage: experiments [--quick] [--jobs N] [--round-threads N] [--n LIST] [--columnar] \
+         <id>... | all"
+    );
     eprintln!("       experiments --list | scenario <name>...");
     eprintln!("       experiments snapshot <name> --at <round> -o <file>");
     eprintln!("       experiments resume <file> [--rounds N] [--trace]");
@@ -228,7 +242,8 @@ fn cmd_run_recoverable(
             }
             let scenario = hook();
             match popstab_sim::Engine::restore(scenario.protocol, scenario.adversary, &snap) {
-                Ok(engine) => {
+                Ok(mut engine) => {
+                    engine.set_columnar(popstab_sim::batch::columnar_default());
                     eprintln!(
                         "resuming `{name}` from `{}` at round {}",
                         path.display(),
@@ -313,6 +328,7 @@ fn cmd_resume(file: &str, rounds: u64, trace: bool) -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
+    engine.set_columnar(popstab_sim::batch::columnar_default());
     let spec = RunSpec::rounds(rounds).threads(Threads::from_env());
     if trace {
         // Golden-trace format, one line per executed round, nothing else:
@@ -350,6 +366,21 @@ fn apply_round_threads(value: Option<&str>) -> Option<()> {
     Some(())
 }
 
+/// Parses and applies a `--n` scale list for the bench experiment; `None`
+/// unless every comma-separated entry is a power of four ≥ 1024 (the
+/// targets [`Params::for_target`](popstab_core::params::Params) accepts).
+fn apply_bench_ns(value: Option<&str>) -> Option<()> {
+    let ns: Vec<u64> = value?
+        .split(',')
+        .map(|part| part.trim().parse::<u64>().ok())
+        .collect::<Option<_>>()?;
+    if ns.is_empty() || !ns.iter().all(|&n| experiments::bench::valid_target(n)) {
+        return None;
+    }
+    experiments::bench::set_n_override(ns);
+    Some(())
+}
+
 fn main() -> ExitCode {
     let mut quick = false;
     let mut jobs_given = false;
@@ -367,6 +398,7 @@ fn main() -> ExitCode {
         match arg.as_str() {
             "--quick" | "-q" => quick = true,
             "--trace" => trace = true,
+            "--columnar" => popstab_sim::batch::set_columnar_default(true),
             "--at" | "--rounds" => {
                 let Some(n) = args.next().and_then(|v| v.parse::<u64>().ok()) else {
                     eprintln!("{arg} needs a non-negative integer");
@@ -426,6 +458,13 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             }
+            "--n" => {
+                let value = args.next();
+                if apply_bench_ns(value.as_deref()).is_none() {
+                    eprintln!("--n needs a comma-separated list of powers of four >= 1024");
+                    return ExitCode::FAILURE;
+                }
+            }
             other => {
                 if let Some(value) = other.strip_prefix("--jobs=") {
                     if apply_jobs(Some(value)).is_none() {
@@ -436,6 +475,11 @@ fn main() -> ExitCode {
                 } else if let Some(value) = other.strip_prefix("--round-threads=") {
                     if apply_round_threads(Some(value)).is_none() {
                         eprintln!("--round-threads needs a positive integer");
+                        return ExitCode::FAILURE;
+                    }
+                } else if let Some(value) = other.strip_prefix("--n=") {
+                    if apply_bench_ns(Some(value)).is_none() {
+                        eprintln!("--n needs a comma-separated list of powers of four >= 1024");
                         return ExitCode::FAILURE;
                     }
                 } else {

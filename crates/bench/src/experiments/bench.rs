@@ -1,8 +1,15 @@
 //! **B1 — Engine throughput benchmark → `BENCH_engine.json`.**
 //!
 //! Measures rounds/sec of the substrate running [`PopulationStability`]
-//! near equilibrium at three scales (the powers of four bracketing 1k, 10k
-//! and 100k agents), in three configurations:
+//! near equilibrium at five scales (the powers of four bracketing 1k, 10k
+//! and 100k agents, plus the large-N pair `2^20` and `2^22` that the
+//! columnar store exists for), in several configurations. Every engine
+//! opts into the columnar (struct-of-arrays) step path — the shipping
+//! fast-path configuration, bit-identical to the scalar loop — so the
+//! numbers here track what the resident-column kernels actually deliver,
+//! and `mem_bytes_per_agent` reports the resident footprint that layout
+//! buys. `--n <list>` (comma-separated targets, powers of four ≥ 1024)
+//! overrides the scale plan for one-off sweeps.
 //!
 //! Every path runs through the unified driver ([`Engine::run`] with a
 //! [`RunSpec`]) — the same code the experiments and the integration suites
@@ -30,6 +37,7 @@
 //! of run (non-quick, same stream versions, same core count) serves as a
 //! regression baseline for `single_fast_rps` at `N = 65536`.
 
+use std::sync::OnceLock;
 use std::time::Instant;
 
 use popstab_core::params::Params;
@@ -47,12 +55,39 @@ struct Workload {
     batch_jobs: usize,
     par_rps: f64,
     par_workers: usize,
+    /// Resident simulation bytes per agent after the fast run — agent
+    /// vector, round scratch, and the columnar store's retained buffers
+    /// ([`Engine::approx_mem_bytes`] / `n`). The figure the SoA layout is
+    /// accountable to at `N = 2^20`/`2^22`.
+    mem_bytes_per_agent: f64,
+    /// `par_rps / par_workers`: intra-round scaling efficiency in
+    /// host-independent units (equals `par_rps` on a single-core host).
+    par_rps_per_core: f64,
+}
+
+/// `--n` override for the scale plan, set once by the CLI before `run`.
+static N_OVERRIDE: OnceLock<Vec<u64>> = OnceLock::new();
+
+/// Replaces the default scale plan with `ns` (validated by the caller:
+/// powers of four ≥ 1024). First call wins; later calls are ignored.
+pub fn set_n_override(ns: Vec<u64>) {
+    let _ = N_OVERRIDE.set(ns);
+}
+
+/// Whether `n` is a scale [`Params::for_target`] accepts — a power of
+/// four no smaller than the paper's minimum population.
+pub fn valid_target(n: u64) -> bool {
+    n >= 1024 && n.is_power_of_two() && n.trailing_zeros().is_multiple_of(2)
 }
 
 fn engine_at(n: u64, seed: u64) -> Engine<PopulationStability> {
     let params = Params::for_target(n).expect("bench target is a power of four");
     let cfg = SimConfig::builder().seed(seed).target(n).build().unwrap();
-    Engine::with_population(PopulationStability::new(params), cfg, n as usize)
+    let mut engine = Engine::with_population(PopulationStability::new(params), cfg, n as usize);
+    // The columnar store is the configuration these numbers describe; the
+    // trajectory is bit-identical to the scalar loop either way.
+    engine.set_columnar(true);
+    engine
 }
 
 fn measure(n: u64, rounds: u64, workers: usize, round_threads: usize, reps: u32) -> Workload {
@@ -65,6 +100,7 @@ fn measure(n: u64, rounds: u64, workers: usize, round_threads: usize, reps: u32)
     // Engine construction is `O(N)` and stays outside every timed window.
     let (mut single_recorded_rps, mut single_fast_rps, mut batch_rps) = (0f64, 0f64, 0f64);
     let mut par_rps = 0f64;
+    let mut mem_bytes = 0usize;
     let runner = BatchRunner::new(workers);
     for _ in 0..reps {
         let mut engine = engine_at(n, 1);
@@ -78,6 +114,9 @@ fn measure(n: u64, rounds: u64, workers: usize, round_threads: usize, reps: u32)
         let start = Instant::now();
         engine.run(RunSpec::rounds(rounds), &mut ());
         single_fast_rps = single_fast_rps.max(rounds as f64 / start.elapsed().as_secs_f64());
+        // Footprint after a settled fast run: buffers are at their
+        // steady-state capacities, columns still resident.
+        mem_bytes = mem_bytes.max(engine.approx_mem_bytes());
 
         let engines: Vec<_> = (0..workers as u64)
             .map(|job| engine_at(n, job_seed(1, job)))
@@ -105,6 +144,8 @@ fn measure(n: u64, rounds: u64, workers: usize, round_threads: usize, reps: u32)
         batch_jobs: workers,
         par_rps,
         par_workers: round_threads,
+        mem_bytes_per_agent: mem_bytes as f64 / n as f64,
+        par_rps_per_core: par_rps / round_threads as f64,
     }
 }
 
@@ -159,11 +200,15 @@ pub fn run(quick: bool) {
     // (target N, measured rounds): horizons sized so one cell is a few
     // hundred ms — long enough to dominate timer noise, short enough that
     // sustained-load CPU throttling doesn't contaminate the best-of reps.
-    let plan: &[(u64, u64)] = &[
-        (1024, 6000 / scale),
-        (16384, 1600 / scale),
-        (65536, 400 / scale),
-    ];
+    // The formula reproduces the historical plan (1024 → 6000, 16384 →
+    // 1600, 65536 → 400) and extends it to the large-N pair, where the
+    // floor keeps a cell at a dozen-plus rounds rather than seconds each.
+    let default_ns: &[u64] = &[1024, 16384, 65536, 1 << 20, 1 << 22];
+    let ns = N_OVERRIDE.get().map_or(default_ns, Vec::as_slice).to_vec();
+    let plan: Vec<(u64, u64)> = ns
+        .iter()
+        .map(|&n| (n, ((400 * 65536) / n).clamp(12, 6000) / scale))
+        .collect();
     println!(
         "B1: engine throughput (PopulationStability, {} batch workers, \
          {round_threads} intra-round threads, best of {reps})\n",
@@ -176,9 +221,9 @@ pub fn run(quick: bool) {
         .map(|&(n, rounds)| {
             let w = measure(n, rounds.max(20), workers, round_threads, reps);
             println!(
-                "N={:<6} rounds={:<5} single_recorded={:>9.0} rps  single_fast={:>9.0} rps  batch({}x)={:>9.0} rps  par({}t)={:>9.0} rps",
+                "N={:<7} rounds={:<5} single_recorded={:>9.0} rps  single_fast={:>9.0} rps  batch({}x)={:>9.0} rps  par({}t)={:>9.0} rps  mem={:>5.1} B/agent",
                 w.n, w.rounds, w.single_recorded_rps, w.single_fast_rps, w.batch_jobs, w.batch_rps,
-                w.par_workers, w.par_rps
+                w.par_workers, w.par_rps, w.mem_bytes_per_agent
             );
             w
         })
@@ -189,12 +234,12 @@ pub fn run(quick: bool) {
     // driver must stay within noise of the committed `single_fast_rps` at
     // the largest scale (0.6x covers container-to-container jitter; a real
     // abstraction cost would show up far below that).
-    if let Some(committed) = baseline_fast_65536 {
-        let fresh = workloads
-            .iter()
-            .find(|w| w.n == 65536)
-            .map(|w| w.single_fast_rps)
-            .unwrap_or(0.0);
+    // A `--n` override that skips N = 65536 has nothing to compare.
+    let fresh_fast_65536 = workloads
+        .iter()
+        .find(|w| w.n == 65536)
+        .map(|w| w.single_fast_rps);
+    if let (Some(committed), Some(fresh)) = (baseline_fast_65536, fresh_fast_65536) {
         println!(
             "\nbaseline check: single_fast_rps @ N=65536 fresh {fresh:.0} vs committed {committed:.0} ({:+.0}%)",
             100.0 * (fresh - committed) / committed
@@ -222,7 +267,8 @@ pub fn run(quick: bool) {
         json.push_str(&format!(
             "    {{\"n\": {}, \"rounds\": {}, \"single_recorded_rps\": {:.1}, \
              \"single_fast_rps\": {:.1}, \"batch_rps\": {:.1}, \"batch_jobs\": {}, \
-             \"par_rps\": {:.1}, \"par_workers\": {}}}{}\n",
+             \"par_rps\": {:.1}, \"par_workers\": {}, \
+             \"mem_bytes_per_agent\": {:.1}, \"par_rps_per_core\": {:.1}}}{}\n",
             w.n,
             w.rounds,
             w.single_recorded_rps,
@@ -231,6 +277,8 @@ pub fn run(quick: bool) {
             w.batch_jobs,
             w.par_rps,
             w.par_workers,
+            w.mem_bytes_per_agent,
+            w.par_rps_per_core,
             if i + 1 == workloads.len() { "" } else { "," }
         ));
     }

@@ -20,8 +20,8 @@ use popstab_core::protocol::PopulationStability;
 use popstab_core::state::AgentState;
 use popstab_extensions::{malicious_count, MaliciousInserter, WithMalice};
 use popstab_sim::{
-    Adversary, BatchRunner, ForkBranch, MatchingModel, NoOpAdversary, RunSpec, Scenario, SimConfig,
-    Threads,
+    Adversary, BatchRunner, ForkBranch, MatchingModel, NoOpAdversary, OnRound, RoundReport,
+    RunSpec, Scenario, SimConfig, Threads,
 };
 
 use crate::{protocol_scenario, run_clean, run_protocol, JobSpec, ProtocolRun};
@@ -161,6 +161,39 @@ fn desync_purge_1024_scenario() -> SnapshotScenario {
     let mut spec = JobSpec::new(17, 0);
     spec.budget = 4;
     hook(&params, adv, &spec)
+}
+
+fn clean_1048576_scenario() -> SnapshotScenario {
+    let params = Params::for_target(1 << 20).unwrap();
+    hook(&params, NoOpAdversary, &JobSpec::new(21, 0))
+}
+
+/// `clean-1048576`: the million-agent smoke at a rounds-based (not
+/// epoch-based) horizon — an epoch at this scale is thousands of rounds,
+/// so the entry covers a short window that still exercises the matching,
+/// step, and apply phases at `N = 2^20`. The report comes from the
+/// per-round [`RoundReport`]s alone, so on the columnar path
+/// (`--columnar`) the population stays resident in the column store for
+/// the whole run.
+fn run_clean_1048576(quick: bool) {
+    let rounds = if quick { 40 } else { 120 };
+    let (mut lo, mut hi) = (usize::MAX, 0);
+    let (engine, outcome) = clean_1048576_scenario().run(
+        RunSpec::rounds(rounds).threads(Threads::from_env()),
+        &mut OnRound(|r: &RoundReport| {
+            lo = lo.min(r.population_after);
+            hi = hi.max(r.population_after);
+        }),
+    );
+    println!(
+        "scenario clean-1048576: rounds={} population={} band=[{lo}, {hi}] halted={}",
+        outcome.executed,
+        engine.population(),
+        match outcome.halted {
+            None => "no".to_string(),
+            Some(reason) => format!("{reason:?}"),
+        }
+    );
 }
 
 /// The fork-recovery prefix: a −60% shock at epoch 2, unbounded budget.
@@ -384,6 +417,14 @@ const REGISTRY: &[NamedScenario] = &[
             );
         },
         snapshot: None,
+    },
+    NamedScenario {
+        name: "clean-1048576",
+        protocol: "PopulationStability",
+        adversary: "none",
+        summary: "N=2^20, full matching, short large-N smoke window",
+        run: run_clean_1048576,
+        snapshot: Some(clean_1048576_scenario),
     },
     NamedScenario {
         name: "fork-recovery-1024",

@@ -50,6 +50,7 @@
 
 pub mod accounting;
 pub mod coin;
+pub mod columns;
 pub mod message;
 pub mod params;
 pub mod protocol;

@@ -144,6 +144,10 @@ impl Protocol for PopulationStability {
         AgentState::fresh(&self.params)
     }
 
+    fn columnar(&self) -> Option<Box<dyn popstab_sim::ColumnarStep<AgentState>>> {
+        popstab_sim::columns::columnar_box(self)
+    }
+
     fn message(&self, state: &AgentState) -> Message {
         // Algorithm 2: inEvalPhase := (round == T − 1). Honest counters are
         // already in range; only adversarially inserted ones pay the modulo

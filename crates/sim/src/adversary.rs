@@ -60,6 +60,15 @@ pub trait Adversary<S> {
 
     /// Decides this round's alterations.
     fn act(&mut self, ctx: &RoundContext, agents: &[S], rng: &mut SimRng) -> Vec<Alteration<S>>;
+
+    /// Whether `act` is a guaranteed no-op: it never returns alterations,
+    /// has no side effects, and does not read the state slice. Engines use
+    /// this to skip materializing `Vec<P::State>` from resident columns on
+    /// the fast path, so override it (as [`NoOpAdversary`] does) only when
+    /// all three guarantees hold.
+    fn is_noop(&self) -> bool {
+        false
+    }
 }
 
 /// The absent adversary: never alters anything.
@@ -80,6 +89,10 @@ impl<S> Adversary<S> for NoOpAdversary {
     fn act(&mut self, _ctx: &RoundContext, _agents: &[S], _rng: &mut SimRng) -> Vec<Alteration<S>> {
         Vec::new()
     }
+
+    fn is_noop(&self) -> bool {
+        true
+    }
 }
 
 /// Boxed adversaries are adversaries too, so experiment suites can hold
@@ -92,6 +105,10 @@ impl<S> Adversary<S> for Box<dyn Adversary<S>> {
     fn act(&mut self, ctx: &RoundContext, agents: &[S], rng: &mut SimRng) -> Vec<Alteration<S>> {
         self.as_mut().act(ctx, agents, rng)
     }
+
+    fn is_noop(&self) -> bool {
+        self.as_ref().is_noop()
+    }
 }
 
 /// The `Send` flavor, so fork branches and batch jobs can carry
@@ -103,6 +120,10 @@ impl<S> Adversary<S> for Box<dyn Adversary<S> + Send> {
 
     fn act(&mut self, ctx: &RoundContext, agents: &[S], rng: &mut SimRng) -> Vec<Alteration<S>> {
         self.as_mut().act(ctx, agents, rng)
+    }
+
+    fn is_noop(&self) -> bool {
+        self.as_ref().is_noop()
     }
 }
 

@@ -71,6 +71,23 @@ pub trait Protocol {
         incoming: Option<&Self::Message>,
         rng: &mut SimRng,
     ) -> Action;
+
+    /// The protocol's columnar step-phase executor, if it opts in to
+    /// struct-of-arrays execution (see
+    /// [`ColumnarProtocol`](crate::columns::ColumnarProtocol)). The default
+    /// is `None`: the engine runs the scalar [`step`](Protocol::step) loop.
+    /// Implementations returning `Some` must produce bit-identical results
+    /// on either path — the columnar stepper is an evaluation-batching
+    /// change, never a semantic one.
+    ///
+    /// `where Self: Sized` keeps the trait object-safe; engines are generic
+    /// over `P: Protocol`, so they always see the concrete override.
+    fn columnar(&self) -> Option<Box<dyn crate::columns::ColumnarStep<Self::State>>>
+    where
+        Self: Sized,
+    {
+        None
+    }
 }
 
 /// A protocol-agnostic snapshot of one agent, used by the metrics recorder

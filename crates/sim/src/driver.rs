@@ -265,12 +265,28 @@ impl<'a, P: Protocol> EngineView<'a, P> {
 pub trait Observer<P: Protocol> {
     /// Called once after every executed round.
     fn on_round(&mut self, report: &RoundReport, view: &EngineView<'_, P>);
+
+    /// Whether this observer reads the agent state slice
+    /// ([`EngineView::agents`]) from its callback. Defaults to `true` —
+    /// engines running a columnar protocol then materialize
+    /// `Vec<P::State>` from the resident columns before every callback, so
+    /// third-party observers stay correct unexamined. Observers that only
+    /// read the [`RoundReport`] (like [`OnRound`] and `()`) return `false`,
+    /// keeping the columns resident across rounds; combinators delegate to
+    /// what they wrap. Queried once per run, before the first round.
+    fn needs_engine_state(&self) -> bool {
+        true
+    }
 }
 
 /// The zero-cost null observer.
 impl<P: Protocol> Observer<P> for () {
     #[inline(always)]
     fn on_round(&mut self, _report: &RoundReport, _view: &EngineView<'_, P>) {}
+
+    fn needs_engine_state(&self) -> bool {
+        false
+    }
 }
 
 /// Mutable references forward, so observers can be reused across runs.
@@ -278,6 +294,10 @@ impl<P: Protocol, O: Observer<P>> Observer<P> for &mut O {
     #[inline]
     fn on_round(&mut self, report: &RoundReport, view: &EngineView<'_, P>) {
         (**self).on_round(report, view);
+    }
+
+    fn needs_engine_state(&self) -> bool {
+        (**self).needs_engine_state()
     }
 }
 
@@ -315,6 +335,10 @@ impl<P: Protocol, O: Observer<P>> Observer<P> for Stride<O> {
             self.inner.on_round(report, view);
         }
     }
+
+    fn needs_engine_state(&self) -> bool {
+        self.inner.needs_engine_state()
+    }
 }
 
 /// Forwards every round to both observers, `a` first.
@@ -334,6 +358,10 @@ impl<P: Protocol, A: Observer<P>, B: Observer<P>> Observer<P> for Tee<A, B> {
         self.0.on_round(report, view);
         self.1.on_round(report, view);
     }
+
+    fn needs_engine_state(&self) -> bool {
+        self.0.needs_engine_state() || self.1.needs_engine_state()
+    }
 }
 
 /// Adapts a closure over the per-round report into an observer (e.g. to
@@ -345,6 +373,10 @@ impl<P: Protocol, F: FnMut(&RoundReport)> Observer<P> for OnRound<F> {
     #[inline]
     fn on_round(&mut self, report: &RoundReport, _view: &EngineView<'_, P>) {
         (self.0)(report);
+    }
+
+    fn needs_engine_state(&self) -> bool {
+        false
     }
 }
 

@@ -34,6 +34,7 @@
 use crate::adversary::{Adversary, Alteration, NoOpAdversary, RoundContext};
 use crate::agent::{Action, Protocol};
 use crate::batch::{shard_range, SendPtr, ShardPool};
+use crate::columns::ColumnarStep;
 use crate::config::SimConfig;
 use crate::driver::{EngineView, Observer, RunOutcome, RunSpec, Stop, Threads};
 use crate::matching::{sample_matching_into, sample_matching_into_par, Matching, UNMATCHED};
@@ -136,6 +137,25 @@ pub struct Engine<P: Protocol, A: Adversary<P::State> = NoOpAdversary> {
     adv_rng: SimRng,
     halted: Option<HaltReason>,
     scratch: RoundScratch<P::Message>,
+    /// The protocol's columnar state store, installed at construction when
+    /// the protocol opts in ([`Protocol::columnar`]). `Some` switches
+    /// [`phase_step_serial`](Self::phase_step_serial) and
+    /// [`phase_step_parallel`](Self::phase_step_parallel) onto the
+    /// struct-of-arrays path — bit-identical by the determinism contract of
+    /// [`crate::columns`], so it is invisible to observers, adversaries,
+    /// traces, and snapshots. The columns hold the population *resident*
+    /// across rounds; the two flags below track which representation is
+    /// current.
+    columnar: Option<Box<dyn ColumnarStep<P::State>>>,
+    /// Whether the stepper's columns mirror the authoritative population
+    /// (a columnar step may run without re-transposing `agents`). Cleared
+    /// whenever the vector is mutated behind the columns' back.
+    cols_valid: bool,
+    /// Whether `agents` is stale relative to the columns (a columnar step
+    /// ran and nothing has materialized the vector since). Invariant:
+    /// `vec_stale` implies `cols_valid` and `columnar.is_some()`; always
+    /// false outside [`Engine::run`].
+    vec_stale: bool,
 }
 
 impl<P: Protocol> Engine<P, NoOpAdversary> {
@@ -157,6 +177,7 @@ impl<P: Protocol, A: Adversary<P::State>> Engine<P, A> {
         let agents = (0..population)
             .map(|_| protocol.initial_state(&mut init_rng))
             .collect();
+        let columnar = protocol.columnar();
         Engine {
             protocol,
             adversary,
@@ -168,16 +189,23 @@ impl<P: Protocol, A: Adversary<P::State>> Engine<P, A> {
             adv_rng,
             halted: None,
             scratch: RoundScratch::default(),
+            columnar,
+            cols_valid: false,
+            vec_stale: false,
         }
     }
 
     /// Current population size.
     pub fn population(&self) -> usize {
-        self.agents.len()
+        self.live_population()
     }
 
     /// Read access to all agent states (what the adversary sees).
     pub fn agents(&self) -> &[P::State] {
+        debug_assert!(
+            !self.vec_stale,
+            "agent vector read while stale (engine failed to materialize)"
+        );
         &self.agents
     }
 
@@ -201,6 +229,69 @@ impl<P: Protocol, A: Adversary<P::State>> Engine<P, A> {
         self.halted
     }
 
+    /// Whether the step phase currently runs on the columnar
+    /// (struct-of-arrays) path.
+    pub fn columnar_enabled(&self) -> bool {
+        self.columnar.is_some()
+    }
+
+    /// Enables or disables the columnar step path. It is on by default
+    /// whenever the protocol opts in ([`Protocol::columnar`]); disabling
+    /// forces the scalar [`Protocol::step`] loop. Both paths produce the
+    /// same trajectory by the determinism contract of [`crate::columns`] —
+    /// this switch exists so equivalence tests and benches can pin them
+    /// against each other.
+    pub fn set_columnar(&mut self, enabled: bool) {
+        self.materialize();
+        self.cols_valid = false;
+        self.columnar = if enabled {
+            self.protocol.columnar()
+        } else {
+            None
+        };
+    }
+
+    /// Transposes the resident columns back into `agents` if a columnar
+    /// step left the vector stale, restoring the `vec_stale == false`
+    /// invariant every public accessor relies on.
+    fn materialize(&mut self) {
+        if self.vec_stale {
+            let stepper = self
+                .columnar
+                .as_ref()
+                .expect("stale vector implies a columnar stepper");
+            stepper.store(&mut self.agents);
+            self.vec_stale = false;
+        }
+    }
+
+    /// The live population, read from whichever representation is current.
+    fn live_population(&self) -> usize {
+        if self.vec_stale {
+            self.columnar.as_ref().map_or(0, |c| c.len())
+        } else {
+            self.agents.len()
+        }
+    }
+
+    /// Approximate resident bytes of the simulation state: the agent
+    /// vector, the reusable round scratch, and the columnar stepper's
+    /// retained column buffers. Capacities (not lengths) are counted where
+    /// available — this is the figure behind the bench harness's
+    /// `mem_bytes_per_agent`.
+    pub fn approx_mem_bytes(&self) -> usize {
+        let agents = self.agents.capacity() * std::mem::size_of::<P::State>();
+        let s = &self.scratch;
+        let scratch = std::mem::size_of_val(s.matching.pairs())
+            + s.shuffle.capacity() * std::mem::size_of::<u32>()
+            + s.partners.capacity() * std::mem::size_of::<u32>()
+            + s.messages.capacity() * std::mem::size_of::<Option<P::Message>>()
+            + (s.splits.capacity() + s.deaths.capacity() + s.to_delete.capacity())
+                * std::mem::size_of::<usize>();
+        let columnar = self.columnar.as_ref().map_or(0, |c| c.mem_bytes());
+        agents + scratch + columnar
+    }
+
     /// The generic run loop shared by the serial and sharded drivers:
     /// executes rounds through `exec` until the spec is exhausted, the
     /// engine halts, or an [`Stop::Until`] predicate fires, notifying `obs`
@@ -222,6 +313,10 @@ impl<P: Protocol, A: Adversary<P::State>> Engine<P, A> {
         let (mut lo, mut hi) = (usize::MAX, 0usize);
         let mut last: Option<RoundReport> = None;
         let mut stopped_early = false;
+        // Observers that declare they never read the agent slice let the
+        // columnar path keep its columns resident across rounds instead of
+        // transposing the vector back after every step.
+        let needs_state = obs.needs_engine_state();
         while executed < max_rounds {
             if self.halted.is_some() {
                 break;
@@ -230,6 +325,9 @@ impl<P: Protocol, A: Adversary<P::State>> Engine<P, A> {
             executed += 1;
             lo = lo.min(report.population_after);
             hi = hi.max(report.population_after);
+            if needs_state {
+                self.materialize();
+            }
             let view = EngineView {
                 agents: &self.agents,
                 round: self.round,
@@ -246,6 +344,8 @@ impl<P: Protocol, A: Adversary<P::State>> Engine<P, A> {
                 }
             }
         }
+        // The vector is authoritative again from here on out.
+        self.materialize();
         let population = self.agents.len();
         if executed == 0 {
             lo = population;
@@ -295,6 +395,10 @@ impl<P: Protocol, A: Adversary<P::State>> Engine<P, A> {
     where
         P::State: SnapshotState,
     {
+        debug_assert!(
+            !self.vec_stale,
+            "snapshot of a stale agent vector (engine failed to materialize)"
+        );
         let mut agent_bytes = Vec::new();
         for agent in &self.agents {
             agent.encode(&mut agent_bytes);
@@ -357,6 +461,7 @@ impl<P: Protocol, A: Adversary<P::State>> Engine<P, A> {
         let cfg = snap.config.clone();
         let agent_key = derive_seed(cfg.seed, "agent-counter");
         let match_key = derive_seed(cfg.seed, "matching");
+        let columnar = protocol.columnar();
         Ok(Engine {
             protocol,
             adversary,
@@ -368,6 +473,9 @@ impl<P: Protocol, A: Adversary<P::State>> Engine<P, A> {
             adv_rng: SimRng::from_raw_state(snap.adv_rng_state),
             halted: snap.halted,
             scratch: RoundScratch::default(),
+            columnar,
+            cols_valid: false,
+            vec_stale: false,
         })
     }
 
@@ -378,11 +486,11 @@ impl<P: Protocol, A: Adversary<P::State>> Engine<P, A> {
     fn round_impl(&mut self, scratch: &mut RoundScratch<P::Message>) -> RoundReport {
         let mut report = RoundReport {
             round: self.round,
-            population_before: self.agents.len(),
+            population_before: self.live_population(),
             ..RoundReport::default()
         };
         if self.halted.is_some() {
-            report.population_after = self.agents.len();
+            report.population_after = self.live_population();
             return report;
         }
         self.phase_adversary_and_matching(scratch, &mut report, None);
@@ -402,21 +510,38 @@ impl<P: Protocol, A: Adversary<P::State>> Engine<P, A> {
         pool: Option<&ShardPool>,
     ) {
         // Phase 1: adversary (sees everything, blind to the coming matching).
+        // A real adversary must see the authoritative vector; the declared
+        // no-op ([`Adversary::is_noop`]) never reads it, which is what lets
+        // the columnar path keep its columns resident across rounds.
+        if !self.adversary.is_noop() {
+            self.materialize();
+        }
         let ctx = RoundContext {
             round: self.round,
             budget: self.cfg.adversary_budget,
             target: self.cfg.target,
         };
         let alterations = self.adversary.act(&ctx, &self.agents, &mut self.adv_rng);
-        self.apply_alterations(alterations, &mut scratch.to_delete, report);
+        if !alterations.is_empty() {
+            // An `is_noop` adversary that alters anyway broke its contract
+            // (it acted on a possibly-stale slice); recover coherently.
+            debug_assert!(!self.vec_stale, "is_noop adversary returned alterations");
+            self.materialize();
+            self.apply_alterations(alterations, &mut scratch.to_delete, report);
+            if report.inserted + report.deleted + report.modified > 0 {
+                // The vector changed behind the columns' back.
+                self.cols_valid = false;
+            }
+        }
 
         // Phase 2: matching over survivors.
+        let population = self.live_population();
         let mkey = round_key(self.match_key, self.round);
         match pool {
             Some(pool) => sample_matching_into_par(
                 &mut scratch.matching,
                 &mut scratch.shuffle,
-                self.agents.len(),
+                population,
                 self.cfg.matching,
                 mkey,
                 pool,
@@ -424,7 +549,7 @@ impl<P: Protocol, A: Adversary<P::State>> Engine<P, A> {
             None => sample_matching_into(
                 &mut scratch.matching,
                 &mut scratch.shuffle,
-                self.agents.len(),
+                population,
                 self.cfg.matching,
                 mkey,
             ),
@@ -432,13 +557,16 @@ impl<P: Protocol, A: Adversary<P::State>> Engine<P, A> {
         report.matched = scratch.matching.matched_agents();
         scratch
             .matching
-            .partner_table_into(&mut scratch.partners, self.agents.len());
+            .partner_table_into(&mut scratch.partners, population);
     }
 
     /// Phase 3, serial flavor: simultaneous message exchange, then one step
     /// per agent under its `(round, slot)`-keyed RNG. Messages are composed
     /// from pre-step state for every matched agent.
     fn phase_step_serial(&mut self, scratch: &mut RoundScratch<P::Message>) {
+        if self.phase_step_columnar(scratch, None) {
+            return;
+        }
         let RoundScratch {
             partners,
             messages,
@@ -480,30 +608,71 @@ impl<P: Protocol, A: Adversary<P::State>> Engine<P, A> {
         }
     }
 
+    /// The columnar arm of the step phase, shared by the serial and sharded
+    /// flavors: reload the columns if the vector was mutated since they were
+    /// last current, then advance them in place (leaving the vector stale
+    /// until someone materializes it). Returns `false` when no columnar
+    /// stepper is installed.
+    fn phase_step_columnar(
+        &mut self,
+        scratch: &mut RoundScratch<P::Message>,
+        pool: Option<&ShardPool>,
+    ) -> bool {
+        if self.columnar.is_none() {
+            return false;
+        }
+        let rkey = round_key(self.agent_key, self.round);
+        let stepper = self.columnar.as_mut().expect("checked above");
+        scratch.splits.clear();
+        scratch.deaths.clear();
+        if !self.cols_valid {
+            stepper.load(&self.agents, pool);
+            self.cols_valid = true;
+        }
+        stepper.step(
+            &scratch.partners,
+            rkey,
+            pool,
+            &mut scratch.splits,
+            &mut scratch.deaths,
+        );
+        self.vec_stale = true;
+        true
+    }
+
     /// Phase 4 plus bookkeeping: apply splits (append daughters) then
     /// deaths (swap-remove, descending index order so earlier indices stay
     /// valid; kills may duplicate an own-death, so dedup first), and check
-    /// the halt conditions.
+    /// the halt conditions. After a columnar step the lists are applied to
+    /// the resident columns instead — same order, same semantics.
     fn phase_apply(&mut self, scratch: &mut RoundScratch<P::Message>, report: &mut RoundReport) {
         let RoundScratch { splits, deaths, .. } = scratch;
         deaths.sort_unstable();
         deaths.dedup();
         report.splits = splits.len();
         report.deaths = deaths.len();
-        for &i in splits.iter() {
-            let daughter = self.agents[i].clone();
-            self.agents.push(daughter);
-        }
-        for &i in deaths.iter().rev() {
-            self.agents.swap_remove(i);
+        if self.vec_stale {
+            self.columnar
+                .as_mut()
+                .expect("stale vector implies a columnar stepper")
+                .apply(splits, deaths);
+        } else {
+            for &i in splits.iter() {
+                let daughter = self.agents[i].clone();
+                self.agents.push(daughter);
+            }
+            for &i in deaths.iter().rev() {
+                self.agents.swap_remove(i);
+            }
         }
 
-        report.population_after = self.agents.len();
+        let population = self.live_population();
+        report.population_after = population;
         self.round += 1;
 
-        if self.agents.is_empty() {
+        if population == 0 {
             self.halted = Some(HaltReason::Extinct);
-        } else if self.agents.len() > self.cfg.max_population {
+        } else if population > self.cfg.max_population {
             self.halted = Some(HaltReason::Exploded);
         }
     }
@@ -528,6 +697,9 @@ impl<P: Protocol, A: Adversary<P::State>> Engine<P, A> {
         P::State: Send + Sync,
         P::Message: Send,
     {
+        if self.phase_step_columnar(scratch, Some(pool)) {
+            return;
+        }
         let RoundScratch {
             partners,
             messages,
@@ -645,11 +817,11 @@ impl<P: Protocol, A: Adversary<P::State>> Engine<P, A> {
     {
         let mut report = RoundReport {
             round: self.round,
-            population_before: self.agents.len(),
+            population_before: self.live_population(),
             ..RoundReport::default()
         };
         if self.halted.is_some() {
-            report.population_after = self.agents.len();
+            report.population_after = self.live_population();
             return report;
         }
         self.phase_adversary_and_matching(scratch, &mut report, Some(pool));

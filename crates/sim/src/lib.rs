@@ -104,6 +104,7 @@
 pub mod adversary;
 pub mod agent;
 pub mod batch;
+pub mod columns;
 pub mod config;
 pub mod driver;
 pub mod engine;
@@ -121,6 +122,7 @@ pub use agent::{Action, Observable, Observation, Protocol};
 pub use batch::{
     BatchReport, BatchRunner, ForkBranch, JobFailure, JobOutcome, RetryPolicy, Scenario, ShardPanic,
 };
+pub use columns::{ColumnarProtocol, ColumnarStep};
 pub use config::{SimConfig, SimConfigBuilder};
 pub use driver::{
     EngineView, Observer, OnRound, RecordStats, RunOutcome, RunSpec, Stop, Stride, Tee, Threads,

@@ -111,6 +111,43 @@
 //! `experiments resume <file> --rounds <n> [--trace]`, and the `fork-*`
 //! registry scenarios.
 //!
+//! # Memory layout & scaling
+//!
+//! The engine stores agents as a plain `Vec<AgentState>` and, on request,
+//! mirrors them into a struct-of-arrays column store tuned for
+//! million-agent populations:
+//!
+//! * **Opt-in, never a semantic switch.**
+//!   [`Engine::set_columnar(true)`](prelude::Engine) swaps the step phase
+//!   onto [`core::columns::StabilityColumns`] — 1-bit and 1-byte columns
+//!   (alive/color/phase flags, packed wire bytes) evaluated 64 agents per
+//!   machine word with the lane-batched `_x8` [`CounterRng`](prelude::SimRng)
+//!   kernels. The columns stay *resident* across rounds on the fast path
+//!   (`()`/`OnRound` observers, no-op adversary) and transpose back to the
+//!   vector only when something actually reads it (a recording observer,
+//!   an acting adversary, [`Engine::snapshot`](prelude::Engine),
+//!   [`Engine::agents`](prelude::Engine)). On the CLI, `experiments
+//!   --columnar` (or `POPSTAB_COLUMNAR=1`) opts every scenario /
+//!   snapshot / resume engine in.
+//! * **Bit-for-bit identical, by construction and by gate.** Batching can
+//!   never move a draw: every agent draw is already addressed by `(seed,
+//!   round, slot)`, so evaluating eight slots per call reads exactly the
+//!   words the scalar loop would have read. No stream version changes —
+//!   agent stream v3, matching stream v2 and snapshot format v2 are
+//!   untouched, old snapshots restore, and the golden fixtures pass
+//!   unchanged against the columnar path. `tests/columnar_equivalence.rs`
+//!   drives random `(seed, rounds, workers)` through both paths (clean and
+//!   adversarial) comparing traces, full agent vectors and snapshot bytes;
+//!   a CI leg repeats the diff at N = 2²⁰ and byte-compares mid-run
+//!   snapshots from both paths.
+//! * **Byte budget.** At large N the resident footprint is the agent
+//!   vector plus a few dozen bits of column state per agent — ~50 B/agent
+//!   total at N = 2²⁰/2²² ([`Engine::approx_mem_bytes`](prelude::Engine)),
+//!   recorded per workload as `mem_bytes_per_agent` in `BENCH_engine.json`
+//!   (`experiments bench`, scales overridable via `--n`). The committed
+//!   baseline tracks ~2× fast-path rounds/sec over the scalar loop at
+//!   N = 65536 on one core.
+//!
 //! # Failure semantics & recovery
 //!
 //! The fault-tolerance layer (PR 8) keeps crashes, panics and corrupted
@@ -173,13 +210,14 @@
 //!
 //! The contract is enforced *statically* by `popstab-lint`
 //! (`cargo run -p popstab-lint`, a CI gate), which lexes every workspace
-//! source file into code/comment channels and checks five rules:
+//! source file into code/comment channels and checks six rules:
 //!
 //! | rule | what it forbids |
 //! |---|---|
 //! | `forbid-ambient-nondeterminism` | `Instant::now` / `SystemTime` / `thread_rng` / `std::env` reads in result-affecting crates |
 //! | `forbid-unordered-iteration` | `HashMap` / `HashSet` (per-process random iteration order) in result-affecting crates |
 //! | `unsafe-needs-safety-comment` | `unsafe` items without an adjacent `// SAFETY:` comment |
+//! | `simd-scalar-twin` | `_x8` lane-batched kernels without a same-file scalar reference fn and a test pinning them lane-for-lane |
 //! | `stream-version-coherence` | stream-version constants (agent, matching, snapshot format) disagreeing with the golden README or `BENCH_engine.json` |
 //! | `workspace-manifest-invariants` | workspace crates missing from the root manifest's per-package `opt-level` tables |
 //!

@@ -13,6 +13,7 @@ use crate::workspace::Workspace;
 pub mod ambient;
 pub mod manifest;
 pub mod safety;
+pub mod simd;
 pub mod stream_version;
 pub mod unordered;
 
@@ -42,6 +43,7 @@ pub fn all() -> Vec<Box<dyn Rule>> {
         Box::new(ambient::ForbidAmbientNondeterminism),
         Box::new(unordered::ForbidUnorderedIteration),
         Box::new(safety::UnsafeNeedsSafetyComment),
+        Box::new(simd::SimdScalarTwin),
         Box::new(stream_version::StreamVersionCoherence),
         Box::new(manifest::WorkspaceManifestInvariants),
     ]
