@@ -41,6 +41,8 @@
 
 use popstab_core::params::Params;
 
+use crate::stats::ordered_sum;
+
 /// The no-split probability `s = 2^-b` of `params`.
 pub fn no_split_probability(params: &Params) -> f64 {
     0.5f64.powi(params.split_bias_exp() as i32)
@@ -139,24 +141,25 @@ pub fn exact_epoch_drift(params: &Params, m: f64, gamma: f64) -> f64 {
     let halfwidth = (12.0 * lambda.sqrt() + 12.0).ceil() as u64;
     let lo = mode.saturating_sub(halfwidth);
     let hi = mode + halfwidth;
-    let mut weight_sum = 0.0;
-    let mut value_sum = 0.0;
-    // Upward sweep from the mode (relative weight 1 at the mode).
+    // Term order is part of the result: the upward sweep from the mode
+    // (relative weight 1 there), then the downward sweep below it — and
+    // `ordered_sum` is a fixed left fold, so both reductions accumulate in
+    // exactly this sequence.
+    let mut terms: Vec<(u64, f64)> = Vec::with_capacity((hi - lo + 2) as usize);
     let mut w = 1.0;
     for l in mode..=hi {
         if l > mode {
             w *= lambda / l as f64;
         }
-        weight_sum += w;
-        value_sum += w * drift_given(l);
+        terms.push((l, w));
     }
-    // Downward sweep below the mode.
     w = 1.0;
     for l in (lo..mode).rev() {
         w *= (l + 1) as f64 / lambda;
-        weight_sum += w;
-        value_sum += w * drift_given(l);
+        terms.push((l, w));
     }
+    let weight_sum = ordered_sum(terms.iter().map(|&(_, w)| w));
+    let value_sum = ordered_sum(terms.iter().map(|&(l, w)| w * drift_given(l)));
     value_sum / weight_sum
 }
 

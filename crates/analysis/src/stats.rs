@@ -133,6 +133,25 @@ impl Extend<f64> for Summary {
     }
 }
 
+/// Order-fixed float sum: a plain left fold, `(((0 + x₀) + x₁) + …)`, in
+/// exactly the iterator's order.
+///
+/// Float addition is not associative, so the *value* of a sum depends on
+/// its association order; `Iterator::sum` happens to left-fold today, but
+/// nothing in its contract says so, and a refactor to chunked or parallel
+/// reduction would silently move every reported statistic. This helper
+/// pins the order by construction — it is the reduction the
+/// `float-order-determinism` lint rule points to, and swapping its body
+/// for a compensated (Kahan) or pairwise scheme is a *results-affecting
+/// change* that must be treated like a stream bump, not a cleanup.
+pub fn ordered_sum<I: IntoIterator<Item = f64>>(xs: I) -> f64 {
+    let mut acc = 0.0;
+    for x in xs {
+        acc += x;
+    }
+    acc
+}
+
 /// Wilson score interval for a binomial proportion: the interval that
 /// experiments use to report "the protocol stayed in bounds in `s` of `n`
 /// trials".
@@ -215,6 +234,27 @@ mod tests {
     fn display_is_nonempty() {
         let s = Summary::from_samples([1.0]);
         assert!(s.to_string().contains("n=1"));
+    }
+
+    #[test]
+    fn ordered_sum_is_the_left_fold_bit_for_bit() {
+        // A sequence chosen so association order visibly moves the result:
+        // (1.0 + 1e16) loses the 1.0, so summing left-to-right gives 0.0
+        // while the reversed order cancels first and keeps the 1.0.
+        let xs = [1.0, 1e16, -1e16];
+        let left_fold = xs.iter().copied().fold(0.0, |a, x| a + x);
+        assert_eq!(
+            ordered_sum(xs.iter().copied()).to_bits(),
+            left_fold.to_bits()
+        );
+        // And the order genuinely matters for this input.
+        let reversed = xs.iter().rev().copied().fold(0.0, |a, x| a + x);
+        assert_ne!(left_fold.to_bits(), reversed.to_bits());
+    }
+
+    #[test]
+    fn ordered_sum_of_nothing_is_zero() {
+        assert_eq!(ordered_sum(std::iter::empty()), 0.0);
     }
 
     #[test]

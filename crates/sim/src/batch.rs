@@ -100,7 +100,7 @@ pub fn round_threads_override() -> Option<usize> {
     if explicit > 0 {
         return Some(explicit);
     }
-    // lint:allow(forbid-ambient-nondeterminism): worker-count knob only —
+    // lint:allow(taint-ambient-nondeterminism): worker-count knob only —
     // the determinism contract guarantees results are worker-count-invariant
     // (serial ≡ sharded bit-for-bit), so this read cannot reach trajectories.
     std::env::var("POPSTAB_ROUND_THREADS")
@@ -129,7 +129,7 @@ pub fn columnar_default() -> bool {
     if COLUMNAR.load(Ordering::Relaxed) != 0 {
         return true;
     }
-    // lint:allow(forbid-ambient-nondeterminism): layout knob only — the
+    // lint:allow(taint-ambient-nondeterminism): layout knob only — the
     // columnar kernels replay the scalar trajectory bit-for-bit (the
     // equivalence suite and the CI columnar smoke leg both enforce it).
     std::env::var("POPSTAB_COLUMNAR")
@@ -152,7 +152,7 @@ pub fn default_jobs() -> usize {
     if explicit > 0 {
         return explicit;
     }
-    // lint:allow(forbid-ambient-nondeterminism): worker-count knob only —
+    // lint:allow(taint-ambient-nondeterminism): worker-count knob only —
     // batch results are keyed by (seed, spec), never by which worker ran them.
     if let Some(n) = std::env::var("POPSTAB_JOBS")
         .ok()
@@ -1239,8 +1239,6 @@ mod tests {
     fn round_threads_default_is_serial() {
         use crate::Threads;
         set_round_threads(0);
-        // lint:allow(forbid-ambient-nondeterminism): the test asserts the
-        // env-derived default, so it must read the same variable as the code.
         if std::env::var_os("POPSTAB_ROUND_THREADS").is_none() {
             assert_eq!(round_threads(), 1);
             assert_eq!(Threads::from_env(), Threads::Serial);

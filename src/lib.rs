@@ -209,30 +209,42 @@
 //! refuses a file from a different stream scheme.
 //!
 //! The contract is enforced *statically* by `popstab-lint`
-//! (`cargo run -p popstab-lint`, a CI gate), which lexes every workspace
-//! source file into code/comment channels and checks six rules:
+//! (`cargo run -p popstab-lint`, a CI gate). The lint lexes every
+//! workspace source file into code/comment channels, parses the code
+//! channel into items (`fn`s, `use`/`type` aliases), links an approximate
+//! workspace-wide call graph filtered by the manifests' dependency
+//! closure, and checks nine rules over it. The table below is generated
+//! from the rule registry (`cargo run -p popstab-lint -- --rules-md`) and
+//! a docs-drift test asserts this copy matches it:
 //!
-//! | rule | what it forbids |
-//! |---|---|
-//! | `forbid-ambient-nondeterminism` | `Instant::now` / `SystemTime` / `thread_rng` / `std::env` reads in result-affecting crates |
-//! | `forbid-unordered-iteration` | `HashMap` / `HashSet` (per-process random iteration order) in result-affecting crates |
-//! | `unsafe-needs-safety-comment` | `unsafe` items without an adjacent `// SAFETY:` comment |
-//! | `simd-scalar-twin` | `_x8` lane-batched kernels without a same-file scalar reference fn and a test pinning them lane-for-lane |
-//! | `stream-version-coherence` | stream-version constants (agent, matching, snapshot format) disagreeing with the golden README or `BENCH_engine.json` |
-//! | `workspace-manifest-invariants` | workspace crates missing from the root manifest's per-package `opt-level` tables |
+//! | rule | guards against |
+//! |------|----------------|
+//! | `taint-ambient-nondeterminism` | clock / env / OS-RNG / hash-order reads reachable from result-affecting fns, traced through the call graph and `use`/`type` aliases |
+//! | `forbid-unordered-iteration` | `HashMap`/`HashSet` (per-process `RandomState` iteration order) anywhere in a result-affecting crate |
+//! | `float-order-determinism` | order-sensitive `f64` reductions (`sum`, `fold`) outside the order-fixed `ordered_sum` helper in result/statistics crates |
+//! | `sendptr-bounds` | `SendPtr`/`ColPtr` crossing a pool dispatch or deref'd in a helper without `shard_range`-derived disjoint indices |
+//! | `unsafe-needs-safety-comment` | `unsafe` blocks, fns, or impls without an adjacent `// SAFETY:` soundness argument |
+//! | `simd-scalar-twin` | lane-batched `_x8` kernels without a same-file scalar twin and lane-for-lane equivalence test |
+//! | `stream-version-coherence` | partial stream bumps — version constants, golden-fixture tables, and `BENCH_engine.json` disagreeing |
+//! | `workspace-manifest-invariants` | workspace crates missing the per-package dev/test `opt-level` overrides that keep `cargo test` fast |
+//! | `unused-allow` | `lint:allow` escapes that no longer suppress any finding (stale exceptions rot into holes) |
 //!
 //! A finding is suppressed with a justified escape on, or in the comment
 //! block directly above, the offending line:
 //!
 //! ```text
-//! // lint:allow(forbid-ambient-nondeterminism): worker-count knob only —
+//! // lint:allow(taint-ambient-nondeterminism): worker-count knob only —
 //! // results are worker-count-invariant by the determinism contract.
 //! std::env::var("POPSTAB_JOBS")
 //! ```
 //!
 //! (`lint:allow-file(<rule>): <justification>` within the first 20 lines
-//! suppresses a rule for a whole file.) The justification is mandatory;
-//! unjustified or unknown-rule escapes are themselves findings.
+//! suppresses a rule for a whole file.) The justification is mandatory and
+//! must be at least 15 characters — an argument, not a rubber stamp;
+//! unjustified, unknown-rule, or no-longer-needed escapes are themselves
+//! findings. CI consumes the machine-readable report
+//! (`popstab-lint --format json`, schema asserted like
+//! `BENCH_engine.json`); `--format github` emits inline PR annotations.
 
 pub use popstab_adversary as adversary;
 pub use popstab_analysis as analysis;

@@ -1,14 +1,34 @@
 //! CLI entry point: lints the enclosing workspace and exits non-zero on
 //! findings. See the crate docs (`cargo doc -p popstab-lint`) for the rule
 //! catalogue and the `lint:allow` escape syntax.
+//!
+//! ```text
+//! popstab-lint [--format text|json|github] [--rules-md]
+//! ```
+//!
+//! `--rules-md` prints the rule table as markdown (the source of truth for
+//! the facade docs) and exits 0 without scanning anything.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use popstab_lint::output::{render, Format};
 use popstab_lint::workspace::Workspace;
 use popstab_lint::{rules, run_lint};
 
 fn main() -> ExitCode {
+    let format = match parse_args() {
+        Ok(Some(format)) => format,
+        Ok(None) => {
+            print!("{}", rules::rules_markdown());
+            return ExitCode::SUCCESS;
+        }
+        Err(e) => {
+            eprintln!("popstab-lint: {e}");
+            eprintln!("usage: popstab-lint [--format text|json|github] [--rules-md]");
+            return ExitCode::FAILURE;
+        }
+    };
     let Some(root) = find_workspace_root() else {
         eprintln!("popstab-lint: no workspace Cargo.toml found above the current directory");
         return ExitCode::FAILURE;
@@ -24,19 +44,40 @@ fn main() -> ExitCode {
         }
     };
     let diags = run_lint(&ws);
+    let rule_names: Vec<&'static str> = rules::all().iter().map(|r| r.name()).collect();
+    print!("{}", render(format, &diags, ws.files.len(), &rule_names));
     if diags.is_empty() {
-        let rule_count = rules::all().len();
-        println!(
-            "popstab-lint: clean — {} files, {rule_count} rules, 0 findings",
-            ws.files.len()
-        );
+        if format == Format::Text {
+            println!(
+                "popstab-lint: clean — {} files, {} rules, 0 findings",
+                ws.files.len(),
+                rule_names.len()
+            );
+        }
         return ExitCode::SUCCESS;
     }
-    for d in &diags {
-        println!("{d}");
+    if format == Format::Text {
+        println!("popstab-lint: {} finding(s)", diags.len());
     }
-    println!("popstab-lint: {} finding(s)", diags.len());
     ExitCode::FAILURE
+}
+
+/// Parses the CLI: `Ok(Some(format))` to lint, `Ok(None)` for `--rules-md`.
+fn parse_args() -> Result<Option<Format>, String> {
+    let mut format = Format::Text;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--rules-md" => return Ok(None),
+            "--format" => {
+                let value = args.next().ok_or("--format needs a value")?;
+                format = Format::parse(&value)
+                    .ok_or_else(|| format!("unknown format `{value}` (text|json|github)"))?;
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(Some(format))
 }
 
 /// Walks up from the current directory to the manifest declaring

@@ -10,8 +10,8 @@
 //! follow.
 
 use crate::diag::Diagnostic;
-use crate::rules::Rule;
-use crate::workspace::{manifest_members, package_name, section_has_key, Workspace};
+use crate::rules::{Context, Rule};
+use crate::workspace::{manifest_members, package_name, section_has_key};
 
 /// See the module docs.
 pub struct WorkspaceManifestInvariants;
@@ -21,7 +21,13 @@ impl Rule for WorkspaceManifestInvariants {
         "workspace-manifest-invariants"
     }
 
-    fn check(&self, ws: &Workspace) -> Vec<Diagnostic> {
+    fn summary(&self) -> &'static str {
+        "workspace crates missing the per-package dev/test `opt-level` overrides that keep \
+         `cargo test` fast"
+    }
+
+    fn check(&self, cx: &Context) -> Vec<Diagnostic> {
+        let ws = cx.ws;
         let mut out = Vec::new();
         let Some(root) = ws.root_manifest() else {
             return vec![Diagnostic::new(
@@ -79,7 +85,11 @@ impl Rule for WorkspaceManifestInvariants {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::workspace::TextFile;
+    use crate::workspace::{TextFile, Workspace};
+
+    fn run(w: &Workspace) -> Vec<Diagnostic> {
+        WorkspaceManifestInvariants.check(&Context::new(w))
+    }
 
     fn ws(root: &str, members: &[(&str, &str)]) -> Workspace {
         let mut manifests = vec![TextFile {
@@ -118,7 +128,7 @@ opt-level = 3
     #[test]
     fn accepts_fully_covered_overrides() {
         let ws = ws(COVERED, &[("crates/sim", "popstab-sim")]);
-        assert!(WorkspaceManifestInvariants.check(&ws).is_empty());
+        assert!(run(&ws).is_empty());
     }
 
     #[test]
@@ -136,7 +146,7 @@ opt-level = 3
             root,
             &[("crates/sim", "popstab-sim"), ("crates/new", "popstab-new")],
         );
-        let diags = WorkspaceManifestInvariants.check(&ws);
+        let diags = run(&ws);
         assert_eq!(diags.len(), 2); // dev + test for popstab-new
         assert!(diags.iter().all(|d| d.message.contains("popstab-new")));
     }
@@ -145,7 +155,7 @@ opt-level = 3
     fn a_member_manifest_missing_from_the_tree_is_reported() {
         let root = "[workspace]\nmembers = [\"crates/ghost\"]\n";
         let ws = ws(root, &[]);
-        let diags = WorkspaceManifestInvariants.check(&ws);
+        let diags = run(&ws);
         assert_eq!(diags.len(), 1);
         assert!(diags[0].message.contains("ghost"));
     }

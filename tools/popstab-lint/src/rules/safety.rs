@@ -14,9 +14,8 @@
 
 use crate::diag::Diagnostic;
 use crate::lexer::contains_token;
-use crate::rules::Rule;
+use crate::rules::{Context, Rule};
 use crate::source::SourceFile;
-use crate::workspace::Workspace;
 
 /// See the module docs.
 pub struct UnsafeNeedsSafetyComment;
@@ -29,9 +28,13 @@ impl Rule for UnsafeNeedsSafetyComment {
         "unsafe-needs-safety-comment"
     }
 
-    fn check(&self, ws: &Workspace) -> Vec<Diagnostic> {
+    fn summary(&self) -> &'static str {
+        "`unsafe` blocks, fns, or impls without an adjacent `// SAFETY:` soundness argument"
+    }
+
+    fn check(&self, cx: &Context) -> Vec<Diagnostic> {
         let mut out = Vec::new();
-        for file in &ws.files {
+        for file in &cx.ws.files {
             for (idx, line) in file.lines.iter().enumerate() {
                 if !contains_token(&line.code, "unsafe") {
                     continue;
@@ -93,7 +96,8 @@ mod tests {
             files: vec![SourceFile::new("crates/sim/src/batch.rs", src)],
             ..Workspace::default()
         };
-        UnsafeNeedsSafetyComment.check(&ws)
+        let cx = Context::new(&ws);
+        UnsafeNeedsSafetyComment.check(&cx)
     }
 
     #[test]

@@ -16,9 +16,8 @@
 
 use crate::diag::Diagnostic;
 use crate::lexer::{contains_token, is_ident_char};
-use crate::rules::{Rule, RESULT_CRATES};
+use crate::rules::{Context, Rule, RESULT_CRATES};
 use crate::source::SourceFile;
-use crate::workspace::Workspace;
 
 /// See the module docs.
 pub struct SimdScalarTwin;
@@ -59,9 +58,14 @@ impl Rule for SimdScalarTwin {
         "simd-scalar-twin"
     }
 
-    fn check(&self, ws: &Workspace) -> Vec<Diagnostic> {
+    fn summary(&self) -> &'static str {
+        "lane-batched `_x8` kernels without a same-file scalar twin and lane-for-lane \
+         equivalence test"
+    }
+
+    fn check(&self, cx: &Context) -> Vec<Diagnostic> {
         let mut out = Vec::new();
-        for file in ws.files_under(RESULT_CRATES) {
+        for file in cx.ws.files_under(RESULT_CRATES) {
             let all_fns: Vec<String> = file
                 .lines
                 .iter()
@@ -115,12 +119,15 @@ impl Rule for SimdScalarTwin {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::workspace::Workspace;
 
-    fn ws_with(path: &str, src: &str) -> Workspace {
-        Workspace {
+    fn diags(path: &str, src: &str) -> Vec<Diagnostic> {
+        let ws = Workspace {
             files: vec![SourceFile::new(path, src)],
             ..Workspace::default()
-        }
+        };
+        let cx = Context::new(&ws);
+        SimdScalarTwin.check(&cx)
     }
 
     const GOOD: &str = "pub fn dash(x: u64) -> u64 { x }\n\
@@ -131,8 +138,7 @@ mod tests {
 
     #[test]
     fn kernel_with_twin_and_test_passes() {
-        let ws = ws_with("crates/sim/src/rng.rs", GOOD);
-        assert!(SimdScalarTwin.check(&ws).is_empty());
+        assert!(diags("crates/sim/src/rng.rs", GOOD).is_empty());
     }
 
     #[test]
@@ -141,34 +147,30 @@ mod tests {
             mod tests {\n\
             fn covers() { dash_x8(&[0; 8]); }\n\
             }\n";
-        let ws = ws_with("crates/sim/src/rng.rs", src);
-        let diags = SimdScalarTwin.check(&ws);
+        let d = diags("crates/sim/src/rng.rs", src);
         // Missing twin *and* no test referencing the (nonexistent) scalar.
-        assert_eq!(diags.len(), 2);
-        assert!(diags[0].message.contains("no scalar reference"));
+        assert_eq!(d.len(), 2);
+        assert!(d[0].message.contains("no scalar reference"));
     }
 
     #[test]
     fn kernel_without_equivalence_test_is_flagged() {
         let src = "pub fn dash(x: u64) -> u64 { x }\n\
             pub fn dash_x8(xs: &[u64; 8]) -> [u64; 8] { xs.map(dash) }\n";
-        let ws = ws_with("crates/core/src/columns.rs", src);
-        let diags = SimdScalarTwin.check(&ws);
-        assert_eq!(diags.len(), 1);
-        assert!(diags[0].message.contains("not pinned"));
+        let d = diags("crates/core/src/columns.rs", src);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("not pinned"));
     }
 
     #[test]
     fn callers_of_x8_kernels_are_not_definitions() {
         let src = "fn gather(keys: &[u64; 8]) -> [u64; 8] { other::dash_x8(keys) }\n";
-        let ws = ws_with("crates/core/src/columns.rs", src);
-        assert!(SimdScalarTwin.check(&ws).is_empty());
+        assert!(diags("crates/core/src/columns.rs", src).is_empty());
     }
 
     #[test]
     fn non_result_crates_are_out_of_scope() {
         let src = "pub fn dash_x8(xs: &[u64; 8]) -> [u64; 8] { *xs }\n";
-        let ws = ws_with("crates/bench/src/experiments/bench.rs", src);
-        assert!(SimdScalarTwin.check(&ws).is_empty());
+        assert!(diags("crates/bench/src/experiments/bench.rs", src).is_empty());
     }
 }

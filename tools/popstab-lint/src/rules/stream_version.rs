@@ -9,7 +9,7 @@
 //! tests cannot see because each artifact is self-consistent in isolation.
 
 use crate::diag::Diagnostic;
-use crate::rules::Rule;
+use crate::rules::{Context, Rule};
 use crate::workspace::Workspace;
 
 /// See the module docs.
@@ -27,7 +27,13 @@ impl Rule for StreamVersionCoherence {
         "stream-version-coherence"
     }
 
-    fn check(&self, ws: &Workspace) -> Vec<Diagnostic> {
+    fn summary(&self) -> &'static str {
+        "partial stream bumps — version constants, golden-fixture tables, and \
+         `BENCH_engine.json` disagreeing"
+    }
+
+    fn check(&self, cx: &Context) -> Vec<Diagnostic> {
+        let ws = cx.ws;
         let mut out = Vec::new();
         let agent = self.collect_stream(
             ws,
@@ -223,6 +229,10 @@ mod tests {
     use crate::source::SourceFile;
     use crate::workspace::TextFile;
 
+    fn run(w: &Workspace) -> Vec<Diagnostic> {
+        StreamVersionCoherence.check(&Context::new(w))
+    }
+
     fn ws(agent_const: u32, readme_agent: u32, bench_agent: u32) -> Workspace {
         let rng = format!("pub const AGENT_STREAM_VERSION: u32 = {agent_const};\n");
         let matching = "pub const MATCHING_STREAM_VERSION: u32 = 2;\n";
@@ -252,20 +262,20 @@ mod tests {
 
     #[test]
     fn accepts_coherent_versions() {
-        assert!(StreamVersionCoherence.check(&ws(3, 3, 3)).is_empty());
+        assert!(run(&ws(3, 3, 3)).is_empty());
     }
 
     #[test]
     fn rejects_a_partial_bump() {
         // The constant moved to v4 but the README and benchmark did not.
-        let diags = StreamVersionCoherence.check(&ws(4, 3, 3));
+        let diags = run(&ws(4, 3, 3));
         assert_eq!(diags.len(), 2);
         assert!(diags.iter().all(|d| d.message.contains("mismatch")));
     }
 
     #[test]
     fn rejects_a_stale_benchmark_record() {
-        let diags = StreamVersionCoherence.check(&ws(3, 3, 2));
+        let diags = run(&ws(3, 3, 2));
         assert_eq!(diags.len(), 1);
         assert!(diags[0].file.contains("BENCH"));
     }
@@ -279,7 +289,7 @@ mod tests {
             "crates/sim/src/snapshot.rs",
             "/// * v1 — initial.\n/// * v2 — checksum.\n/// * v3 — future.\npub const SNAPSHOT_FORMAT_VERSION: u32 = 3;\n",
         );
-        let diags = StreamVersionCoherence.check(&w);
+        let diags = run(&w);
         assert_eq!(diags.len(), 1);
         assert!(diags[0].message.contains("mismatch"));
         assert!(diags[0].file.contains("README"));
@@ -294,7 +304,7 @@ mod tests {
             "crates/sim/src/snapshot.rs",
             "/// * v1 — initial layout.\npub const SNAPSHOT_FORMAT_VERSION: u32 = 2;\n",
         );
-        let diags = StreamVersionCoherence.check(&w);
+        let diags = run(&w);
         assert_eq!(diags.len(), 1);
         assert!(diags[0].file.contains("doc history"), "{}", diags[0].file);
         assert!(diags[0].message.contains("mismatch"));
@@ -307,7 +317,7 @@ mod tests {
             "crates/sim/src/snapshot.rs",
             "pub const SNAPSHOT_FORMAT_VERSION: u32 = 2;\n",
         );
-        let diags = StreamVersionCoherence.check(&w);
+        let diags = run(&w);
         assert_eq!(diags.len(), 1);
         assert!(diags[0].message.contains("could not find"));
     }
@@ -316,7 +326,7 @@ mod tests {
     fn missing_artifacts_are_reported() {
         let mut w = ws(3, 3, 3);
         w.bench_json = None;
-        let diags = StreamVersionCoherence.check(&w);
+        let diags = run(&w);
         assert_eq!(diags.len(), 2); // one per stream
         assert!(diags.iter().all(|d| d.message.contains("could not find")));
     }

@@ -14,8 +14,7 @@
 
 use crate::diag::Diagnostic;
 use crate::lexer::contains_token;
-use crate::rules::{Rule, RESULT_CRATES};
-use crate::workspace::Workspace;
+use crate::rules::{Context, Rule, RESULT_CRATES};
 
 /// See the module docs.
 pub struct ForbidUnorderedIteration;
@@ -27,9 +26,14 @@ impl Rule for ForbidUnorderedIteration {
         "forbid-unordered-iteration"
     }
 
-    fn check(&self, ws: &Workspace) -> Vec<Diagnostic> {
+    fn summary(&self) -> &'static str {
+        "`HashMap`/`HashSet` (per-process `RandomState` iteration order) anywhere in a \
+         result-affecting crate"
+    }
+
+    fn check(&self, cx: &Context) -> Vec<Diagnostic> {
         let mut out = Vec::new();
-        for file in ws.files_under(RESULT_CRATES) {
+        for file in cx.ws.files_under(RESULT_CRATES) {
             for (idx, line) in file.lines.iter().enumerate() {
                 if let Some(token) = TOKENS
                     .iter()
@@ -58,41 +62,43 @@ impl Rule for ForbidUnorderedIteration {
 mod tests {
     use super::*;
     use crate::source::SourceFile;
+    use crate::workspace::Workspace;
 
-    fn ws_with(path: &str, src: &str) -> Workspace {
-        Workspace {
+    fn diags(path: &str, src: &str) -> Vec<Diagnostic> {
+        let ws = Workspace {
             files: vec![SourceFile::new(path, src)],
             ..Workspace::default()
-        }
+        };
+        let cx = Context::new(&ws);
+        ForbidUnorderedIteration.check(&cx)
     }
 
     #[test]
     fn accepts_ordered_containers() {
-        let ws = ws_with(
+        let d = diags(
             "crates/sim/src/metrics.rs",
             "use std::collections::BTreeMap;\nlet mut counts: BTreeMap<u32, usize> = BTreeMap::new();\n",
         );
-        assert!(ForbidUnorderedIteration.check(&ws).is_empty());
+        assert!(d.is_empty());
     }
 
     #[test]
     fn rejects_hash_containers_in_result_crates() {
-        let ws = ws_with(
+        let d = diags(
             "crates/adversary/src/lib.rs",
             "use std::collections::HashMap;\nlet mut seen = HashSet::new();\n",
         );
-        let diags = ForbidUnorderedIteration.check(&ws);
-        assert_eq!(diags.len(), 2);
-        assert!(diags[0].message.contains("BTreeMap"));
-        assert!(diags[1].message.contains("BTreeSet"));
+        assert_eq!(d.len(), 2);
+        assert!(d[0].message.contains("BTreeMap"));
+        assert!(d[1].message.contains("BTreeSet"));
     }
 
     #[test]
     fn non_result_crates_may_hash() {
-        let ws = ws_with(
+        let d = diags(
             "crates/bench/src/scenario.rs",
             "use std::collections::HashMap;\n",
         );
-        assert!(ForbidUnorderedIteration.check(&ws).is_empty());
+        assert!(d.is_empty());
     }
 }

@@ -1,0 +1,34 @@
+//! Rule `unused-allow`: escapes must keep earning their keep.
+//!
+//! A `lint:allow` is a recorded exception to the determinism contract; the
+//! moment the finding it silenced disappears (the code moved, the rule got
+//! smarter), the stale escape is a hole waiting for new code to crawl
+//! through unreviewed. So an allow that suppresses nothing is itself a
+//! finding — delete it, and if the hazard comes back the rule will say so.
+//!
+//! This rule is implemented by the engine ([`crate::run_lint`]), which is
+//! the only place that knows which allows actually covered a finding: the
+//! registry entry here exists so the rule has a name (`lint:allow` can
+//! reference it), a docs row, and a place in the catalogue. `check`
+//! therefore returns nothing.
+
+use crate::diag::Diagnostic;
+use crate::rules::{Context, Rule};
+
+/// See the module docs.
+pub struct UnusedAllow;
+
+impl Rule for UnusedAllow {
+    fn name(&self) -> &'static str {
+        "unused-allow"
+    }
+
+    fn summary(&self) -> &'static str {
+        "`lint:allow` escapes that no longer suppress any finding (stale exceptions rot into \
+         holes)"
+    }
+
+    fn check(&self, _cx: &Context) -> Vec<Diagnostic> {
+        Vec::new() // engine-implemented; see the module docs
+    }
+}

@@ -19,6 +19,9 @@ use crate::lexer::{lex, LexedLine};
 /// File-level allows must appear within this many leading lines.
 pub const FILE_ALLOW_WINDOW: usize = 20;
 
+/// Justifications shorter than this are rubber stamps, not arguments.
+pub const MIN_JUSTIFICATION: usize = 15;
+
 /// One parsed allow escape.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Allow {
@@ -75,26 +78,32 @@ impl SourceFile {
     /// escape, by an escape in the contiguous comment block directly above,
     /// or by a file-wide escape in the leading window.
     pub fn is_allowed(&self, rule: &str, line: usize) -> bool {
-        for allow in &self.allows {
+        !self.covering_allows(rule, line).is_empty()
+    }
+
+    /// Indices into [`SourceFile::allows`] of every escape that covers
+    /// `rule` on 1-based `line`. The engine marks *all* of them used, so a
+    /// redundant pair (file-wide plus same-line) is not half-reported as
+    /// stale.
+    pub fn covering_allows(&self, rule: &str, line: usize) -> Vec<usize> {
+        let mut out = Vec::new();
+        for (idx, allow) in self.allows.iter().enumerate() {
             if allow.rule != rule {
                 continue;
             }
-            if allow.file_wide {
-                if allow.line <= FILE_ALLOW_WINDOW {
-                    return true;
-                }
-                continue;
-            }
-            if allow.line == line {
-                return true;
-            }
-            // An allow written as its own comment line covers the next code
-            // line below its contiguous comment block.
-            if allow.line < line && self.comment_block_reaches(allow.line, line) {
-                return true;
+            let covers = if allow.file_wide {
+                allow.line <= FILE_ALLOW_WINDOW
+            } else {
+                // A same-line escape, or an allow written as its own comment
+                // line covering the next code line below its comment block.
+                allow.line == line
+                    || (allow.line < line && self.comment_block_reaches(allow.line, line))
+            };
+            if covers {
+                out.push(idx);
             }
         }
-        false
+        out
     }
 
     /// Whether every line strictly between 1-based `from` and `to` is
@@ -185,6 +194,13 @@ fn parse_allow(text: &str, line: usize) -> Result<(Allow, usize), String> {
     if justification.is_empty() {
         return Err(format!("lint:allow({rule}) has an empty justification"));
     }
+    if justification.len() < MIN_JUSTIFICATION {
+        return Err(format!(
+            "lint:allow({rule}) justification `{justification}` is too short ({} chars, \
+             need ≥ {MIN_JUSTIFICATION}); say *why* the hazard cannot reach a result",
+            justification.len()
+        ));
+    }
     let consumed = text.len() - after_paren.len();
     Ok((
         Allow {
@@ -231,7 +247,9 @@ mod tests {
     #[test]
     fn file_allow_outside_window_is_rejected() {
         let mut src = "fn f() {}\n".repeat(FILE_ALLOW_WINDOW);
-        src.push_str("// lint:allow-file(some-rule): too late\nfn g() {}");
+        src.push_str(
+            "// lint:allow-file(some-rule): declared far too late to be visible\nfn g() {}",
+        );
         let f = SourceFile::new("a.rs", &src);
         assert!(!f.is_allowed("some-rule", FILE_ALLOW_WINDOW + 2));
         let diags = f.allow_diagnostics(&["some-rule"]);
@@ -250,9 +268,33 @@ mod tests {
 
     #[test]
     fn unknown_rule_is_flagged() {
-        let f = SourceFile::new("a.rs", "use x; // lint:allow(no-such-rule): because\n");
+        let f = SourceFile::new(
+            "a.rs",
+            "use x; // lint:allow(no-such-rule): membership only, never iterated\n",
+        );
         let diags = f.allow_diagnostics(&["some-rule"]);
         assert_eq!(diags.len(), 1);
         assert!(diags[0].message.contains("unknown rule"));
+    }
+
+    #[test]
+    fn a_short_justification_is_malformed() {
+        // 14 chars is a rubber stamp, not an argument.
+        let f = SourceFile::new("a.rs", "use x; // lint:allow(some-rule): just because.\n");
+        assert!(!f.is_allowed("some-rule", 1));
+        let diags = f.allow_diagnostics(&["some-rule"]);
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("too short"), "{diags:?}");
+    }
+
+    #[test]
+    fn covering_allows_reports_every_covering_escape() {
+        let src = "// lint:allow-file(some-rule): counted only, order never observed\n\
+                   use x; // lint:allow(some-rule): membership only, never iterated\n";
+        let f = SourceFile::new("a.rs", src);
+        // Line 2 is covered by both the file-wide and the same-line escape.
+        assert_eq!(f.covering_allows("some-rule", 2), vec![0, 1]);
+        assert_eq!(f.covering_allows("some-rule", 5), vec![0]);
+        assert!(f.covering_allows("other-rule", 2).is_empty());
     }
 }

@@ -203,6 +203,63 @@ pub fn section_has_key(manifest: &str, section: &str, key: &str) -> bool {
     false
 }
 
+/// The dependency names declared in `[dependencies]` (not dev-dependencies:
+/// dev-only edges cannot reach a shipped result path). Handles both the
+/// dotted form (`popstab-sim.workspace = true`) and the inline-table form
+/// (`rand = { path = "shims/rand" }`).
+pub fn dependency_names(manifest: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut in_deps = false;
+    for line in manifest.lines() {
+        let line = strip_toml_comment(line).trim().to_string();
+        if line.starts_with('[') {
+            in_deps = line == "[dependencies]";
+            continue;
+        }
+        if in_deps && line.contains('=') {
+            let key: String = line
+                .chars()
+                .take_while(|&c| c != '.' && c != '=' && !c.is_whitespace())
+                .collect();
+            if !key.is_empty() {
+                out.push(key);
+            }
+        }
+    }
+    out
+}
+
+/// The `[workspace.dependencies]` name → workspace-relative path map of the
+/// root manifest (the renamed shims resolve here too: `rand` → `shims/rand`).
+pub fn workspace_dep_dirs(root_manifest: &str) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    let mut in_section = false;
+    for line in root_manifest.lines() {
+        let line = strip_toml_comment(line).trim().to_string();
+        if line.starts_with('[') {
+            in_section = line == "[workspace.dependencies]";
+            continue;
+        }
+        if !in_section || !line.contains('=') {
+            continue;
+        }
+        let key: String = line
+            .chars()
+            .take_while(|&c| c != '.' && c != '=' && !c.is_whitespace())
+            .collect();
+        let Some(path_at) = line.find("path") else {
+            continue;
+        };
+        let rest = &line[path_at + 4..];
+        let mut quoted = rest.split('"');
+        quoted.next();
+        if let (false, Some(dir)) = (key.is_empty(), quoted.next()) {
+            out.push((key, dir.to_string()));
+        }
+    }
+    out
+}
+
 /// Strips a `#` TOML comment, respecting double-quoted strings.
 fn strip_toml_comment(line: &str) -> &str {
     let mut in_str = false;

@@ -1,0 +1,71 @@
+//! Docs-drift gate: the facade's embedded rule table must match the
+//! registry.
+//!
+//! The rule catalogue is documented twice outside this crate — in the
+//! facade crate docs (`src/lib.rs`, the "Determinism contract" section)
+//! and implicitly in every `lint:allow` that names a rule. The first copy
+//! is generated (`popstab-lint --rules-md`); this test is what makes
+//! "generated" true: add, rename, or reword a rule and the build fails
+//! until the committed docs are regenerated.
+
+use std::path::Path;
+use std::process::Command;
+
+use popstab_lint::rules::rules_markdown;
+
+/// The workspace root, from this crate's position at `tools/popstab-lint`.
+fn workspace_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("tools/popstab-lint sits two levels below the workspace root")
+}
+
+#[test]
+fn facade_docs_embed_the_generated_rule_table() {
+    let lib = workspace_root().join("src/lib.rs");
+    let text = std::fs::read_to_string(&lib).expect("read facade src/lib.rs");
+    // The facade embeds the table as doc comments: every rendered line,
+    // in order, prefixed with `//! `.
+    let expected: String = rules_markdown()
+        .lines()
+        .map(|l| format!("//! {l}\n"))
+        .collect();
+    assert!(
+        text.contains(&expected),
+        "src/lib.rs rule table is out of date — regenerate it with\n\
+         `cargo run -p popstab-lint -- --rules-md` (prefix each line with `//! `).\n\
+         expected block:\n{expected}"
+    );
+}
+
+#[test]
+fn crate_docs_embed_the_generated_rule_table() {
+    // This crate's own lib.rs documents the same table; it must not rot
+    // either.
+    let lib = Path::new(env!("CARGO_MANIFEST_DIR")).join("src/lib.rs");
+    let text = std::fs::read_to_string(&lib).expect("read popstab-lint src/lib.rs");
+    let expected: String = rules_markdown()
+        .lines()
+        .map(|l| format!("//! {l}\n"))
+        .collect();
+    assert!(
+        text.contains(&expected),
+        "tools/popstab-lint/src/lib.rs rule table is out of date — regenerate with\n\
+         `cargo run -p popstab-lint -- --rules-md`.\nexpected block:\n{expected}"
+    );
+}
+
+#[test]
+fn rules_md_flag_prints_the_table_and_exits_clean() {
+    let out = Command::new(env!("CARGO_BIN_EXE_popstab-lint"))
+        .arg("--rules-md")
+        .output()
+        .expect("run popstab-lint --rules-md");
+    assert!(out.status.success(), "--rules-md must exit 0");
+    assert_eq!(
+        String::from_utf8_lossy(&out.stdout),
+        rules_markdown(),
+        "--rules-md output must be exactly the registry table"
+    );
+}
